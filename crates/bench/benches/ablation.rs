@@ -1,0 +1,4 @@
+//! Ablations: bucket-size and records-per-fence sweeps for the bucketed log.
+fn main() {
+    rewind_bench::ablation_log_tuning(rewind_bench::scale_from_env());
+}

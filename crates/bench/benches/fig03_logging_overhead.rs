@@ -1,0 +1,6 @@
+//! Figure 3: logging overhead vs update intensity (left) and skip records (right).
+fn main() {
+    let s = rewind_bench::scale_from_env();
+    rewind_bench::fig03_update_intensity(s);
+    rewind_bench::fig03_skip_records(s);
+}

@@ -1,0 +1,6 @@
+//! Figure 4: single-transaction rollback (left) and recovery (right) vs skip records.
+fn main() {
+    let s = rewind_bench::scale_from_env();
+    rewind_bench::fig04_rollback(s);
+    rewind_bench::fig04_recovery(s);
+}

@@ -1,0 +1,4 @@
+//! Figure 5: logging + commit/recovery cost vs fraction of transactions recovered.
+fn main() {
+    rewind_bench::fig05_recovery_fraction(rewind_bench::scale_from_env());
+}

@@ -1,0 +1,4 @@
+//! Figure 6: impact of checkpointing frequency.
+fn main() {
+    rewind_bench::fig06_checkpoint(rewind_bench::scale_from_env());
+}

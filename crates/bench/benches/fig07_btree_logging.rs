@@ -1,0 +1,6 @@
+//! Figure 7: B+-tree logging performance, REWIND vs non-recoverable (left) and vs DBMS baselines (right).
+fn main() {
+    let s = rewind_bench::scale_from_env();
+    rewind_bench::fig07_btree_rewind(s);
+    rewind_bench::fig07_btree_baselines(s);
+}

@@ -1,0 +1,6 @@
+//! Figure 8: B+-tree rollback (left) and multi-transaction recovery (right).
+fn main() {
+    let s = rewind_bench::scale_from_env();
+    rewind_bench::fig08_rollback(s);
+    rewind_bench::fig08_recovery(s);
+}

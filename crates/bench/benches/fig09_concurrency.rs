@@ -1,0 +1,4 @@
+//! Figure 9: multithreaded B+-tree logging performance.
+fn main() {
+    rewind_bench::fig09_concurrency(rewind_bench::scale_from_env());
+}

@@ -1,0 +1,4 @@
+//! Figure 10: memory fence latency sensitivity.
+fn main() {
+    rewind_bench::fig10_fence_sensitivity(rewind_bench::scale_from_env());
+}

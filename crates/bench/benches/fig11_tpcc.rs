@@ -1,0 +1,4 @@
+//! Figure 11: TPC-C new-order throughput for the four physical layouts.
+fn main() {
+    rewind_bench::fig11_tpcc(rewind_bench::scale_from_env());
+}

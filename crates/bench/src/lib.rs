@@ -1,0 +1,35 @@
+//! # rewind-bench — the benchmark harness for every figure in the paper
+//!
+//! Each `figNN_*` function reproduces one figure of the REWIND paper's
+//! evaluation (Section 5) and prints the same series the paper plots, as
+//! CSV-like rows. The harness reports two costs for every data point:
+//!
+//! * **wall** — wall-clock seconds of the run, and
+//! * **sim** — wall-clock plus the simulated NVM time charged by the cost
+//!   model (write latency × coalesced NVM writes + fence latency × fences),
+//!   which is the quantity the paper's busy-loop emulation folds into its
+//!   wall-clock numbers. Ratios and trends should be read off the `sim`
+//!   column.
+//!
+//! Every experiment takes a `scale` factor: `1.0` approximates the paper's
+//! workload sizes; the bench targets default to a much smaller scale (set by
+//! the `REWIND_BENCH_SCALE` environment variable, default `0.05`) so that
+//! `cargo bench` completes in minutes. The shape of each figure — who wins,
+//! by roughly what factor, where the crossovers fall — is preserved at small
+//! scales because the underlying costs are per-operation.
+
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod sysconfig;
+pub mod util;
+
+pub use experiments::*;
+
+/// Reads the benchmark scale factor from `REWIND_BENCH_SCALE` (default 0.05).
+pub fn scale_from_env() -> f64 {
+    std::env::var("REWIND_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}

@@ -1,0 +1,54 @@
+//! The systems-under-test used by the B+-tree and recovery experiments.
+
+use rewind_core::{LogLayers, Policy, RewindConfig};
+
+/// A named REWIND configuration appearing in the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NamedConfig {
+    /// Display name used in the output rows.
+    pub name: &'static str,
+    /// The configuration.
+    pub cfg: RewindConfig,
+}
+
+/// The four configurations of Figure 3 (left): {1,2}-layer × {force,no-force},
+/// all over the Optimized log structure (as in the paper's sensitivity study).
+pub fn sensitivity_configs() -> Vec<NamedConfig> {
+    let base = RewindConfig::optimized();
+    vec![
+        NamedConfig {
+            name: "2L-FP",
+            cfg: base.layers(LogLayers::TwoLayer).policy(Policy::Force),
+        },
+        NamedConfig {
+            name: "2L-NFP",
+            cfg: base.layers(LogLayers::TwoLayer).policy(Policy::NoForce),
+        },
+        NamedConfig {
+            name: "1L-FP",
+            cfg: base.policy(Policy::Force),
+        },
+        NamedConfig {
+            name: "1L-NFP",
+            cfg: base.policy(Policy::NoForce),
+        },
+    ]
+}
+
+/// The three REWIND implementations of Sections 3.2–3.3.
+pub fn structure_configs() -> Vec<NamedConfig> {
+    vec![
+        NamedConfig {
+            name: "REWIND Simple",
+            cfg: RewindConfig::simple(),
+        },
+        NamedConfig {
+            name: "REWIND Opt.",
+            cfg: RewindConfig::optimized(),
+        },
+        NamedConfig {
+            name: "REWIND Batch",
+            cfg: RewindConfig::batch(),
+        },
+    ]
+}

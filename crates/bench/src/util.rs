@@ -1,0 +1,68 @@
+//! Measurement helpers shared by all experiments.
+
+use rewind_core::{RewindConfig, TransactionManager};
+use rewind_nvm::{CostModel, NvmPool, PoolConfig, StatsSnapshot};
+use rewind_pds::Backing;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A timed measurement: wall-clock plus simulated NVM time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Simulated NVM nanoseconds charged during the interval.
+    pub sim_ns: u64,
+}
+
+impl Measurement {
+    /// Wall-clock plus simulated time, in seconds — the paper-comparable
+    /// number.
+    pub fn total_s(&self) -> f64 {
+        self.wall_s + self.sim_ns as f64 / 1e9
+    }
+
+    /// Ratio of this measurement over `base` (a slowdown factor).
+    pub fn slowdown_over(&self, base: &Measurement) -> f64 {
+        self.total_s() / base.total_s().max(1e-12)
+    }
+}
+
+/// Runs `f` against `pool` and measures wall + simulated time.
+pub fn measure(pool: &NvmPool, f: impl FnOnce()) -> Measurement {
+    let before: StatsSnapshot = pool.stats();
+    let start = Instant::now();
+    f();
+    Measurement {
+        wall_s: start.elapsed().as_secs_f64(),
+        sim_ns: pool.stats().since(&before).sim_ns,
+    }
+}
+
+/// Creates a pool with the given capacity (in MiB) and cost model.
+pub fn pool_mib(mib: usize, cost: CostModel) -> Arc<NvmPool> {
+    NvmPool::new(PoolConfig::with_capacity(mib << 20).cost(cost))
+}
+
+/// Creates a REWIND transaction manager and its backing over a fresh pool.
+pub fn rewind_backing(mib: usize, cfg: RewindConfig) -> (Arc<NvmPool>, Backing) {
+    let pool = pool_mib(mib, CostModel::paper());
+    let tm = Arc::new(TransactionManager::create(Arc::clone(&pool), cfg).expect("create TM"));
+    (Arc::clone(&pool), Backing::rewind(tm))
+}
+
+/// Prints a header row.
+pub fn header(figure: &str, columns: &[&str]) {
+    println!("\n=== {figure} ===");
+    println!("{}", columns.join(","));
+}
+
+/// Prints a data row.
+pub fn row(fields: &[String]) {
+    println!("{}", fields.join(","));
+}
+
+/// Formats a float with three significant decimals.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}

@@ -1,0 +1,249 @@
+//! Persistent allocator for the NVM pool.
+//!
+//! REWIND assumes an NVM-aware memory manager (NV-heaps / Mnemosyne style)
+//! underneath it; this module is the reproduction's stand-in. It is a simple
+//! size-class allocator over the pool's heap region:
+//!
+//! * Allocation is served from per-size-class free lists when possible and
+//!   from a bump frontier otherwise.
+//! * The bump frontier is the only piece of allocator state that must survive
+//!   a crash (anything below the frontier may be live). The pool persists it
+//!   with a non-temporal store on every frontier advance, *before* the new
+//!   block is handed out, so a crash can never hand the same memory out twice
+//!   after recovery.
+//! * Free lists are volatile. A crash therefore leaks blocks that were freed
+//!   (or allocated and then orphaned) before the failure — the same policy as
+//!   most real NVM allocators that defer compaction to a garbage-collection
+//!   pass. REWIND itself defers de-allocation of user memory with `DELETE` log
+//!   records, so the log never depends on the free lists being durable.
+//!
+//! Allocations of a cacheline or more are cacheline-aligned so that log
+//! buckets and log records never straddle lines unnecessarily; smaller
+//! allocations are 8-byte aligned.
+
+use crate::paddr::{PAddr, CACHELINE, WORD};
+use crate::{NvmError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Allocation statistics, exposed for tests and the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes handed out since the allocator was (re)attached.
+    pub allocated_bytes: u64,
+    /// Bytes returned through `free` since the allocator was (re)attached.
+    pub freed_bytes: u64,
+    /// Current bump frontier (absolute pool offset).
+    pub frontier: u64,
+    /// Number of blocks currently sitting on free lists.
+    pub free_blocks: u64,
+}
+
+#[derive(Debug)]
+struct AllocInner {
+    /// Next never-allocated byte (absolute pool offset).
+    frontier: u64,
+    /// End of the heap region (pool capacity).
+    end: u64,
+    /// size-class -> stack of free block offsets.
+    free_lists: HashMap<usize, Vec<u64>>,
+    stats: AllocStats,
+}
+
+/// The pool's allocator. All methods are internally synchronized.
+#[derive(Debug)]
+pub struct NvmAllocator {
+    inner: Mutex<AllocInner>,
+    heap_start: u64,
+}
+
+/// Rounds `size` up to its allocation class: multiples of 8 below a cacheline,
+/// multiples of a cacheline above.
+pub(crate) fn size_class(size: usize) -> usize {
+    if size == 0 {
+        WORD
+    } else if size < CACHELINE {
+        (size + WORD - 1) / WORD * WORD
+    } else {
+        (size + CACHELINE - 1) / CACHELINE * CACHELINE
+    }
+}
+
+impl NvmAllocator {
+    /// Creates an allocator over `[heap_start, capacity)` with the given
+    /// initial frontier (either `heap_start` for a fresh pool or the persisted
+    /// frontier when re-attaching after a crash).
+    pub fn new(heap_start: u64, capacity: u64, frontier: u64) -> Self {
+        let frontier = frontier.max(heap_start);
+        NvmAllocator {
+            heap_start,
+            inner: Mutex::new(AllocInner {
+                frontier,
+                end: capacity,
+                free_lists: HashMap::new(),
+                stats: AllocStats {
+                    frontier,
+                    ..AllocStats::default()
+                },
+            }),
+        }
+    }
+
+    /// Start of the heap region managed by this allocator.
+    pub fn heap_start(&self) -> u64 {
+        self.heap_start
+    }
+
+    /// Allocates `size` bytes. Returns the address and, if the bump frontier
+    /// moved, the new frontier that the caller (the pool) must persist before
+    /// using the block.
+    pub(crate) fn alloc_raw(&self, size: usize) -> Result<(PAddr, Option<u64>)> {
+        let class = size_class(size);
+        let mut inner = self.inner.lock();
+        if let Some(list) = inner.free_lists.get_mut(&class) {
+            if let Some(addr) = list.pop() {
+                inner.stats.allocated_bytes += class as u64;
+                inner.stats.free_blocks -= 1;
+                return Ok((PAddr::new(addr), None));
+            }
+        }
+        // Bump allocation. Keep cacheline-sized classes cacheline aligned.
+        let align = if class >= CACHELINE { CACHELINE } else { WORD } as u64;
+        let start = (inner.frontier + align - 1) / align * align;
+        let new_frontier = start + class as u64;
+        if new_frontier > inner.end {
+            return Err(NvmError::OutOfMemory {
+                requested: class,
+                available: inner.end.saturating_sub(inner.frontier) as usize,
+            });
+        }
+        inner.frontier = new_frontier;
+        inner.stats.frontier = new_frontier;
+        inner.stats.allocated_bytes += class as u64;
+        Ok((PAddr::new(start), Some(new_frontier)))
+    }
+
+    /// Returns a block to its size-class free list (volatile bookkeeping).
+    pub(crate) fn free_raw(&self, addr: PAddr, size: usize) -> Result<()> {
+        let class = size_class(size);
+        let mut inner = self.inner.lock();
+        if addr.offset() < self.heap_start || addr.offset() + class as u64 > inner.frontier {
+            return Err(NvmError::InvalidFree(addr.offset()));
+        }
+        inner.free_lists.entry(class).or_default().push(addr.offset());
+        inner.stats.freed_bytes += class as u64;
+        inner.stats.free_blocks += 1;
+        Ok(())
+    }
+
+    /// Discards all volatile allocator state and restarts from the persisted
+    /// frontier. Called by the pool during `power_cycle`/attach.
+    pub(crate) fn reset_to_frontier(&self, frontier: u64) {
+        let mut inner = self.inner.lock();
+        inner.frontier = frontier.max(self.heap_start);
+        inner.free_lists.clear();
+        inner.stats = AllocStats {
+            frontier: inner.frontier,
+            ..AllocStats::default()
+        };
+    }
+
+    /// Current allocation statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.inner.lock().stats
+    }
+
+    /// Bytes remaining between the frontier and the end of the heap.
+    pub fn remaining(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.end.saturating_sub(inner.frontier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_up() {
+        assert_eq!(size_class(0), 8);
+        assert_eq!(size_class(1), 8);
+        assert_eq!(size_class(8), 8);
+        assert_eq!(size_class(9), 16);
+        assert_eq!(size_class(63), 64);
+        assert_eq!(size_class(64), 64);
+        assert_eq!(size_class(65), 128);
+        assert_eq!(size_class(1000), 1024);
+    }
+
+    #[test]
+    fn bump_allocation_is_disjoint_and_aligned() {
+        let a = NvmAllocator::new(4096, 1 << 20, 4096);
+        let (x, fx) = a.alloc_raw(16).unwrap();
+        let (y, fy) = a.alloc_raw(64).unwrap();
+        let (z, _) = a.alloc_raw(64).unwrap();
+        assert!(fx.is_some() && fy.is_some());
+        assert!(x.is_aligned(8));
+        assert!(y.is_aligned(64));
+        assert!(z.is_aligned(64));
+        // Blocks never overlap.
+        assert!(x.offset() + 16 <= y.offset());
+        assert!(y.offset() + 64 <= z.offset());
+    }
+
+    #[test]
+    fn free_list_reuse() {
+        let a = NvmAllocator::new(4096, 1 << 20, 4096);
+        let (x, _) = a.alloc_raw(64).unwrap();
+        a.free_raw(x, 64).unwrap();
+        let (y, moved) = a.alloc_raw(64).unwrap();
+        assert_eq!(x, y, "freed block should be reused");
+        assert!(moved.is_none(), "reuse must not move the frontier");
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let a = NvmAllocator::new(4096, 4096 + 128, 4096);
+        a.alloc_raw(64).unwrap();
+        a.alloc_raw(64).unwrap();
+        let err = a.alloc_raw(64).unwrap_err();
+        assert!(matches!(err, NvmError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn invalid_free_is_rejected() {
+        let a = NvmAllocator::new(4096, 1 << 20, 4096);
+        // Below the heap.
+        assert!(a.free_raw(PAddr::new(100), 8).is_err());
+        // Above the frontier (never allocated).
+        assert!(a.free_raw(PAddr::new(1 << 19), 8).is_err());
+    }
+
+    #[test]
+    fn reset_discards_free_lists_and_restores_frontier() {
+        let a = NvmAllocator::new(4096, 1 << 20, 4096);
+        let (x, _) = a.alloc_raw(64).unwrap();
+        let frontier_after_x = a.stats().frontier;
+        a.free_raw(x, 64).unwrap();
+        assert_eq!(a.stats().free_blocks, 1);
+        a.reset_to_frontier(frontier_after_x);
+        assert_eq!(a.stats().free_blocks, 0, "free lists are volatile");
+        let (y, _) = a.alloc_raw(64).unwrap();
+        // After reset the freed block is leaked; the new allocation comes from
+        // the frontier.
+        assert!(y.offset() >= frontier_after_x);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let a = NvmAllocator::new(4096, 1 << 20, 4096);
+        let (x, _) = a.alloc_raw(10).unwrap(); // class 16
+        a.alloc_raw(64).unwrap();
+        a.free_raw(x, 10).unwrap();
+        let s = a.stats();
+        assert_eq!(s.allocated_bytes, 16 + 64);
+        assert_eq!(s.freed_bytes, 16);
+        assert!(s.frontier > 4096);
+        assert!(a.remaining() < (1 << 20) - 4096);
+    }
+}

@@ -1,0 +1,225 @@
+//! Crash injection.
+//!
+//! The key correctness claim of REWIND is that its log and the data
+//! structures built on it recover to a consistent state after a failure at
+//! *any* point. The paper argues this informally (e.g. the line-by-line
+//! analysis of Algorithm 1); the reproduction can do better: the pool counts
+//! "persist events" (non-temporal stores, flushes and fences — the points at
+//! which the persistent image changes) and a [`CrashInjector`] can be armed to
+//! trigger a simulated power failure after the N-th such event.
+//!
+//! When the injector fires the pool *freezes*: every subsequent store, flush
+//! or fence is silently dropped, so the persistent image is exactly what it
+//! was at the crash point. The code under test keeps running to completion
+//! against the frozen volatile image (so it does not panic half-way through),
+//! after which the test calls [`NvmPool::power_cycle`](crate::NvmPool::power_cycle)
+//! to discard volatile state and exercises recovery. Sweeping N over every
+//! persist event of an operation exhaustively tests every crash point.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// How a simulated power failure treats cachelines that were dirty in the
+/// simulated cache at the moment of the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// Dirty cachelines are lost entirely: the persistent image keeps the last
+    /// explicitly persisted contents. This is the conservative model used by
+    /// most of the test suite.
+    #[default]
+    DropDirty,
+    /// For every dirty cacheline, each 8-byte word is independently and
+    /// pseudo-randomly either persisted or dropped ("torn line"). This models
+    /// the paper's assumption that the hardware guarantees only single-word
+    /// atomic persistence: a crash may persist an arbitrary prefix/subset of a
+    /// line that was in flight. The `u64` is the seed so failures are
+    /// reproducible.
+    TornWords(u64),
+}
+
+/// Counts persist events and fires a simulated crash after a configurable
+/// number of them. See the module documentation for the freeze semantics.
+#[derive(Debug, Default)]
+pub struct CrashInjector {
+    /// Remaining persist events before the crash fires. `u64::MAX` means the
+    /// injector is disarmed.
+    remaining: AtomicU64,
+    /// Set once the crash has fired; the pool drops all writes while this is
+    /// set, until the next `power_cycle`.
+    frozen: AtomicBool,
+    /// Total persist events observed since the pool was created (also counts
+    /// while disarmed). Useful for sizing exhaustive crash sweeps.
+    observed: AtomicU64,
+}
+
+/// A snapshot of where the injector currently stands; returned by
+/// [`CrashInjector::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Persist events observed so far.
+    pub observed: u64,
+    /// Whether the simulated crash has fired and the pool is frozen.
+    pub frozen: bool,
+    /// Remaining events before the crash fires (`None` if disarmed).
+    pub remaining: Option<u64>,
+}
+
+const DISARMED: u64 = u64::MAX;
+
+impl CrashInjector {
+    /// Creates a disarmed injector.
+    pub fn new() -> Self {
+        CrashInjector {
+            remaining: AtomicU64::new(DISARMED),
+            frozen: AtomicBool::new(false),
+            observed: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms the injector to fire after `events` further persist events.
+    /// `events == 0` freezes the pool immediately.
+    pub fn arm_after(&self, events: u64) {
+        if events == 0 {
+            self.frozen.store(true, Ordering::SeqCst);
+            self.remaining.store(DISARMED, Ordering::SeqCst);
+        } else {
+            self.frozen.store(false, Ordering::SeqCst);
+            self.remaining.store(events, Ordering::SeqCst);
+        }
+    }
+
+    /// Disarms the injector (does not unfreeze a pool that already crashed).
+    pub fn disarm(&self) {
+        self.remaining.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Clears the frozen flag. Called by the pool during `power_cycle`.
+    pub(crate) fn reset(&self) {
+        self.frozen.store(false, Ordering::SeqCst);
+        self.remaining.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if the simulated crash has fired and writes must be
+    /// dropped.
+    #[inline]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Relaxed)
+    }
+
+    /// Records one persist event; returns `true` if the pool is (now) frozen.
+    #[inline]
+    pub(crate) fn on_persist_event(&self) -> bool {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        if self.frozen.load(Ordering::Relaxed) {
+            return true;
+        }
+        let rem = self.remaining.load(Ordering::Relaxed);
+        if rem == DISARMED {
+            return false;
+        }
+        // Count down; fire exactly once when the counter reaches zero.
+        let prev = self.remaining.fetch_sub(1, Ordering::SeqCst);
+        if prev <= 1 {
+            self.frozen.store(true, Ordering::SeqCst);
+            self.remaining.store(DISARMED, Ordering::SeqCst);
+            // The event that trips the counter is itself *not* persisted: the
+            // failure happens "during" it.
+            return true;
+        }
+        false
+    }
+
+    /// Total persist events observed since creation.
+    pub fn observed_events(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Current injector status.
+    pub fn status(&self) -> CrashPoint {
+        let rem = self.remaining.load(Ordering::Relaxed);
+        CrashPoint {
+            observed: self.observed_events(),
+            frozen: self.is_frozen(),
+            remaining: if rem == DISARMED { None } else { Some(rem) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_never_fires() {
+        let inj = CrashInjector::new();
+        for _ in 0..1000 {
+            assert!(!inj.on_persist_event());
+        }
+        assert!(!inj.is_frozen());
+        assert_eq!(inj.observed_events(), 1000);
+    }
+
+    #[test]
+    fn fires_after_exactly_n_events() {
+        let inj = CrashInjector::new();
+        inj.arm_after(3);
+        assert!(!inj.on_persist_event()); // 1st persists
+        assert!(!inj.on_persist_event()); // 2nd persists
+        assert!(inj.on_persist_event()); // 3rd is interrupted
+        assert!(inj.is_frozen());
+        // Everything afterwards is dropped too.
+        assert!(inj.on_persist_event());
+    }
+
+    #[test]
+    fn arm_after_zero_freezes_immediately() {
+        let inj = CrashInjector::new();
+        inj.arm_after(0);
+        assert!(inj.is_frozen());
+        assert!(inj.on_persist_event());
+    }
+
+    #[test]
+    fn reset_unfreezes() {
+        let inj = CrashInjector::new();
+        inj.arm_after(1);
+        assert!(inj.on_persist_event());
+        assert!(inj.is_frozen());
+        inj.reset();
+        assert!(!inj.is_frozen());
+        assert!(!inj.on_persist_event());
+    }
+
+    #[test]
+    fn disarm_cancels_pending_crash() {
+        let inj = CrashInjector::new();
+        inj.arm_after(5);
+        assert!(!inj.on_persist_event());
+        inj.disarm();
+        for _ in 0..100 {
+            assert!(!inj.on_persist_event());
+        }
+        assert!(!inj.is_frozen());
+    }
+
+    #[test]
+    fn status_reflects_state() {
+        let inj = CrashInjector::new();
+        let s = inj.status();
+        assert_eq!(s.remaining, None);
+        assert!(!s.frozen);
+        inj.arm_after(2);
+        assert_eq!(inj.status().remaining, Some(2));
+        inj.on_persist_event();
+        assert_eq!(inj.status().remaining, Some(1));
+        inj.on_persist_event();
+        let s = inj.status();
+        assert!(s.frozen);
+        assert_eq!(s.remaining, None);
+        assert_eq!(s.observed, 2);
+    }
+
+    #[test]
+    fn crash_mode_default_is_drop_dirty() {
+        assert_eq!(CrashMode::default(), CrashMode::DropDirty);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the simulated NVM substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NvmError>;
+
+/// Errors raised by the simulated NVM pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmError {
+    /// The pool has no free space left for an allocation of the requested size.
+    OutOfMemory {
+        /// Size of the failed allocation request in bytes.
+        requested: usize,
+        /// Bytes still available in the pool.
+        available: usize,
+    },
+    /// An access referenced an address outside the pool bounds.
+    OutOfBounds {
+        /// Offending address.
+        addr: u64,
+        /// Length of the access.
+        len: usize,
+        /// Pool capacity in bytes.
+        capacity: usize,
+    },
+    /// An access required alignment the address does not satisfy.
+    Misaligned {
+        /// Offending address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: usize,
+    },
+    /// The persistent image does not contain a valid pool header
+    /// (e.g. attaching to a pool that was never formatted).
+    InvalidHeader(String),
+    /// A size or configuration parameter was invalid.
+    InvalidConfig(String),
+    /// Free was called on an address that was never allocated or was already
+    /// freed.
+    InvalidFree(u64),
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of NVM: requested {requested} bytes, {available} available"
+            ),
+            NvmError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "NVM access out of bounds: addr {addr:#x} len {len} capacity {capacity}"
+            ),
+            NvmError::Misaligned { addr, align } => {
+                write!(f, "NVM access misaligned: addr {addr:#x} align {align}")
+            }
+            NvmError::InvalidHeader(msg) => write!(f, "invalid NVM pool header: {msg}"),
+            NvmError::InvalidConfig(msg) => write!(f, "invalid NVM pool configuration: {msg}"),
+            NvmError::InvalidFree(addr) => write!(f, "invalid free of NVM address {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for NvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = NvmError::OutOfMemory {
+            requested: 128,
+            available: 64,
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("64"));
+
+        let e = NvmError::OutOfBounds {
+            addr: 0x40,
+            len: 8,
+            capacity: 16,
+        };
+        assert!(e.to_string().contains("0x40"));
+
+        let e = NvmError::Misaligned { addr: 3, align: 8 };
+        assert!(e.to_string().contains("align 8"));
+
+        let e = NvmError::InvalidHeader("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+
+        let e = NvmError::InvalidFree(0x99);
+        assert!(e.to_string().contains("0x99"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<NvmError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Persistent virtual addresses.
+//!
+//! The REWIND paper logs "the address of the memory location being updated"
+//! and notes (footnote 2) that this is a *persistent* virtual address — a
+//! relative address or some other form of persistent reference. In the
+//! simulated substrate a persistent address is simply a byte offset into the
+//! [`NvmPool`](crate::NvmPool). Offset `0` is reserved as the null reference,
+//! which is convenient because the pool's first bytes hold the pool header and
+//! are never handed out by the allocator.
+
+use std::fmt;
+
+/// Size of a simulated cacheline in bytes (matches the paper's hardware).
+pub const CACHELINE: usize = 64;
+
+/// Size of the atomic persistence unit in bytes. The paper assumes "the
+/// hardware can guarantee single-word atomic writes"; all torn-write
+/// simulation happens at this granularity.
+pub const WORD: usize = 8;
+
+/// A persistent address: a byte offset into an [`NvmPool`](crate::NvmPool).
+///
+/// `PAddr::NULL` (offset 0) is the persistent equivalent of a null pointer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// The null persistent address.
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Creates a persistent address from a raw offset.
+    #[inline]
+    pub const fn new(offset: u64) -> Self {
+        PAddr(offset)
+    }
+
+    /// Returns the raw byte offset.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the address `bytes` past this one.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Self {
+        PAddr(self.0 + bytes)
+    }
+
+    /// Returns the address of the `idx`-th 8-byte word starting at this
+    /// address.
+    #[inline]
+    pub const fn word(self, idx: u64) -> Self {
+        PAddr(self.0 + idx * WORD as u64)
+    }
+
+    /// Index of the cacheline containing this address.
+    #[inline]
+    pub const fn cacheline(self) -> u64 {
+        self.0 / CACHELINE as u64
+    }
+
+    /// Returns `true` if the address is aligned to `align` bytes.
+    #[inline]
+    pub const fn is_aligned(self, align: usize) -> bool {
+        self.0 % align as u64 == 0
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PAddr(NULL)")
+        } else {
+            write!(f, "PAddr({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PAddr {
+    fn from(v: u64) -> Self {
+        PAddr(v)
+    }
+}
+
+impl From<PAddr> for u64 {
+    fn from(a: PAddr) -> Self {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero_and_default() {
+        assert!(PAddr::NULL.is_null());
+        assert_eq!(PAddr::default(), PAddr::NULL);
+        assert!(!PAddr::new(8).is_null());
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = PAddr::new(64);
+        assert_eq!(a.add(8), PAddr::new(72));
+        assert_eq!(a.word(3), PAddr::new(64 + 24));
+        assert_eq!(a.cacheline(), 1);
+        assert_eq!(a.add(63).cacheline(), 1);
+        assert_eq!(a.add(64).cacheline(), 2);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(PAddr::new(64).is_aligned(CACHELINE));
+        assert!(!PAddr::new(65).is_aligned(CACHELINE));
+        assert!(PAddr::new(16).is_aligned(WORD));
+        assert!(!PAddr::new(12).is_aligned(WORD));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a = PAddr::from(123u64);
+        let v: u64 = a.into();
+        assert_eq!(v, 123);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", PAddr::NULL), "PAddr(NULL)");
+        assert_eq!(format!("{:?}", PAddr::new(0x40)), "PAddr(0x40)");
+        assert_eq!(format!("{}", PAddr::new(0x40)), "0x40");
+    }
+}

@@ -1,0 +1,47 @@
+//! # rewind-pagestore — DBMS-style baseline storage engines
+//!
+//! The REWIND paper compares against three block/page-oriented systems:
+//! Stasis (a transactional storage manager with data-structure-specific,
+//! logical logging), BerkeleyDB (a B-tree storage engine with page-level
+//! physical logging) and Shore-MT (a research storage manager with
+//! per-core partitioned logs), all running over PMFS, a byte-addressable
+//! kernel file system for persistent memory.
+//!
+//! None of those codebases is reproducible here, so this crate builds the
+//! class of system they represent from scratch, over the same simulated NVM
+//! substrate REWIND uses, so the comparison stays apples-to-apples:
+//!
+//! * [`Pmfs`] — a byte-addressable "file" in the NVM pool; writes are charged
+//!   NVM latency (the paper charges the baselines only for user-data writes
+//!   to PMFS, and so do we).
+//! * [`WalManager`] — an ARIES-style write-ahead log with in-memory log
+//!   buffers, commit-time forces and optional partitioning (Shore-MT's
+//!   distributed log).
+//! * [`PagedFile`] — fixed-size (4 KiB) pages over PMFS with whole-page
+//!   writes, the unit of I/O these engines think in.
+//! * [`KvStore`] — a transactional key/value store (hashed page directory
+//!   with bucket-chain overflow pages) with a buffer pool, steal/no-force
+//!   page management, rollback and ARIES recovery. Its
+//!   [`Personality`] knob reproduces the distinguishing behaviour of each
+//!   baseline: logical record logging (Stasis-like), physical page-image
+//!   logging (BerkeleyDB-like), or page-image logging with a partitioned log
+//!   and in-memory undo buffers (Shore-MT-like).
+//!
+//! The point is not to re-implement those systems faithfully, but to
+//! reproduce the *cost structure* that makes REWIND one to two orders of
+//! magnitude faster: page-granular I/O, buffer-pool indirection, heavyweight
+//! log records and commit-time forces.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kv;
+pub mod pmfs;
+pub mod wal;
+
+pub use kv::{KvStats, KvStore, Personality};
+pub use pmfs::{PagedFile, Pmfs, PAGE_SIZE};
+pub use wal::{WalManager, WalRecord, WalRecordKind};
+
+/// Errors raised by the baseline engines (re-used from the NVM substrate).
+pub type Result<T> = std::result::Result<T, rewind_nvm::NvmError>;

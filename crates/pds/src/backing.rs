@@ -1,0 +1,245 @@
+//! The write-path abstraction shared by all persistent data structures.
+//!
+//! The paper evaluates each data structure in several modes: non-recoverable
+//! over DRAM, non-recoverable over NVM, and recoverable over REWIND. The code
+//! of the data structure is the same in every mode — only the way critical
+//! words are written differs. [`Backing`] captures that choice:
+//!
+//! * [`Backing::Plain`] performs direct stores (non-temporal when `force` is
+//!   set, so the data is persistent but not recoverable — the paper's "NVM"
+//!   baseline; with a zero-cost pool and `force = false` it is the "DRAM"
+//!   baseline);
+//! * [`Backing::Rewind`] routes every write through a
+//!   [`TransactionManager`], so it is logged ahead of the store and the whole
+//!   operation becomes atomic and recoverable.
+
+use rewind_core::{Result, TransactionManager, TxId};
+use rewind_nvm::{NvmPool, PAddr};
+use std::sync::Arc;
+
+/// An open transaction to write under (a thin copyable token).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxToken(pub TxId);
+
+/// How a data structure performs its critical writes.
+#[derive(Clone)]
+pub enum Backing {
+    /// Direct stores without logging (non-recoverable). `force` selects
+    /// non-temporal stores (persistent NVM baseline) versus cached stores
+    /// (DRAM baseline).
+    Plain {
+        /// The pool holding the structure.
+        pool: Arc<NvmPool>,
+        /// Whether writes bypass the cache (non-temporal).
+        force: bool,
+    },
+    /// Writes are logged through REWIND and performed according to the
+    /// manager's force policy.
+    Rewind {
+        /// The transaction manager providing recoverability.
+        tm: Arc<TransactionManager>,
+    },
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Plain { force, .. } => f.debug_struct("Plain").field("force", force).finish(),
+            Backing::Rewind { .. } => f.write_str("Rewind"),
+        }
+    }
+}
+
+impl Backing {
+    /// A non-recoverable backing over `pool` (non-temporal stores if `force`).
+    pub fn plain(pool: Arc<NvmPool>, force: bool) -> Self {
+        Backing::Plain { pool, force }
+    }
+
+    /// A recoverable backing over a REWIND transaction manager.
+    pub fn rewind(tm: Arc<TransactionManager>) -> Self {
+        Backing::Rewind { tm }
+    }
+
+    /// The pool underneath this backing.
+    pub fn pool(&self) -> &Arc<NvmPool> {
+        match self {
+            Backing::Plain { pool, .. } => pool,
+            Backing::Rewind { tm } => tm.pool(),
+        }
+    }
+
+    /// The transaction manager, if this backing is recoverable.
+    pub fn manager(&self) -> Option<&Arc<TransactionManager>> {
+        match self {
+            Backing::Plain { .. } => None,
+            Backing::Rewind { tm } => Some(tm),
+        }
+    }
+
+    /// Starts a transaction (returns `None` for plain backings, which have no
+    /// notion of transactions).
+    pub fn begin(&self) -> Option<TxToken> {
+        self.manager().map(|tm| TxToken(tm.begin()))
+    }
+
+    /// Commits `tx` if this backing is recoverable.
+    pub fn commit(&self, tx: Option<TxToken>) -> Result<()> {
+        if let (Some(tm), Some(tx)) = (self.manager(), tx) {
+            tm.commit(tx.0)?;
+        }
+        Ok(())
+    }
+
+    /// Rolls `tx` back if this backing is recoverable.
+    pub fn rollback(&self, tx: Option<TxToken>) -> Result<()> {
+        if let (Some(tm), Some(tx)) = (self.manager(), tx) {
+            tm.rollback(tx.0)?;
+        }
+        Ok(())
+    }
+
+    /// Reads an 8-byte word.
+    #[inline]
+    pub fn read(&self, addr: PAddr) -> u64 {
+        self.pool().read_u64(addr)
+    }
+
+    /// Writes an 8-byte word of *reachable* structure state under `tx`,
+    /// logging it first when recoverable.
+    #[inline]
+    pub fn write(&self, tx: Option<TxToken>, addr: PAddr, new: u64) -> Result<()> {
+        match self {
+            Backing::Plain { pool, force } => {
+                if *force {
+                    pool.write_u64_nt(addr, new);
+                } else {
+                    pool.write_u64(addr, new);
+                }
+                Ok(())
+            }
+            Backing::Rewind { tm } => {
+                let tx = tx.expect("a Rewind backing requires an open transaction");
+                tm.write_u64(tx.0, addr, new)
+            }
+        }
+    }
+
+    /// Writes a word of a *freshly allocated, still unreachable* block. Such
+    /// writes never need *logging* (the block only becomes visible through a
+    /// later logged pointer write), but for a recoverable backing they must
+    /// still be made durable immediately: the logged pointer write may be
+    /// replayed by the redo phase after a crash, and it must never resurrect a
+    /// pointer to contents that only ever lived in the cache. Recoverable
+    /// backings therefore use a non-temporal store; plain backings follow
+    /// their `force` flag.
+    #[inline]
+    pub fn write_unlogged(&self, addr: PAddr, new: u64) {
+        match self {
+            Backing::Plain { pool, force } => {
+                if *force {
+                    pool.write_u64_nt(addr, new);
+                } else {
+                    pool.write_u64(addr, new);
+                }
+            }
+            Backing::Rewind { tm } => {
+                tm.pool().write_u64_nt(addr, new);
+            }
+        }
+    }
+
+    /// Runs `f` inside a transaction when recoverable (commit on `Ok`,
+    /// rollback on `Err`); plain backings just run the closure.
+    pub fn with_tx<T>(&self, f: impl FnOnce(Option<TxToken>) -> Result<T>) -> Result<T> {
+        match self {
+            Backing::Plain { .. } => f(None),
+            Backing::Rewind { tm } => {
+                let tx = TxToken(tm.begin());
+                match f(Some(tx)) {
+                    Ok(v) => {
+                        tm.commit(tx.0)?;
+                        Ok(v)
+                    }
+                    Err(e) => {
+                        tm.rollback(tx.0)?;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if this backing logs its writes.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, Backing::Rewind { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_core::RewindConfig;
+    use rewind_nvm::PoolConfig;
+
+    #[test]
+    fn plain_backing_writes_directly() {
+        let pool = NvmPool::new(PoolConfig::small());
+        let b = Backing::plain(Arc::clone(&pool), true);
+        let a = pool.alloc(8).unwrap();
+        assert!(b.begin().is_none());
+        b.write(None, a, 9).unwrap();
+        assert_eq!(b.read(a), 9);
+        assert!(!b.is_recoverable());
+        pool.power_cycle();
+        assert_eq!(b.read(a), 9, "forced plain writes are persistent");
+    }
+
+    #[test]
+    fn unforced_plain_backing_is_volatile() {
+        let pool = NvmPool::new(PoolConfig::small());
+        let b = Backing::plain(Arc::clone(&pool), false);
+        let a = pool.alloc(8).unwrap();
+        b.write(None, a, 9).unwrap();
+        pool.power_cycle();
+        assert_eq!(b.read(a), 0);
+    }
+
+    #[test]
+    fn rewind_backing_is_transactional() {
+        let pool = NvmPool::new(PoolConfig::small());
+        let tm =
+            Arc::new(TransactionManager::create(Arc::clone(&pool), RewindConfig::batch()).unwrap());
+        let b = Backing::rewind(tm);
+        assert!(b.is_recoverable());
+        let a = pool.alloc(8).unwrap();
+        pool.write_u64_nt(a, 0);
+        let tx = b.begin();
+        b.write(tx, a, 11).unwrap();
+        b.commit(tx).unwrap();
+        assert_eq!(b.read(a), 11);
+        // Rolled-back writes disappear.
+        let tx = b.begin();
+        b.write(tx, a, 99).unwrap();
+        b.rollback(tx).unwrap();
+        assert_eq!(b.read(a), 11);
+    }
+
+    #[test]
+    fn with_tx_commits_on_ok_and_rolls_back_on_err() {
+        let pool = NvmPool::new(PoolConfig::small());
+        let tm =
+            Arc::new(TransactionManager::create(Arc::clone(&pool), RewindConfig::batch()).unwrap());
+        let b = Backing::rewind(Arc::clone(&tm));
+        let a = pool.alloc(8).unwrap();
+        pool.write_u64_nt(a, 0);
+        b.with_tx(|tx| b.write(tx, a, 5)).unwrap();
+        assert_eq!(b.read(a), 5);
+        let _: Result<()> = b.with_tx(|tx| {
+            b.write(tx, a, 50)?;
+            Err(rewind_core::RewindError::Aborted("boom".into()))
+        });
+        assert_eq!(b.read(a), 5);
+        assert_eq!(tm.stats().rolled_back, 1);
+    }
+}

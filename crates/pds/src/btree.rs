@@ -1,0 +1,750 @@
+//! A persistent B+-tree in NVM.
+//!
+//! This is the data structure behind the paper's Section 5.2 experiments
+//! (100 k 32-byte records, mixes of lookups, insertions and deletions) and
+//! the table storage of the TPC-C workload in Section 5.3. It follows the
+//! REWIND programming model: the tree lives entirely in NVM, is traversed
+//! with plain loads, and every critical store is logged through the
+//! [`Backing`] before it is performed, making each operation an atomic,
+//! recoverable transaction.
+//!
+//! Design notes:
+//!
+//! * Keys are `u64`; values are fixed 32-byte payloads ([`Value`], four
+//!   words), matching the record size used in the paper's workload.
+//! * Inserts use preemptive splitting (a full node is split on the way down),
+//!   so a split never propagates upwards and the number of logged writes per
+//!   operation stays bounded.
+//! * Deletion is "lazy": keys are removed from their leaf but underfull
+//!   leaves are not merged. The evaluation workloads keep insertions and
+//!   deletions balanced, so the tree size stays constant either way; the
+//!   simplification does not affect the logging behaviour being measured.
+//! * Like user data structures in the paper, the tree is not internally
+//!   synchronized — concurrent writers must coordinate externally (the
+//!   multithreaded benchmark gives each thread its own tree over a shared
+//!   transaction manager, which is where REWIND's fine-grained log latching
+//!   pays off).
+
+use crate::backing::{Backing, TxToken};
+use rewind_core::Result;
+use rewind_nvm::PAddr;
+
+/// Number of 8-byte words in a value (32-byte records as in the paper).
+pub const VALUE_WORDS: usize = 4;
+
+/// A 32-byte value payload.
+pub type Value = [u64; VALUE_WORDS];
+
+/// Maximum number of keys per node.
+const CAP: usize = 16;
+
+// Node layout (in words).
+const N_IS_LEAF: u64 = 0;
+const N_NKEYS: u64 = 1;
+const N_NEXT_LEAF: u64 = 2;
+const N_KEYS: u64 = 4;
+const N_PAYLOAD: u64 = N_KEYS + CAP as u64; // children (internal) or values (leaf)
+
+/// Node size in bytes: header + keys + the larger payload (leaf values).
+const NODE_WORDS: u64 = N_PAYLOAD + (CAP * VALUE_WORDS) as u64;
+/// Size of one tree node in bytes.
+pub const NODE_SIZE: usize = (NODE_WORDS * 8) as usize;
+
+// Header layout (the tree's durable root).
+const H_ROOT: u64 = 0;
+const H_COUNT: u64 = 1;
+const H_FIRST_LEAF: u64 = 2;
+/// Size of the tree header in bytes.
+pub const HEADER_SIZE: usize = 3 * 8;
+
+/// Size/shape statistics returned by [`PBTree::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BTreeStats {
+    /// Number of key/value pairs.
+    pub entries: u64,
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Tree height (0 for an empty tree).
+    pub height: u64,
+}
+
+/// A persistent B+-tree with `u64` keys and 32-byte values.
+#[derive(Debug, Clone)]
+pub struct PBTree {
+    backing: Backing,
+    header: PAddr,
+}
+
+impl PBTree {
+    /// Creates an empty tree.
+    pub fn create(backing: Backing) -> Result<Self> {
+        let header = backing.pool().alloc(HEADER_SIZE)?;
+        for i in 0..3 {
+            backing.pool().write_u64_nt(header.word(i), 0);
+        }
+        backing.pool().sfence();
+        Ok(PBTree { backing, header })
+    }
+
+    /// Re-attaches to a tree whose header lives at `header`.
+    pub fn attach(backing: Backing, header: PAddr) -> Self {
+        PBTree { backing, header }
+    }
+
+    /// The durable header address.
+    pub fn header(&self) -> PAddr {
+        self.header
+    }
+
+    /// The backing used for writes.
+    pub fn backing(&self) -> &Backing {
+        &self.backing
+    }
+
+    /// Number of key/value pairs in the tree.
+    pub fn len(&self) -> u64 {
+        self.backing.read(self.header.word(H_COUNT))
+    }
+
+    /// Returns `true` if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Node accessors
+    // ------------------------------------------------------------------
+
+    fn root(&self) -> PAddr {
+        PAddr::new(self.backing.read(self.header.word(H_ROOT)))
+    }
+
+    fn is_leaf(&self, node: PAddr) -> bool {
+        self.backing.read(node.word(N_IS_LEAF)) == 1
+    }
+
+    fn nkeys(&self, node: PAddr) -> usize {
+        self.backing.read(node.word(N_NKEYS)) as usize
+    }
+
+    fn key(&self, node: PAddr, idx: usize) -> u64 {
+        self.backing.read(node.word(N_KEYS + idx as u64))
+    }
+
+    fn child(&self, node: PAddr, idx: usize) -> PAddr {
+        PAddr::new(self.backing.read(node.word(N_PAYLOAD + idx as u64)))
+    }
+
+    fn value_addr(&self, node: PAddr, idx: usize) -> PAddr {
+        node.word(N_PAYLOAD + (idx * VALUE_WORDS) as u64)
+    }
+
+    fn read_value(&self, node: PAddr, idx: usize) -> Value {
+        let base = self.value_addr(node, idx);
+        let mut v = [0u64; VALUE_WORDS];
+        for (w, slot) in v.iter_mut().enumerate() {
+            *slot = self.backing.read(base.word(w as u64));
+        }
+        v
+    }
+
+    /// Allocates a fresh node (unreachable, so unlogged initialisation).
+    fn new_node(&self, leaf: bool) -> Result<PAddr> {
+        let node = self.backing.pool().alloc(NODE_SIZE)?;
+        for w in 0..NODE_WORDS {
+            self.backing.write_unlogged(node.word(w), 0);
+        }
+        self.backing.write_unlogged(node.word(N_IS_LEAF), if leaf { 1 } else { 0 });
+        Ok(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup / scans
+    // ------------------------------------------------------------------
+
+    /// Looks up `key`, returning its value if present. Reads are not logged.
+    pub fn lookup(&self, key: u64) -> Option<Value> {
+        let mut node = self.root();
+        if node.is_null() {
+            return None;
+        }
+        while !self.is_leaf(node) {
+            let idx = self.upper_bound(node, key);
+            node = self.child(node, idx);
+        }
+        let n = self.nkeys(node);
+        for i in 0..n {
+            if self.key(node, i) == key {
+                return Some(self.read_value(node, i));
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// Returns up to `limit` key/value pairs with keys in `[low, high]`,
+    /// in ascending key order, by walking the leaf chain.
+    pub fn range(&self, low: u64, high: u64, limit: usize) -> Vec<(u64, Value)> {
+        let mut out = Vec::new();
+        let mut node = self.root();
+        if node.is_null() {
+            return out;
+        }
+        while !self.is_leaf(node) {
+            let idx = self.upper_bound(node, low);
+            node = self.child(node, idx);
+        }
+        'outer: while !node.is_null() {
+            let n = self.nkeys(node);
+            for i in 0..n {
+                let k = self.key(node, i);
+                if k < low {
+                    continue;
+                }
+                if k > high || out.len() >= limit {
+                    break 'outer;
+                }
+                out.push((k, self.read_value(node, i)));
+            }
+            node = PAddr::new(self.backing.read(node.word(N_NEXT_LEAF)));
+        }
+        out
+    }
+
+    /// Number of children slots to descend into for `key` in internal `node`:
+    /// the index of the first key strictly greater than `key`.
+    fn upper_bound(&self, node: PAddr, key: u64) -> usize {
+        let n = self.nkeys(node);
+        let mut i = 0;
+        while i < n && key >= self.key(node, i) {
+            i += 1;
+        }
+        i
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Inserts (or overwrites) `key` with `value` in its own transaction.
+    pub fn insert(&self, key: u64, value: Value) -> Result<()> {
+        self.backing.with_tx(|tx| self.insert_in(tx, key, value))
+    }
+
+    /// Inserts (or overwrites) `key` inside an already-open transaction.
+    pub fn insert_in(&self, tx: Option<TxToken>, key: u64, value: Value) -> Result<()> {
+        let mut node = self.root();
+        if node.is_null() {
+            // First insertion: create the root leaf.
+            let leaf = self.new_node(true)?;
+            self.backing.write(tx, self.header.word(H_ROOT), leaf.offset())?;
+            self.backing
+                .write(tx, self.header.word(H_FIRST_LEAF), leaf.offset())?;
+            node = leaf;
+        }
+        // Preemptive split of a full root.
+        if self.nkeys(node) == CAP {
+            let new_root = self.new_node(false)?;
+            self.backing.write_unlogged(new_root.word(N_PAYLOAD), node.offset());
+            let root_addr = new_root;
+            // The new root is unreachable until the header points at it; the
+            // split below then only touches logged state.
+            self.backing
+                .write(tx, self.header.word(H_ROOT), root_addr.offset())?;
+            self.split_child(tx, root_addr, 0)?;
+            node = root_addr;
+        }
+        // Descend, splitting any full child before entering it.
+        loop {
+            if self.is_leaf(node) {
+                return self.insert_into_leaf(tx, node, key, value);
+            }
+            let idx = self.upper_bound(node, key);
+            let child = self.child(node, idx);
+            if self.nkeys(child) == CAP {
+                self.split_child(tx, node, idx)?;
+                // Re-evaluate which side of the new separator the key falls on.
+                let idx = self.upper_bound(node, key);
+                node = self.child(node, idx);
+            } else {
+                node = child;
+            }
+        }
+    }
+
+    /// Splits the full child at `child_idx` of internal node `parent`
+    /// (which must have room for one more key).
+    fn split_child(&self, tx: Option<TxToken>, parent: PAddr, child_idx: usize) -> Result<()> {
+        let child = self.child(parent, child_idx);
+        let leaf = self.is_leaf(child);
+        let right = self.new_node(leaf)?;
+        let mid = CAP / 2;
+        let child_n = self.nkeys(child);
+        debug_assert_eq!(child_n, CAP);
+
+        // Copy the upper half into the (unreachable) right sibling: unlogged.
+        let (sep_key, right_n) = if leaf {
+            for i in mid..child_n {
+                self.backing
+                    .write_unlogged(right.word(N_KEYS + (i - mid) as u64), self.key(child, i));
+                let src = self.value_addr(child, i);
+                let dst = self.value_addr(right, i - mid);
+                for w in 0..VALUE_WORDS as u64 {
+                    self.backing
+                        .write_unlogged(dst.word(w), self.backing.read(src.word(w)));
+                }
+            }
+            // Link into the leaf chain.
+            self.backing.write_unlogged(
+                right.word(N_NEXT_LEAF),
+                self.backing.read(child.word(N_NEXT_LEAF)),
+            );
+            (self.key(child, mid), child_n - mid)
+        } else {
+            // Internal split: the middle key moves up, it is not copied right.
+            for i in mid + 1..child_n {
+                self.backing.write_unlogged(
+                    right.word(N_KEYS + (i - mid - 1) as u64),
+                    self.key(child, i),
+                );
+            }
+            for i in mid + 1..=child_n {
+                self.backing.write_unlogged(
+                    right.word(N_PAYLOAD + (i - mid - 1) as u64),
+                    self.child(child, i).offset(),
+                );
+            }
+            (self.key(child, mid), child_n - mid - 1)
+        };
+        self.backing.write_unlogged(right.word(N_NKEYS), right_n as u64);
+
+        // Now mutate reachable state (all logged): shrink the child, link the
+        // sibling into the leaf chain, and insert the separator into the
+        // parent.
+        if leaf {
+            self.backing.write(tx, child.word(N_NEXT_LEAF), right.offset())?;
+            self.backing.write(tx, child.word(N_NKEYS), mid as u64)?;
+        } else {
+            self.backing.write(tx, child.word(N_NKEYS), mid as u64)?;
+        }
+        let parent_n = self.nkeys(parent);
+        // Shift parent keys and children right of the insertion point.
+        let mut i = parent_n;
+        while i > child_idx {
+            self.backing
+                .write(tx, parent.word(N_KEYS + i as u64), self.key(parent, i - 1))?;
+            i -= 1;
+        }
+        let mut i = parent_n + 1;
+        while i > child_idx + 1 {
+            self.backing.write(
+                tx,
+                parent.word(N_PAYLOAD + i as u64),
+                self.child(parent, i - 1).offset(),
+            )?;
+            i -= 1;
+        }
+        self.backing
+            .write(tx, parent.word(N_KEYS + child_idx as u64), sep_key)?;
+        self.backing.write(
+            tx,
+            parent.word(N_PAYLOAD + (child_idx + 1) as u64),
+            right.offset(),
+        )?;
+        self.backing
+            .write(tx, parent.word(N_NKEYS), (parent_n + 1) as u64)?;
+        Ok(())
+    }
+
+    fn insert_into_leaf(
+        &self,
+        tx: Option<TxToken>,
+        leaf: PAddr,
+        key: u64,
+        value: Value,
+    ) -> Result<()> {
+        let n = self.nkeys(leaf);
+        debug_assert!(n < CAP);
+        // Overwrite if present.
+        for i in 0..n {
+            if self.key(leaf, i) == key {
+                let dst = self.value_addr(leaf, i);
+                for (w, word) in value.iter().enumerate() {
+                    self.backing.write(tx, dst.word(w as u64), *word)?;
+                }
+                return Ok(());
+            }
+        }
+        // Position to insert at.
+        let mut pos = 0;
+        while pos < n && self.key(leaf, pos) < key {
+            pos += 1;
+        }
+        // Shift keys and values right (logged physical writes — this is the
+        // "memory blocks shifted in memory" cost the paper mentions for
+        // physical logging).
+        let mut i = n;
+        while i > pos {
+            self.backing
+                .write(tx, leaf.word(N_KEYS + i as u64), self.key(leaf, i - 1))?;
+            let src = self.value_addr(leaf, i - 1);
+            let dst = self.value_addr(leaf, i);
+            for w in 0..VALUE_WORDS as u64 {
+                self.backing.write(tx, dst.word(w), self.backing.read(src.word(w)))?;
+            }
+            i -= 1;
+        }
+        self.backing.write(tx, leaf.word(N_KEYS + pos as u64), key)?;
+        let dst = self.value_addr(leaf, pos);
+        for (w, word) in value.iter().enumerate() {
+            self.backing.write(tx, dst.word(w as u64), *word)?;
+        }
+        self.backing.write(tx, leaf.word(N_NKEYS), (n + 1) as u64)?;
+        self.backing
+            .write(tx, self.header.word(H_COUNT), self.len() + 1)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Delete / update
+    // ------------------------------------------------------------------
+
+    /// Removes `key` in its own transaction. Returns `true` if it was present.
+    pub fn delete(&self, key: u64) -> Result<bool> {
+        self.backing.with_tx(|tx| self.delete_in(tx, key))
+    }
+
+    /// Removes `key` inside an already-open transaction.
+    pub fn delete_in(&self, tx: Option<TxToken>, key: u64) -> Result<bool> {
+        let mut node = self.root();
+        if node.is_null() {
+            return Ok(false);
+        }
+        while !self.is_leaf(node) {
+            let idx = self.upper_bound(node, key);
+            node = self.child(node, idx);
+        }
+        let n = self.nkeys(node);
+        let mut pos = None;
+        for i in 0..n {
+            if self.key(node, i) == key {
+                pos = Some(i);
+                break;
+            }
+        }
+        let Some(pos) = pos else {
+            return Ok(false);
+        };
+        // Shift left over the removed entry.
+        for i in pos..n - 1 {
+            self.backing
+                .write(tx, node.word(N_KEYS + i as u64), self.key(node, i + 1))?;
+            let src = self.value_addr(node, i + 1);
+            let dst = self.value_addr(node, i);
+            for w in 0..VALUE_WORDS as u64 {
+                self.backing.write(tx, dst.word(w), self.backing.read(src.word(w)))?;
+            }
+        }
+        self.backing.write(tx, node.word(N_NKEYS), (n - 1) as u64)?;
+        self.backing
+            .write(tx, self.header.word(H_COUNT), self.len() - 1)?;
+        Ok(true)
+    }
+
+    /// Overwrites the value of an existing key in its own transaction.
+    /// Returns `false` (and changes nothing) if the key is absent.
+    pub fn update(&self, key: u64, value: Value) -> Result<bool> {
+        self.backing.with_tx(|tx| self.update_in(tx, key, value))
+    }
+
+    /// Overwrites the value of an existing key inside an open transaction.
+    pub fn update_in(&self, tx: Option<TxToken>, key: u64, value: Value) -> Result<bool> {
+        let mut node = self.root();
+        if node.is_null() {
+            return Ok(false);
+        }
+        while !self.is_leaf(node) {
+            let idx = self.upper_bound(node, key);
+            node = self.child(node, idx);
+        }
+        for i in 0..self.nkeys(node) {
+            if self.key(node, i) == key {
+                let dst = self.value_addr(node, i);
+                for (w, word) in value.iter().enumerate() {
+                    self.backing.write(tx, dst.word(w as u64), *word)?;
+                }
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Gathers size/shape statistics by walking the whole tree.
+    pub fn stats(&self) -> BTreeStats {
+        fn walk(tree: &PBTree, node: PAddr, depth: u64, stats: &mut BTreeStats) {
+            if node.is_null() {
+                return;
+            }
+            stats.nodes += 1;
+            stats.height = stats.height.max(depth + 1);
+            if tree.is_leaf(node) {
+                stats.entries += tree.nkeys(node) as u64;
+            } else {
+                for i in 0..=tree.nkeys(node) {
+                    walk(tree, tree.child(node, i), depth + 1, stats);
+                }
+            }
+        }
+        let mut stats = BTreeStats::default();
+        walk(self, self.root(), 0, &mut stats);
+        stats
+    }
+
+    /// Verifies the structural invariants: keys sorted within nodes, keys in
+    /// leaves consistent with separators, all leaves at the same depth, and
+    /// the entry count in the header matching the leaves. Returns `true` when
+    /// everything holds.
+    pub fn check_invariants(&self) -> bool {
+        fn walk(
+            tree: &PBTree,
+            node: PAddr,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            depth: u64,
+            leaf_depth: &mut Option<u64>,
+            entries: &mut u64,
+        ) -> bool {
+            if node.is_null() {
+                return false;
+            }
+            let n = tree.nkeys(node);
+            // Keys sorted and within (lo, hi].
+            for i in 0..n {
+                let k = tree.key(node, i);
+                if i + 1 < n && tree.key(node, i + 1) < k {
+                    return false;
+                }
+                if lo.map(|l| k < l).unwrap_or(false) || hi.map(|h| k >= h).unwrap_or(false) {
+                    return false;
+                }
+            }
+            if tree.is_leaf(node) {
+                match leaf_depth {
+                    None => *leaf_depth = Some(depth),
+                    Some(d) if *d != depth => return false,
+                    _ => {}
+                }
+                *entries += n as u64;
+                true
+            } else {
+                if n == 0 {
+                    return false;
+                }
+                for i in 0..=n {
+                    let child_lo = if i == 0 { lo } else { Some(tree.key(node, i - 1)) };
+                    let child_hi = if i == n { hi } else { Some(tree.key(node, i)) };
+                    if !walk(tree, tree.child(node, i), child_lo, child_hi, depth + 1, leaf_depth, entries)
+                    {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+        let root = self.root();
+        if root.is_null() {
+            return self.len() == 0;
+        }
+        let mut leaf_depth = None;
+        let mut entries = 0;
+        walk(self, root, None, None, 0, &mut leaf_depth, &mut entries) && entries == self.len()
+    }
+}
+
+/// Builds a [`Value`] whose words are derived from `seed` (test/bench helper).
+pub fn value_from_seed(seed: u64) -> Value {
+    [seed, seed.wrapping_mul(31), seed ^ 0xdead_beef, !seed]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_core::{Policy, RewindConfig, TransactionManager};
+    use rewind_nvm::{NvmPool, PoolConfig};
+    use std::sync::Arc;
+
+    fn plain_tree() -> (Arc<NvmPool>, PBTree) {
+        let pool = NvmPool::new(PoolConfig::with_capacity(32 << 20));
+        let tree = PBTree::create(Backing::plain(Arc::clone(&pool), true)).unwrap();
+        (pool, tree)
+    }
+
+    fn rewind_tree(cfg: RewindConfig) -> (Arc<NvmPool>, Arc<TransactionManager>, PBTree) {
+        let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
+        let tm = Arc::new(TransactionManager::create(Arc::clone(&pool), cfg).unwrap());
+        let tree = PBTree::create(Backing::rewind(Arc::clone(&tm))).unwrap();
+        (pool, tm, tree)
+    }
+
+    #[test]
+    fn insert_lookup_thousands_of_keys() {
+        let (_pool, tree) = plain_tree();
+        let n = 3000u64;
+        // Insert in a scrambled order to exercise splits on both ends.
+        for i in 0..n {
+            let k = (i * 2654435761) % (n * 4);
+            tree.insert(k, value_from_seed(k)).unwrap();
+        }
+        assert!(tree.check_invariants());
+        for i in 0..n {
+            let k = (i * 2654435761) % (n * 4);
+            assert_eq!(tree.lookup(k), Some(value_from_seed(k)), "key {k}");
+        }
+        assert!(tree.lookup(u64::MAX).is_none());
+        let stats = tree.stats();
+        assert!(stats.height >= 3);
+        assert!(stats.entries <= n); // duplicates overwrite
+    }
+
+    #[test]
+    fn overwrite_and_update_existing_keys() {
+        let (_pool, tree) = plain_tree();
+        for k in 0..100 {
+            tree.insert(k, value_from_seed(k)).unwrap();
+        }
+        assert_eq!(tree.len(), 100);
+        tree.insert(42, value_from_seed(999)).unwrap();
+        assert_eq!(tree.len(), 100, "overwrite must not grow the tree");
+        assert_eq!(tree.lookup(42), Some(value_from_seed(999)));
+        assert!(tree.update(43, value_from_seed(888)).unwrap());
+        assert_eq!(tree.lookup(43), Some(value_from_seed(888)));
+        assert!(!tree.update(10_000, value_from_seed(1)).unwrap());
+    }
+
+    #[test]
+    fn delete_removes_keys_and_preserves_invariants() {
+        let (_pool, tree) = plain_tree();
+        for k in 0..500u64 {
+            tree.insert(k, value_from_seed(k)).unwrap();
+        }
+        for k in (0..500u64).step_by(2) {
+            assert!(tree.delete(k).unwrap());
+        }
+        assert!(!tree.delete(0).unwrap(), "double delete returns false");
+        assert_eq!(tree.len(), 250);
+        assert!(tree.check_invariants());
+        for k in 0..500u64 {
+            assert_eq!(tree.contains(k), k % 2 == 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_scan_walks_the_leaf_chain_in_order() {
+        let (_pool, tree) = plain_tree();
+        for k in (0..300u64).rev() {
+            tree.insert(k * 10, value_from_seed(k)).unwrap();
+        }
+        let r = tree.range(500, 1000, 1000);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (50..=100).map(|k| k * 10).collect::<Vec<_>>());
+        let limited = tree.range(0, u64::MAX, 7);
+        assert_eq!(limited.len(), 7);
+        assert_eq!(limited[0].0, 0);
+    }
+
+    #[test]
+    fn rewind_tree_operations_are_atomic() {
+        for policy in [Policy::NoForce, Policy::Force] {
+            let (_pool, tm, tree) = rewind_tree(RewindConfig::batch().policy(policy));
+            for k in 0..200u64 {
+                tree.insert(k, value_from_seed(k)).unwrap();
+            }
+            assert!(tree.check_invariants());
+            // A multi-operation transaction that aborts leaves no trace, even
+            // across node splits.
+            let before = tree.stats();
+            let err = tm.run(|tx| {
+                let token = Some(crate::TxToken(tx.id()));
+                for k in 1000..1100u64 {
+                    tree.insert_in(token, k, value_from_seed(k))?;
+                }
+                tree.delete_in(token, 5)?;
+                Err::<(), _>(rewind_core::RewindError::Aborted("no".into()))
+            });
+            assert!(err.is_err());
+            assert_eq!(tree.stats(), before, "aborted txn must leave the tree unchanged");
+            assert!(tree.check_invariants());
+            assert!(tree.contains(5));
+            assert!(!tree.contains(1000));
+        }
+    }
+
+    #[test]
+    fn rewind_tree_recovers_after_crash_mid_transaction() {
+        let cfg = RewindConfig::batch();
+        for crash_at in [5u64, 50, 200, 500, 900] {
+            let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
+            let header;
+            {
+                let tm = Arc::new(TransactionManager::create(Arc::clone(&pool), cfg).unwrap());
+                let tree = PBTree::create(Backing::rewind(Arc::clone(&tm))).unwrap();
+                header = tree.header();
+                for k in 0..100u64 {
+                    tree.insert(k, value_from_seed(k)).unwrap();
+                }
+                tm.checkpoint().unwrap();
+                // Crash somewhere inside a batch of further inserts.
+                pool.crash_injector().arm_after(crash_at);
+                for k in 100..200u64 {
+                    if tree.insert(k, value_from_seed(k)).is_err() {
+                        break;
+                    }
+                }
+            }
+            pool.power_cycle();
+            let tm = Arc::new(TransactionManager::open(Arc::clone(&pool), cfg).unwrap());
+            let tree = PBTree::attach(Backing::rewind(tm), header);
+            assert!(
+                tree.check_invariants(),
+                "crash at {crash_at}: invariants violated"
+            );
+            for k in 0..100u64 {
+                assert_eq!(
+                    tree.lookup(k),
+                    Some(value_from_seed(k)),
+                    "crash at {crash_at}: pre-crash key {k} lost"
+                );
+            }
+            // Whatever keys from the post-checkpoint batch survived must be
+            // a prefix (each insert was its own transaction, all-or-nothing).
+            let mut expect_present = true;
+            for k in 100..200u64 {
+                let present = tree.contains(k);
+                if !present {
+                    expect_present = false;
+                }
+                assert!(
+                    !(present && !expect_present),
+                    "crash at {crash_at}: key {k} present after a missing one"
+                );
+            }
+            // The tree stays usable.
+            tree.insert(10_000, value_from_seed(7)).unwrap();
+            assert!(tree.contains(10_000));
+        }
+    }
+
+    #[test]
+    fn value_from_seed_is_deterministic_and_distinct() {
+        assert_eq!(value_from_seed(3), value_from_seed(3));
+        assert_ne!(value_from_seed(3), value_from_seed(4));
+    }
+}

@@ -1,0 +1,34 @@
+//! # rewind-pds — persistent in-memory data structures over REWIND
+//!
+//! The point of REWIND is that ordinary imperative data-structure code can
+//! live directly in NVM and become crash-recoverable by wrapping its critical
+//! updates in transactions. This crate provides the data structures the
+//! paper's evaluation uses, written exactly that way:
+//!
+//! * [`PTable`] — a fixed-size table of 8-byte slots (the "in-memory table"
+//!   updated by the Section 5.1 microbenchmarks);
+//! * [`PList`] — the doubly-linked list of Listing 1/2, whose `remove`
+//!   operation is the paper's running example;
+//! * [`PBTree`] — a persistent B+-tree with 32-byte values, the workhorse of
+//!   the Section 5.2 experiments and the storage layer of the TPC-C workload
+//!   in Section 5.3.
+//!
+//! Every structure is parameterised by a [`Backing`]: either
+//! [`Backing::Rewind`] (updates are logged and the structure is recoverable)
+//! or [`Backing::Plain`] (direct stores — the paper's non-recoverable "NVM"
+//! and "DRAM" comparison points, depending on the pool's cost model).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backing;
+pub mod btree;
+pub mod list;
+pub mod table;
+
+pub use backing::{Backing, TxToken};
+pub use btree::{BTreeStats, PBTree, Value, VALUE_WORDS};
+pub use list::PList;
+pub use table::PTable;
+
+pub use rewind_core::{Result, RewindError};

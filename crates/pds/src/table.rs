@@ -1,0 +1,154 @@
+//! A persistent fixed-size table of 8-byte slots.
+//!
+//! This is the "in-memory table" of the Section 5.1 microbenchmarks: the
+//! workload alternates between updating random slots of the table and doing
+//! some computation, and the logging overhead is the ratio between the
+//! recoverable and the non-recoverable run. The structure is deliberately
+//! trivial — its purpose is to isolate the cost of logging a single store.
+
+use crate::backing::{Backing, TxToken};
+use rewind_core::Result;
+use rewind_nvm::PAddr;
+
+/// A persistent array of `u64` slots.
+#[derive(Debug, Clone)]
+pub struct PTable {
+    backing: Backing,
+    base: PAddr,
+    slots: u64,
+}
+
+impl PTable {
+    /// Allocates a table with `slots` zero-initialised slots.
+    pub fn create(backing: Backing, slots: u64) -> Result<Self> {
+        let base = backing.pool().alloc((slots * 8) as usize)?;
+        for i in 0..slots {
+            backing.pool().write_u64_nt(base.word(i), 0);
+        }
+        backing.pool().sfence();
+        Ok(PTable {
+            backing,
+            base,
+            slots,
+        })
+    }
+
+    /// Re-attaches to a table previously created at `base`.
+    pub fn attach(backing: Backing, base: PAddr, slots: u64) -> Self {
+        PTable {
+            backing,
+            base,
+            slots,
+        }
+    }
+
+    /// Base address (store it somewhere durable to re-attach later).
+    pub fn base(&self) -> PAddr {
+        self.base
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> u64 {
+        self.slots
+    }
+
+    /// Returns `true` if the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots == 0
+    }
+
+    /// The backing used for writes.
+    pub fn backing(&self) -> &Backing {
+        &self.backing
+    }
+
+    /// Address of slot `idx`.
+    pub fn slot_addr(&self, idx: u64) -> PAddr {
+        assert!(idx < self.slots, "slot {idx} out of range {}", self.slots);
+        self.base.word(idx)
+    }
+
+    /// Reads slot `idx`.
+    pub fn get(&self, idx: u64) -> u64 {
+        self.backing.read(self.slot_addr(idx))
+    }
+
+    /// Sets slot `idx` to `value` under `tx` (logged when recoverable).
+    pub fn set(&self, tx: Option<TxToken>, idx: u64, value: u64) -> Result<()> {
+        self.backing.write(tx, self.slot_addr(idx), value)
+    }
+
+    /// Sets slot `idx` in its own transaction (or directly for plain
+    /// backings).
+    pub fn set_atomic(&self, idx: u64, value: u64) -> Result<()> {
+        self.backing.with_tx(|tx| self.set(tx, idx, value))
+    }
+
+    /// Sum of all slots (handy for invariant checks in tests).
+    pub fn sum(&self) -> u64 {
+        (0..self.slots).map(|i| self.get(i)).fold(0, u64::wrapping_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_core::{RewindConfig, TransactionManager};
+    use rewind_nvm::{NvmPool, PoolConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn plain_table_set_get() {
+        let pool = NvmPool::new(PoolConfig::small());
+        let t = PTable::create(Backing::plain(Arc::clone(&pool), true), 16).unwrap();
+        assert_eq!(t.len(), 16);
+        assert!(!t.is_empty());
+        for i in 0..16 {
+            t.set(None, i, i * 2).unwrap();
+        }
+        for i in 0..16 {
+            assert_eq!(t.get(i), i * 2);
+        }
+        assert_eq!(t.sum(), (0..16).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn rewind_table_is_transactional_and_recoverable() {
+        let pool = NvmPool::new(PoolConfig::small());
+        let tm =
+            Arc::new(TransactionManager::create(Arc::clone(&pool), RewindConfig::batch()).unwrap());
+        let t = PTable::create(Backing::rewind(Arc::clone(&tm)), 8).unwrap();
+        t.backing()
+            .with_tx(|tx| {
+                for i in 0..8 {
+                    t.set(tx, i, 100 + i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        // A transaction that aborts leaves no trace.
+        let _: rewind_core::Result<()> = t.backing().with_tx(|tx| {
+            t.set(tx, 0, 1)?;
+            Err(rewind_core::RewindError::Aborted("x".into()))
+        });
+        for i in 0..8 {
+            assert_eq!(t.get(i), 100 + i);
+        }
+        // Crash + recovery preserve the committed values.
+        let base = t.base();
+        pool.power_cycle();
+        let tm = Arc::new(TransactionManager::open(Arc::clone(&pool), RewindConfig::batch()).unwrap());
+        let t = PTable::attach(Backing::rewind(tm), base, 8);
+        for i in 0..8 {
+            assert_eq!(t.get(i), 100 + i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let pool = NvmPool::new(PoolConfig::small());
+        let t = PTable::create(Backing::plain(pool, false), 4).unwrap();
+        t.get(4);
+    }
+}

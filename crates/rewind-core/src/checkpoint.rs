@@ -1,0 +1,125 @@
+//! Log checkpointing (Section 4.6 of the paper).
+//!
+//! Keeping the log small matters twice over in REWIND: NVM capacity is more
+//! precious than disk, and the one-layer configuration pays for every extra
+//! record on each linear scan. Which clearing mechanism runs depends on the
+//! force policy:
+//!
+//! * **Force** — each transaction clears its own records right after
+//!   commit/rollback (implemented in `TransactionManager::commit` /
+//!   `rollback`); an explicit checkpoint is then just a cache flush.
+//! * **No-force** — records of finished transactions are removed at
+//!   *cache-consistent checkpoints*: a CHECKPOINT record marks the cut-off,
+//!   the whole cache is flushed (making every user update up to that point
+//!   persistent), and only then are the records of finished transactions
+//!   removed — END records last, so that an interrupted clearing pass is
+//!   simply repeated on the next attempt. Concurrent transactions may keep
+//!   appending while the checkpoint runs, because appends only touch the log
+//!   tail while clearing removes records from the middle.
+
+use crate::config::Policy;
+use crate::record::RecordType;
+use crate::txn::{Backend, TransactionManager};
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+
+impl TransactionManager {
+    /// Takes a checkpoint. Under the force policy this only flushes the
+    /// cache; under no-force it also clears the log records of every finished
+    /// transaction and performs their deferred de-allocations.
+    ///
+    /// Returns the number of log records removed.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let _guard = self.checkpoint_lock.lock();
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.records_since_checkpoint.store(0, Ordering::Relaxed);
+
+        if self.cfg.policy == Policy::Force {
+            self.pool.flush_all();
+            return Ok(0);
+        }
+
+        let mut removed = 0u64;
+        match &self.backend {
+            Backend::One(log) => {
+                // 1. Mark the cut-off point *before* flushing: records after
+                //    the marker may not be persistent yet and must survive.
+                let ckpt = crate::record::LogRecord::checkpoint(self.next_lsn());
+                let ckpt_lsn = ckpt.lsn;
+                log.append(&ckpt)?;
+                log.flush_pending()?;
+
+                // 2. Make every pending write persistent ("cache-consistent"
+                //    checkpoint): user data and any batch-buffered records.
+                self.pool.flush_all();
+
+                // 3. Clear records of finished transactions up to the
+                //    cut-off, END records last; honour DELETE records.
+                let entries = log.scan(false)?;
+                let mut finished: HashSet<u64> = HashSet::new();
+                let mut seen: HashMap<u64, bool> = HashMap::new();
+                for e in &entries {
+                    if e.record.rtype == RecordType::End {
+                        seen.insert(e.record.txid, true);
+                    } else {
+                        seen.entry(e.record.txid).or_insert(false);
+                    }
+                }
+                for (txid, has_end) in &seen {
+                    if *has_end {
+                        finished.insert(*txid);
+                    }
+                }
+                let mut end_slots = Vec::new();
+                for e in &entries {
+                    if e.record.lsn > ckpt_lsn {
+                        continue;
+                    }
+                    if e.record.rtype == RecordType::Checkpoint {
+                        // Old (and the current) checkpoint markers can go as
+                        // soon as the clearing pass completes; collect them
+                        // with the END records so they are removed last.
+                        end_slots.push(e.slot);
+                        continue;
+                    }
+                    if !finished.contains(&e.record.txid) {
+                        continue;
+                    }
+                    if e.record.rtype == RecordType::End {
+                        end_slots.push(e.slot);
+                        continue;
+                    }
+                    if e.record.rtype == RecordType::Delete {
+                        self.pool.free(e.record.addr, e.record.old as usize)?;
+                    }
+                    log.clear_slot(e.slot)?;
+                    removed += 1;
+                }
+                for slot in end_slots {
+                    log.clear_slot(slot)?;
+                    removed += 1;
+                }
+                // Finished transactions are gone from the log; drop their
+                // volatile table entries too.
+                let mut table = self.table.lock();
+                for txid in finished {
+                    table.remove(&txid);
+                }
+            }
+            Backend::Two(index) => {
+                self.pool.flush_all();
+                for txid in index.txids() {
+                    let chain = index.records_of(txid)?;
+                    let has_end = chain.iter().any(|(_, r)| r.rtype == RecordType::End);
+                    if !has_end {
+                        continue;
+                    }
+                    removed += chain.len() as u64;
+                    self.clear_transaction(txid, true)?;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}

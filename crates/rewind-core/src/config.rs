@@ -1,0 +1,238 @@
+//! Runtime configuration.
+//!
+//! The paper explores four configurations (Section 2) arising from two
+//! independent choices — the number of logging layers (one or two) and the
+//! user-update force policy (force or no-force) — plus three implementations
+//! of the basic log structure (Section 3): the Simple doubly-linked list, the
+//! Optimized bucketed list and the Batch variant that groups log records per
+//! memory fence. [`RewindConfig`] captures all of these knobs together with
+//! the tuning parameters the paper calls out (bucket size, records per fence,
+//! checkpoint frequency).
+
+/// Number of logging layers (Section 2, "Number of logging layers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LogLayers {
+    /// One-layer logging: the recoverable list is the only log structure.
+    /// Faster logging, slower selective rollback (linear scan).
+    #[default]
+    OneLayer,
+    /// Two-layer logging: an atomic AVL tree indexes log records by
+    /// transaction identifier; the list logs the pending updates of the index
+    /// itself. Slower logging, faster selective rollback.
+    TwoLayer,
+}
+
+/// User-data force policy (Section 2, "Forcing/not forcing user updates").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// No-force: user updates stay in the cache until a checkpoint flushes
+    /// them; recovery needs three phases (analysis, redo, undo); log records
+    /// of committed transactions are cleared at checkpoints.
+    #[default]
+    NoForce,
+    /// Force: user updates are written with non-temporal stores and are
+    /// persistent by commit time; recovery needs only two phases (analysis,
+    /// undo); each transaction clears its own records right after commit.
+    Force,
+}
+
+/// Implementation of the basic recoverable log structure (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LogStructure {
+    /// One list node per log record (Section 3.2).
+    Simple,
+    /// Fixed-size buckets of record pointers chained through the list
+    /// (Section 3.3), persisted record-by-record.
+    Optimized,
+    /// Bucketed log with multiple record pointers persisted per memory fence
+    /// and a per-bucket persistence watermark (Section 3.3, "Multiple log
+    /// records per cacheline").
+    #[default]
+    Batch,
+}
+
+/// Full configuration of a [`TransactionManager`](crate::TransactionManager).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RewindConfig {
+    /// One- or two-layer logging.
+    pub layers: LogLayers,
+    /// Force or no-force user updates.
+    pub policy: Policy,
+    /// Log structure implementation.
+    pub structure: LogStructure,
+    /// Number of record slots per bucket (Optimized/Batch). The paper uses
+    /// 1,000.
+    pub bucket_size: usize,
+    /// Log records persisted per memory fence (Batch). The paper derives 8
+    /// from 64-byte cachelines and 8-byte pointers and evaluates 8/16/32.
+    pub group_size: usize,
+    /// If `Some(n)`, a checkpoint is taken automatically after every `n`
+    /// appended log records (no-force policy only). `None` disables automatic
+    /// checkpoints; they can still be taken explicitly.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl RewindConfig {
+    /// The paper's best-performing configuration for the B+-tree experiments:
+    /// one-layer, no-force, Batch log, bucket size 1,000, 8 records per fence,
+    /// no automatic checkpoints.
+    pub fn batch() -> Self {
+        RewindConfig {
+            layers: LogLayers::OneLayer,
+            policy: Policy::NoForce,
+            structure: LogStructure::Batch,
+            bucket_size: 1000,
+            group_size: 8,
+            checkpoint_every: None,
+        }
+    }
+
+    /// The Simple (node-per-record) configuration.
+    pub fn simple() -> Self {
+        RewindConfig {
+            structure: LogStructure::Simple,
+            ..Self::batch()
+        }
+    }
+
+    /// The Optimized (bucketed, per-record persistence) configuration.
+    pub fn optimized() -> Self {
+        RewindConfig {
+            structure: LogStructure::Optimized,
+            ..Self::batch()
+        }
+    }
+
+    /// Switches to one- or two-layer logging.
+    pub fn layers(mut self, layers: LogLayers) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Switches the force policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the bucket size (Optimized/Batch).
+    pub fn bucket_size(mut self, slots: usize) -> Self {
+        self.bucket_size = slots.max(2);
+        self
+    }
+
+    /// Sets the number of records persisted per fence (Batch).
+    pub fn group_size(mut self, records: usize) -> Self {
+        self.group_size = records.max(1);
+        self
+    }
+
+    /// Enables automatic checkpoints every `records` appended log records.
+    pub fn checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every = Some(records);
+        self
+    }
+
+    /// Returns `true` when the configuration uses the two-layer log.
+    pub fn is_two_layer(&self) -> bool {
+        self.layers == LogLayers::TwoLayer
+    }
+
+    /// Returns `true` when the configuration forces user updates.
+    pub fn is_force(&self) -> bool {
+        self.policy == Policy::Force
+    }
+
+    /// A compact fingerprint persisted in the REWIND root so that re-opening
+    /// a pool with an incompatible configuration is detected.
+    pub fn fingerprint(&self) -> u64 {
+        let layers = match self.layers {
+            LogLayers::OneLayer => 1u64,
+            LogLayers::TwoLayer => 2,
+        };
+        let policy = match self.policy {
+            Policy::NoForce => 1u64,
+            Policy::Force => 2,
+        };
+        let structure = match self.structure {
+            LogStructure::Simple => 1u64,
+            LogStructure::Optimized => 2,
+            LogStructure::Batch => 3,
+        };
+        (layers << 32) | (policy << 16) | structure
+    }
+
+    /// The paper's future-work "autotuning" idea in its simplest form: given
+    /// an estimate of how many records from *other* transactions interleave
+    /// between the records of one transaction (the paper's "skip records"),
+    /// suggest a layer configuration. The crossover observed in Figure 3/4 is
+    /// in the 400–600 skip-record range, so the suggestion switches to the
+    /// two-layer log above 500.
+    pub fn suggest(expected_skip_records: u64) -> Self {
+        let base = Self::batch();
+        if expected_skip_records > 500 {
+            base.layers(LogLayers::TwoLayer)
+        } else {
+            base
+        }
+    }
+}
+
+impl Default for RewindConfig {
+    fn default() -> Self {
+        Self::batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_defaults() {
+        let c = RewindConfig::batch();
+        assert_eq!(c.structure, LogStructure::Batch);
+        assert_eq!(c.bucket_size, 1000);
+        assert_eq!(c.group_size, 8);
+        assert_eq!(c.layers, LogLayers::OneLayer);
+        assert_eq!(c.policy, Policy::NoForce);
+        assert_eq!(RewindConfig::simple().structure, LogStructure::Simple);
+        assert_eq!(RewindConfig::optimized().structure, LogStructure::Optimized);
+        assert_eq!(RewindConfig::default(), RewindConfig::batch());
+    }
+
+    #[test]
+    fn builders_adjust_fields_and_clamp() {
+        let c = RewindConfig::batch()
+            .layers(LogLayers::TwoLayer)
+            .policy(Policy::Force)
+            .bucket_size(1)
+            .group_size(0)
+            .checkpoint_every(5000);
+        assert!(c.is_two_layer());
+        assert!(c.is_force());
+        assert_eq!(c.bucket_size, 2, "bucket size is clamped to at least 2");
+        assert_eq!(c.group_size, 1, "group size is clamped to at least 1");
+        assert_eq!(c.checkpoint_every, Some(5000));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configurations() {
+        let a = RewindConfig::batch().fingerprint();
+        let b = RewindConfig::batch().layers(LogLayers::TwoLayer).fingerprint();
+        let c = RewindConfig::batch().policy(Policy::Force).fingerprint();
+        let d = RewindConfig::simple().fingerprint();
+        let all = [a, b, c, d];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn suggestion_crosses_over_at_500_skip_records() {
+        assert_eq!(RewindConfig::suggest(100).layers, LogLayers::OneLayer);
+        assert_eq!(RewindConfig::suggest(501).layers, LogLayers::TwoLayer);
+    }
+}

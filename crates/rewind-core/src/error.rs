@@ -1,0 +1,94 @@
+//! Error type for the REWIND runtime.
+
+use rewind_nvm::NvmError;
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RewindError>;
+
+/// Errors raised by the REWIND log and transaction runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewindError {
+    /// An error bubbled up from the NVM substrate (allocation failure, bad
+    /// address, ...).
+    Nvm(NvmError),
+    /// The transaction identifier is unknown or the transaction already
+    /// finished.
+    UnknownTransaction(u64),
+    /// The transaction is not in a state that allows the requested operation
+    /// (e.g. logging an update on a transaction that already committed).
+    InvalidTransactionState {
+        /// The transaction in question.
+        txid: u64,
+        /// Human-readable description of the violated expectation.
+        reason: &'static str,
+    },
+    /// The persistent root area does not contain a REWIND root (the pool was
+    /// never initialised by a transaction manager).
+    NotInitialised,
+    /// The persistent root was written by an incompatible configuration
+    /// (e.g. a two-layer log opened as one-layer).
+    ConfigMismatch(String),
+    /// The log contains a record that cannot be decoded.
+    CorruptLog(String),
+    /// The user explicitly aborted a `run` closure.
+    Aborted(String),
+}
+
+impl fmt::Display for RewindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewindError::Nvm(e) => write!(f, "NVM error: {e}"),
+            RewindError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            RewindError::InvalidTransactionState { txid, reason } => {
+                write!(f, "invalid state for transaction {txid}: {reason}")
+            }
+            RewindError::NotInitialised => write!(f, "pool holds no REWIND root"),
+            RewindError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
+            RewindError::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
+            RewindError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RewindError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RewindError::Nvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmError> for RewindError {
+    fn from(e: NvmError) -> Self {
+        RewindError::Nvm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RewindError = NvmError::InvalidFree(8).into();
+        assert!(matches!(e, RewindError::Nvm(_)));
+        assert!(e.to_string().contains("NVM error"));
+        assert!(RewindError::UnknownTransaction(3).to_string().contains('3'));
+        assert!(RewindError::NotInitialised.to_string().contains("root"));
+        let e = RewindError::InvalidTransactionState {
+            txid: 9,
+            reason: "already committed",
+        };
+        assert!(e.to_string().contains("already committed"));
+    }
+
+    #[test]
+    fn source_chains_to_nvm_error() {
+        use std::error::Error;
+        let e: RewindError = NvmError::InvalidFree(8).into();
+        assert!(e.source().is_some());
+        assert!(RewindError::NotInitialised.source().is_none());
+    }
+}

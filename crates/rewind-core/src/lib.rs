@@ -1,0 +1,63 @@
+//! # rewind-core — the REWIND recoverable log and transaction runtime
+//!
+//! This crate implements the primary contribution of the paper *REWIND:
+//! Recovery Write-Ahead System for In-Memory Non-Volatile Data-Structures*
+//! (Chatzistergiou, Cintra & Viglas, PVLDB 8(5), 2015): a user-mode library
+//! that gives arbitrary imperative code transactional atomicity and
+//! durability for data structures living directly in non-volatile memory.
+//!
+//! The building blocks, bottom-up:
+//!
+//! * [`Adll`] — the Atomic Doubly-Linked List, a self-recovering list in NVM
+//!   (Section 3.2 of the paper);
+//! * [`bucket::Bucket`] / [`RecoverableLog`] — the three log structure
+//!   variants (Simple, Optimized, Batch) behind a uniform interface
+//!   (Sections 3.2–3.3);
+//! * [`Aavlt`] — the Atomic AVL Tree that indexes log records by transaction
+//!   for the two-layer configuration (Section 3.4);
+//! * [`TransactionManager`] — WAL, commit, rollback, ARIES-style recovery
+//!   (analysis / redo / undo), checkpointing and log clearing under the four
+//!   configurations {one,two}-layer × {force,no-force} (Sections 2 and 4).
+//!
+//! The intended user-facing surface is small, mirroring the paper's
+//! `persistent atomic { ... }` blocks:
+//!
+//! ```
+//! use rewind_core::{RewindConfig, TransactionManager};
+//! use rewind_nvm::{NvmPool, PoolConfig};
+//!
+//! let pool = NvmPool::new(PoolConfig::small());
+//! let tm = TransactionManager::create(pool.clone(), RewindConfig::batch()).unwrap();
+//! let slot = pool.alloc(8).unwrap();
+//!
+//! // persistent_atomic { *slot = 42; }
+//! tm.run(|tx| {
+//!     tx.write_u64(slot, 42)?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//! assert_eq!(pool.read_u64(slot), 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aavlt;
+pub mod adll;
+pub mod bucket;
+pub mod checkpoint;
+pub mod config;
+pub mod error;
+pub mod log;
+pub mod record;
+pub mod recovery;
+pub mod txn;
+
+pub use aavlt::Aavlt;
+pub use adll::Adll;
+pub use config::{LogLayers, LogStructure, Policy, RewindConfig};
+pub use error::{Result, RewindError};
+pub use log::{LogEntry, RecoverableLog, SlotId};
+pub use record::{LogRecord, RecordType, RECORD_SIZE};
+pub use recovery::RecoveryReport;
+pub use txn::{TmStats, Transaction, TransactionManager, TxId, TxStatus};

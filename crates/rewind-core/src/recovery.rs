@@ -1,0 +1,275 @@
+//! Crash recovery (Section 4.5 of the paper).
+//!
+//! Recovery proceeds bottom-up, mirroring the paper's layering: first the log
+//! structures recover themselves (the ADLL completes its interrupted
+//! operation, the bucketed log rebuilds its volatile state, the AVL index
+//! rolls back its interrupted structural operation), then the record contents
+//! drive the transaction-level phases:
+//!
+//! 1. **Analysis** — a forward scan reconstructs the transaction table and
+//!    finds the highest LSN / transaction id in use.
+//! 2. **Redo** (no-force policy only) — a forward scan re-applies every
+//!    logged write (updates *and* compensations), repeating history so that a
+//!    crash during an earlier rollback loses nothing.
+//! 3. **Undo** — every transaction without an END record is rolled back. The
+//!    one-layer configuration uses the single backward scan of the paper's
+//!    Algorithm 2 (with the `undoMap` used to skip records that an earlier,
+//!    interrupted recovery had already compensated); the two-layer
+//!    configuration walks each unfinished transaction's record chain through
+//!    the AVL index.
+//!
+//! Finally END records are written for the rolled-back transactions, the
+//! transaction table is cleared, and — under the force policy, where every
+//! surviving transaction is complete — the whole log is dropped in one step.
+
+use crate::config::Policy;
+use crate::record::{LogRecord, RecordType};
+use crate::txn::{Backend, TransactionManager, TxEntry, TxStatus};
+use crate::Result;
+use rewind_nvm::PAddr;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+
+/// What a recovery pass did, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions found already finished (committed or fully rolled back).
+    pub finished: u64,
+    /// Transactions that had to be rolled back by recovery.
+    pub rolled_back: u64,
+    /// Physical writes re-applied during the redo phase.
+    pub redone: u64,
+    /// Updates undone during the undo phase.
+    pub undone: u64,
+    /// Log records scanned during analysis.
+    pub scanned: u64,
+    /// Whether the log was cleared wholesale at the end (force policy).
+    pub log_cleared: bool,
+}
+
+impl TransactionManager {
+    /// Runs full crash recovery. Called automatically by
+    /// [`TransactionManager::open`] when the pool was not shut down cleanly;
+    /// it can also be invoked explicitly and is idempotent — running it on a
+    /// consistent log finds nothing to do.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        let mut report = RecoveryReport::default();
+
+        // Phase 0: the log recovers itself.
+        match &self.backend {
+            Backend::One(log) => log.recover_structures()?,
+            Backend::Two(index) => {
+                index.recover()?;
+            }
+        }
+
+        // Phase 1: analysis.
+        let records = self.all_records(true)?;
+        report.scanned = records.len() as u64;
+        let mut table: HashMap<u64, TxStatus> = HashMap::new();
+        let mut max_lsn = 0u64;
+        let mut max_txid = 0u64;
+        for (_, rec) in &records {
+            max_lsn = max_lsn.max(rec.lsn);
+            if rec.txid == u64::MAX || rec.rtype == RecordType::Checkpoint {
+                continue;
+            }
+            max_txid = max_txid.max(rec.txid);
+            let entry = table.entry(rec.txid).or_insert(TxStatus::Running);
+            match rec.rtype {
+                RecordType::End => *entry = TxStatus::Finished,
+                RecordType::Rollback => {
+                    if *entry != TxStatus::Finished {
+                        *entry = TxStatus::Aborted;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.next_lsn.store(max_lsn + 1, Ordering::SeqCst);
+        self.next_txid.store(max_txid + 1, Ordering::SeqCst);
+        {
+            let mut t = self.table.lock();
+            t.clear();
+            for (txid, status) in &table {
+                t.insert(
+                    *txid,
+                    TxEntry {
+                        status: *status,
+                        last_record: PAddr::NULL,
+                    },
+                );
+            }
+        }
+        report.finished = table
+            .values()
+            .filter(|s| **s == TxStatus::Finished)
+            .count() as u64;
+
+        // Phase 2: redo (no-force only) — repeat history.
+        if self.cfg.policy == Policy::NoForce {
+            for (_, rec) in &records {
+                match rec.rtype {
+                    RecordType::Update | RecordType::Clr => {
+                        self.pool.write_u64(rec.addr, rec.new);
+                        report.redone += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Phase 3: undo all unfinished transactions.
+        let losers: Vec<u64> = table
+            .iter()
+            .filter(|(_, s)| **s != TxStatus::Finished)
+            .map(|(t, _)| *t)
+            .collect();
+        report.rolled_back = losers.len() as u64;
+        if !losers.is_empty() {
+            match &self.backend {
+                Backend::One(_) => {
+                    report.undone += self.undo_one_layer(&records, &table)?;
+                }
+                Backend::Two(_) => {
+                    report.undone += self.undo_two_layer(&losers)?;
+                }
+            }
+            // Mark completion of every rollback.
+            for txid in &losers {
+                let mut end = LogRecord::end(self.next_lsn(), *txid);
+                self.append_for(*txid, &mut end)?;
+                self.set_status(*txid, TxStatus::Finished);
+                self.stats.rolled_back.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Under no-force the data restored by redo/undo lives in the cache;
+        // make the recovered image durable before declaring victory.
+        if self.cfg.policy == Policy::NoForce {
+            self.pool.flush_all();
+        }
+
+        // Phase 4: post-recovery log clearing. Under the force policy every
+        // transaction is now complete, so the whole log can be dropped in one
+        // step (much cheaper than record-by-record removal).
+        if self.cfg.policy == Policy::Force {
+            match &self.backend {
+                Backend::One(log) => {
+                    // Process deferred de-allocations of committed work first.
+                    for (_, rec) in &records {
+                        if rec.rtype == RecordType::Delete
+                            && table.get(&rec.txid) == Some(&TxStatus::Finished)
+                        {
+                            self.pool.free(rec.addr, rec.old as usize)?;
+                        }
+                    }
+                    log.clear_all()?;
+                    self.persist_root();
+                }
+                Backend::Two(index) => {
+                    for txid in index.txids() {
+                        self.clear_transaction(txid, true)?;
+                    }
+                    self.persist_root();
+                }
+            }
+            report.log_cleared = true;
+        }
+
+        // Recovery leaves no running transactions behind.
+        self.table.lock().clear();
+        Ok(report)
+    }
+
+    /// The paper's Algorithm 2: a single backward scan that undoes every
+    /// unfinished transaction, using `undo_map` to skip records that a
+    /// previous, interrupted recovery already compensated.
+    fn undo_one_layer(
+        &self,
+        records: &[(crate::txn::RecordLocation, LogRecord)],
+        table: &HashMap<u64, TxStatus>,
+    ) -> Result<u64> {
+        let mut undone = 0u64;
+        // LSN of the oldest record already compensated, per transaction.
+        let mut undo_map: HashMap<u64, u64> = HashMap::new();
+        let mut rollback_written: HashSet<u64> = HashSet::new();
+        for (_, rec) in records.iter().rev() {
+            let status = match table.get(&rec.txid) {
+                Some(s) => *s,
+                None => continue,
+            };
+            if status == TxStatus::Finished {
+                continue;
+            }
+            if status == TxStatus::Running && rollback_written.insert(rec.txid) {
+                let mut marker = LogRecord::rollback(self.next_lsn(), rec.txid);
+                self.append_for(rec.txid, &mut marker)?;
+            }
+            match rec.rtype {
+                RecordType::Clr => {
+                    if !undo_map.contains_key(&rec.txid) {
+                        // First (i.e. most recent) CLR of this transaction:
+                        // everything at or above the LSN it compensated is
+                        // already undone.
+                        undo_map.insert(rec.txid, rec.undo_next.offset());
+                        if self.cfg.policy == Policy::Force {
+                            // Re-apply the most recent compensation: it may
+                            // have been created right before the crash,
+                            // before its user write reached NVM.
+                            self.pool.write_u64_nt(rec.addr, rec.new);
+                        }
+                    }
+                }
+                RecordType::Update => {
+                    let already_undone = undo_map
+                        .get(&rec.txid)
+                        .map(|compensated| rec.lsn >= *compensated)
+                        .unwrap_or(false);
+                    if !already_undone {
+                        self.undo_one(rec.txid, rec)?;
+                        undone += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(undone)
+    }
+
+    /// Per-transaction undo through the AVL index (two-layer configuration).
+    fn undo_two_layer(&self, losers: &[u64]) -> Result<u64> {
+        let Backend::Two(index) = &self.backend else {
+            unreachable!("undo_two_layer called on a one-layer manager");
+        };
+        let mut undone = 0u64;
+        for txid in losers {
+            let chain = index.records_of(*txid)?; // newest first
+            // Records already undone = number of CLRs written before the
+            // crash; the undo order is deterministic (newest update first),
+            // so the newest `clr_count` updates are already compensated.
+            let clr_count = chain
+                .iter()
+                .filter(|(_, r)| r.rtype == RecordType::Clr)
+                .count();
+            if self.cfg.policy == Policy::Force {
+                // Redo the most recent CLR to cover a crash between the CLR
+                // and its user write.
+                if let Some((_, clr)) = chain.iter().find(|(_, r)| r.rtype == RecordType::Clr) {
+                    self.pool.write_u64_nt(clr.addr, clr.new);
+                }
+            }
+            let updates: Vec<&LogRecord> = chain
+                .iter()
+                .map(|(_, r)| r)
+                .filter(|r| r.rtype == RecordType::Update)
+                .collect();
+            for rec in updates.iter().skip(clr_count) {
+                self.undo_one(*txid, rec)?;
+                undone += 1;
+            }
+        }
+        Ok(undone)
+    }
+}

@@ -1,0 +1,646 @@
+//! The transaction recovery manager.
+//!
+//! This is the programmer-facing runtime of REWIND (Section 4 of the paper):
+//! it assigns transaction identifiers, enforces write-ahead logging for every
+//! critical update, and implements commit, rollback, checkpointing and
+//! recovery under the four configurations {one,two}-layer × {force,no-force}.
+//!
+//! The programmer-visible API mirrors the paper's expanded code (Listing 2):
+//! [`TransactionManager::begin`] plays the role of `tm->getNextID()`,
+//! [`TransactionManager::log_update`] is `tm->log(...)`, and
+//! [`TransactionManager::commit`] is `tm->commit(...)`. The
+//! [`TransactionManager::run`] helper wraps all three into the
+//! `persistent atomic { ... }` block of Listing 1, and
+//! [`Transaction::write_u64`] combines the log call with the store itself the
+//! way a compiler pass would.
+
+use crate::aavlt::Aavlt;
+use crate::config::{LogLayers, Policy, RewindConfig};
+use crate::log::{RecoverableLog, SlotId};
+use crate::record::{LogRecord, RecordType, RECORD_SIZE};
+use crate::{Result, RewindError};
+use parking_lot::Mutex;
+use rewind_nvm::{NvmPool, PAddr};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A transaction identifier.
+pub type TxId = u64;
+
+/// Persistent root layout (inside the pool's user root region):
+/// `magic, fingerprint, log header, index root cell, index meta-log header`.
+const ROOT_MAGIC: u64 = 0x5245_5749_4e44_524f; // "REWINDRO"
+const ROOT_WORDS: u64 = 5;
+const RW_MAGIC: u64 = 0;
+const RW_FINGERPRINT: u64 = 1;
+const RW_LOG_HEADER: u64 = 2;
+const RW_INDEX_ROOT: u64 = 3;
+const RW_INDEX_META: u64 = 4;
+
+/// Lifecycle state of a transaction, as seen by the (volatile) transaction
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Started and not yet committed or rolled back.
+    Running,
+    /// A rollback started (a ROLLBACK record exists) but has not completed.
+    Aborted,
+    /// Committed or fully rolled back (an END record exists).
+    Finished,
+}
+
+/// Volatile transaction-table entry. The table is authoritative only in the
+/// two-layer configuration (the paper maintains it during logging there); in
+/// the one-layer configuration it exists purely for API error-checking and
+/// statistics and carries no protocol state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TxEntry {
+    pub(crate) status: TxStatus,
+    /// Most recent log record of the transaction (two-layer back-chain).
+    pub(crate) last_record: PAddr,
+}
+
+/// Aggregate counters exposed for tests and the benchmark harness.
+#[derive(Debug, Default)]
+pub struct TmStats {
+    pub(crate) begun: AtomicU64,
+    pub(crate) committed: AtomicU64,
+    pub(crate) rolled_back: AtomicU64,
+    pub(crate) records_logged: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) recoveries: AtomicU64,
+}
+
+/// A point-in-time copy of [`TmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TmStatsSnapshot {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions rolled back (explicitly or by recovery).
+    pub rolled_back: u64,
+    /// Log records appended.
+    pub records_logged: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+}
+
+/// Storage backend for log records: the one-layer configurations keep them in
+/// the recoverable log directly; the two-layer configurations keep them in the
+/// atomic AVL tree (whose own updates are logged in its private list).
+#[derive(Debug)]
+pub(crate) enum Backend {
+    /// One-layer: records live in the recoverable log.
+    One(RecoverableLog),
+    /// Two-layer: records live in per-transaction chains indexed by the AAVLT.
+    Two(Aavlt),
+}
+
+/// The REWIND transaction recovery manager.
+#[derive(Debug)]
+pub struct TransactionManager {
+    pub(crate) pool: Arc<NvmPool>,
+    pub(crate) cfg: RewindConfig,
+    pub(crate) backend: Backend,
+    pub(crate) next_txid: AtomicU64,
+    pub(crate) next_lsn: AtomicU64,
+    pub(crate) table: Mutex<HashMap<TxId, TxEntry>>,
+    pub(crate) stats: TmStats,
+    /// Records appended since the last checkpoint (drives automatic
+    /// checkpointing under the no-force policy).
+    pub(crate) records_since_checkpoint: AtomicU64,
+    /// Serializes checkpoints and whole-log clearing against each other.
+    pub(crate) checkpoint_lock: Mutex<()>,
+}
+
+impl TransactionManager {
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh REWIND instance in `pool`, overwriting any existing
+    /// root. Use [`TransactionManager::open`] to attach to existing data.
+    pub fn create(pool: Arc<NvmPool>, cfg: RewindConfig) -> Result<Self> {
+        let backend = match cfg.layers {
+            LogLayers::OneLayer => Backend::One(RecoverableLog::create(Arc::clone(&pool), &cfg)?),
+            LogLayers::TwoLayer => Backend::Two(Aavlt::create(Arc::clone(&pool), &cfg)?),
+        };
+        let tm = TransactionManager {
+            pool,
+            cfg,
+            backend,
+            next_txid: AtomicU64::new(1),
+            next_lsn: AtomicU64::new(1),
+            table: Mutex::new(HashMap::new()),
+            stats: TmStats::default(),
+            records_since_checkpoint: AtomicU64::new(0),
+            checkpoint_lock: Mutex::new(()),
+        };
+        tm.persist_root();
+        tm.pool.mark_in_use();
+        Ok(tm)
+    }
+
+    /// Attaches to the REWIND instance stored in `pool`, creating a fresh one
+    /// if the pool holds none. If the pool was not shut down cleanly the full
+    /// recovery procedure runs before the manager is returned.
+    pub fn open(pool: Arc<NvmPool>, cfg: RewindConfig) -> Result<Self> {
+        let root = pool.user_root();
+        if pool.read_u64(root.word(RW_MAGIC)) != ROOT_MAGIC {
+            return Self::create(pool, cfg);
+        }
+        let stored = pool.read_u64(root.word(RW_FINGERPRINT));
+        if stored != cfg.fingerprint() {
+            return Err(RewindError::ConfigMismatch(format!(
+                "pool was initialised with fingerprint {stored:#x}, asked to open with {:#x}",
+                cfg.fingerprint()
+            )));
+        }
+        let backend = match cfg.layers {
+            LogLayers::OneLayer => {
+                let header = PAddr::new(pool.read_u64(root.word(RW_LOG_HEADER)));
+                Backend::One(RecoverableLog::attach(Arc::clone(&pool), &cfg, header)?)
+            }
+            LogLayers::TwoLayer => {
+                let index_root = crate::aavlt::AavltRoot {
+                    root_cell: PAddr::new(pool.read_u64(root.word(RW_INDEX_ROOT))),
+                    meta_log_header: PAddr::new(pool.read_u64(root.word(RW_INDEX_META))),
+                };
+                Backend::Two(Aavlt::attach(Arc::clone(&pool), &cfg, index_root)?)
+            }
+        };
+        let tm = TransactionManager {
+            pool: Arc::clone(&pool),
+            cfg,
+            backend,
+            next_txid: AtomicU64::new(1),
+            next_lsn: AtomicU64::new(1),
+            table: Mutex::new(HashMap::new()),
+            stats: TmStats::default(),
+            records_since_checkpoint: AtomicU64::new(0),
+            checkpoint_lock: Mutex::new(()),
+        };
+        if !pool.was_clean_shutdown() {
+            tm.recover()?;
+        } else {
+            tm.bump_counters_past_log()?;
+        }
+        tm.pool.mark_in_use();
+        Ok(tm)
+    }
+
+    /// Flushes everything and marks the pool as cleanly shut down, so the
+    /// next [`TransactionManager::open`] skips recovery.
+    pub fn shutdown(&self) -> Result<()> {
+        if self.cfg.policy == Policy::NoForce {
+            self.checkpoint()?;
+        }
+        self.pool.mark_clean_shutdown();
+        Ok(())
+    }
+
+    /// Writes the durable root pointers for the current backend.
+    pub(crate) fn persist_root(&self) {
+        let root = self.pool.user_root();
+        self.pool.write_u64_nt(root.word(RW_FINGERPRINT), self.cfg.fingerprint());
+        match &self.backend {
+            Backend::One(log) => {
+                self.pool
+                    .write_u64_nt(root.word(RW_LOG_HEADER), log.header().offset());
+                self.pool.write_u64_nt(root.word(RW_INDEX_ROOT), 0);
+                self.pool.write_u64_nt(root.word(RW_INDEX_META), 0);
+            }
+            Backend::Two(index) => {
+                let r = index.durable_root();
+                self.pool.write_u64_nt(root.word(RW_LOG_HEADER), 0);
+                self.pool
+                    .write_u64_nt(root.word(RW_INDEX_ROOT), r.root_cell.offset());
+                self.pool
+                    .write_u64_nt(root.word(RW_INDEX_META), r.meta_log_header.offset());
+            }
+        }
+        self.pool.sfence();
+        // The magic goes in last so a partially written root is never taken
+        // for a valid one.
+        self.pool.write_u64_nt(root.word(RW_MAGIC), ROOT_MAGIC);
+        self.pool.sfence();
+        debug_assert!(ROOT_WORDS as usize * 8 <= self.pool.user_root_size());
+    }
+
+    /// After a clean attach there is no recovery pass to discover the highest
+    /// LSN/transaction id in the log, so scan for them explicitly.
+    fn bump_counters_past_log(&self) -> Result<()> {
+        let mut max_lsn = 0;
+        let mut max_txid = 0;
+        for (_, rec) in self.all_records(false)? {
+            max_lsn = max_lsn.max(rec.lsn);
+            if rec.txid != u64::MAX {
+                max_txid = max_txid.max(rec.txid);
+            }
+        }
+        self.next_lsn.store(max_lsn + 1, Ordering::SeqCst);
+        self.next_txid.store(max_txid + 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The pool this manager operates on.
+    pub fn pool(&self) -> &Arc<NvmPool> {
+        &self.pool
+    }
+
+    /// The configuration this manager was opened with.
+    pub fn config(&self) -> &RewindConfig {
+        &self.cfg
+    }
+
+    /// Number of live log records (both layers).
+    pub fn log_len(&self) -> u64 {
+        match &self.backend {
+            Backend::One(log) => log.len(),
+            Backend::Two(index) => index
+                .txids()
+                .iter()
+                .map(|t| index.record_count(*t))
+                .sum(),
+        }
+    }
+
+    /// A snapshot of the manager's counters.
+    pub fn stats(&self) -> TmStatsSnapshot {
+        TmStatsSnapshot {
+            begun: self.stats.begun.load(Ordering::Relaxed),
+            committed: self.stats.committed.load(Ordering::Relaxed),
+            rolled_back: self.stats.rolled_back.load(Ordering::Relaxed),
+            records_logged: self.stats.records_logged.load(Ordering::Relaxed),
+            checkpoints: self.stats.checkpoints.load(Ordering::Relaxed),
+            recoveries: self.stats.recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn next_lsn(&self) -> u64 {
+        self.next_lsn.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Returns every live record as `(slot-or-chain-position, record)` pairs
+    /// in log order (one-layer) or grouped by transaction (two-layer).
+    /// Recovery and checkpointing build on this.
+    pub(crate) fn all_records(&self, trust_watermark: bool) -> Result<Vec<(RecordLocation, LogRecord)>> {
+        match &self.backend {
+            Backend::One(log) => Ok(log
+                .scan(trust_watermark)?
+                .into_iter()
+                .map(|e| (RecordLocation::Slot(e.slot), e.record))
+                .collect()),
+            Backend::Two(index) => {
+                let mut out = Vec::new();
+                for txid in index.txids() {
+                    for (addr, rec) in index.records_of(txid)?.into_iter().rev() {
+                        out.push((RecordLocation::Chained { txid, addr }, rec));
+                    }
+                }
+                // Order by LSN so forward scans see a global log order.
+                out.sort_by_key(|(_, r)| r.lsn);
+                Ok(out)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The programmer-facing API (Listing 2 of the paper)
+    // ------------------------------------------------------------------
+
+    /// Starts a new transaction and returns its identifier
+    /// (`tm->getNextID()` in the paper).
+    pub fn begin(&self) -> TxId {
+        let id = self.next_txid.fetch_add(1, Ordering::SeqCst);
+        self.stats.begun.fetch_add(1, Ordering::Relaxed);
+        self.table.lock().insert(
+            id,
+            TxEntry {
+                status: TxStatus::Running,
+                last_record: PAddr::NULL,
+            },
+        );
+        id
+    }
+
+    /// Logs an update of the 8-byte word at `addr` from `old` to `new` on
+    /// behalf of transaction `tx` (`tm->log(...)` in the paper). The record
+    /// is durably in the log before this function returns (or, for the Batch
+    /// structure, before any *forced* user write can overtake it).
+    ///
+    /// The caller performs the store itself afterwards, exactly like the
+    /// expanded code in Listing 2; [`Transaction::write_u64`] does both.
+    pub fn log_update(&self, tx: TxId, addr: PAddr, old: u64, new: u64) -> Result<()> {
+        self.check_running(tx)?;
+        let mut rec = LogRecord::update(self.next_lsn(), tx, addr, old, new);
+        self.append_for(tx, &mut rec)?;
+        self.maybe_auto_checkpoint()?;
+        Ok(())
+    }
+
+    /// Logs a deferred de-allocation (the paper's DELETE record): the memory
+    /// at `addr` is returned to the allocator only after the transaction's
+    /// records are cleared (commit-time under force, checkpoint-time under
+    /// no-force), because freeing earlier could not be undone.
+    pub fn log_delete(&self, tx: TxId, addr: PAddr, size: u64) -> Result<()> {
+        self.check_running(tx)?;
+        let mut rec = LogRecord::delete(self.next_lsn(), tx, addr, size);
+        self.append_for(tx, &mut rec)?;
+        Ok(())
+    }
+
+    /// Logs and performs a user update in one call, honouring the force
+    /// policy: forced updates go to NVM with a non-temporal store, unforced
+    /// updates stay in the cache until a checkpoint.
+    pub fn write_u64(&self, tx: TxId, addr: PAddr, new: u64) -> Result<()> {
+        let old = self.pool.read_u64(addr);
+        if old == new {
+            return self.check_running(tx);
+        }
+        self.log_update(tx, addr, old, new)?;
+        match self.cfg.policy {
+            Policy::Force => {
+                // WAL: the record group must be persistent before the data.
+                if let Backend::One(log) = &self.backend {
+                    log.flush_pending()?;
+                }
+                self.pool.write_u64_nt(addr, new);
+            }
+            Policy::NoForce => self.pool.write_u64(addr, new),
+        }
+        Ok(())
+    }
+
+    /// Commits transaction `tx` (`tm->commit(...)` in the paper).
+    ///
+    /// Under the force policy all of the transaction's updates are already in
+    /// NVM; commit fences, writes the END record and clears the transaction's
+    /// log records. Under no-force only the END record is written; records are
+    /// cleared by a later checkpoint.
+    pub fn commit(&self, tx: TxId) -> Result<()> {
+        self.check_running(tx)?;
+        if self.cfg.policy == Policy::Force {
+            self.pool.sfence();
+        }
+        let mut end = LogRecord::end(self.next_lsn(), tx);
+        self.append_for(tx, &mut end)?;
+        self.set_status(tx, TxStatus::Finished);
+        self.stats.committed.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.policy == Policy::Force {
+            self.clear_transaction(tx, true)?;
+        }
+        Ok(())
+    }
+
+    /// Rolls transaction `tx` back: every logged update is undone (newest
+    /// first), a compensation record is written for each undo, and an END
+    /// record marks completion. Under the force policy the transaction's
+    /// records are cleared afterwards, as after commit.
+    pub fn rollback(&self, tx: TxId) -> Result<()> {
+        self.check_running(tx)?;
+        let mut rollback_marker = LogRecord::rollback(self.next_lsn(), tx);
+        self.append_for(tx, &mut rollback_marker)?;
+        self.set_status(tx, TxStatus::Aborted);
+
+        // Collect the transaction's records. One-layer: a full backward scan
+        // of the log (the cost Figure 4 left measures); two-layer: follow the
+        // per-transaction chain through the AVL index.
+        let mut updates: Vec<LogRecord> = match &self.backend {
+            Backend::One(log) => log
+                .scan_transaction(tx)?
+                .into_iter()
+                .map(|e| e.record)
+                .collect(),
+            Backend::Two(index) => index
+                .records_of(tx)?
+                .into_iter()
+                .map(|(_, r)| r)
+                .rev()
+                .collect(),
+        };
+        updates.retain(|r| r.rtype == RecordType::Update);
+        for rec in updates.iter().rev() {
+            self.undo_one(tx, rec)?;
+        }
+        let mut end = LogRecord::end(self.next_lsn(), tx);
+        self.append_for(tx, &mut end)?;
+        self.set_status(tx, TxStatus::Finished);
+        self.stats.rolled_back.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.policy == Policy::Force {
+            self.clear_transaction(tx, true)?;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` inside a transaction: commits on `Ok`, rolls back on `Err`.
+    /// This is the library equivalent of the paper's
+    /// `persistent atomic { ... }` block.
+    pub fn run<T>(&self, f: impl FnOnce(&mut Transaction<'_>) -> Result<T>) -> Result<T> {
+        let id = self.begin();
+        let mut tx = Transaction { tm: self, id };
+        match f(&mut tx) {
+            Ok(v) => {
+                self.commit(id)?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.rollback(id)?;
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with recovery / checkpointing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn check_running(&self, tx: TxId) -> Result<()> {
+        match self.table.lock().get(&tx) {
+            None => Err(RewindError::UnknownTransaction(tx)),
+            Some(e) if e.status == TxStatus::Running => Ok(()),
+            Some(_) => Err(RewindError::InvalidTransactionState {
+                txid: tx,
+                reason: "transaction is no longer running",
+            }),
+        }
+    }
+
+    pub(crate) fn set_status(&self, tx: TxId, status: TxStatus) {
+        if let Some(e) = self.table.lock().get_mut(&tx) {
+            e.status = status;
+        }
+    }
+
+    /// Appends a record on behalf of `tx` through whichever backend is
+    /// configured, maintaining the two-layer back-chain and transaction
+    /// table.
+    pub(crate) fn append_for(&self, tx: TxId, rec: &mut LogRecord) -> Result<PAddr> {
+        self.stats.records_logged.fetch_add(1, Ordering::Relaxed);
+        self.records_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+        match &self.backend {
+            Backend::One(log) => {
+                let (addr, _slot) = log.append(rec)?;
+                Ok(addr)
+            }
+            Backend::Two(index) => {
+                // The record is written to NVM first, then indexed; the index
+                // insert links it into the transaction's chain (setting its
+                // `prev` field) and is itself crash-atomic.
+                let addr = self.pool.alloc(RECORD_SIZE)?;
+                rec.write_to_nt(&self.pool, addr);
+                self.pool.sfence();
+                index.insert_record(tx, addr)?;
+                if let Some(e) = self.table.lock().get_mut(&tx) {
+                    e.last_record = addr;
+                }
+                Ok(addr)
+            }
+        }
+    }
+
+    /// Undoes a single UPDATE record: writes a CLR and restores the old
+    /// value, forcing it to NVM under the force policy (the undo must be
+    /// persistent so the log can be cleared afterwards).
+    pub(crate) fn undo_one(&self, tx: TxId, rec: &LogRecord) -> Result<()> {
+        let mut clr = LogRecord::clr(self.next_lsn(), tx, rec.addr, rec.old, rec.prev);
+        // For the one-layer log there is no per-transaction chain; the CLR's
+        // undo_next instead records the LSN of the compensated record so a
+        // restarted recovery can skip records that were already undone.
+        if matches!(self.backend, Backend::One(_)) {
+            clr.undo_next = PAddr::new(rec.lsn);
+        }
+        self.append_for(tx, &mut clr)?;
+        match self.cfg.policy {
+            Policy::Force => {
+                if let Backend::One(log) = &self.backend {
+                    log.flush_pending()?;
+                }
+                self.pool.write_u64_nt(rec.addr, rec.old);
+            }
+            Policy::NoForce => self.pool.write_u64(rec.addr, rec.old),
+        }
+        Ok(())
+    }
+
+    /// Clears every log record of `tx`, processing DELETE records (performing
+    /// the deferred de-allocations) when `process_deletes` is true, and
+    /// removing the END record last so an interrupted clearing restarts
+    /// identically (Section 4.6).
+    pub(crate) fn clear_transaction(&self, tx: TxId, process_deletes: bool) -> Result<()> {
+        match &self.backend {
+            Backend::One(log) => {
+                let entries = log.scan_transaction(tx)?;
+                let mut end_slots = Vec::new();
+                for e in &entries {
+                    if e.record.rtype == RecordType::End {
+                        end_slots.push(e.slot);
+                        continue;
+                    }
+                    if process_deletes && e.record.rtype == RecordType::Delete {
+                        self.pool.free(e.record.addr, e.record.old as usize)?;
+                    }
+                    log.clear_slot(e.slot)?;
+                }
+                for slot in end_slots {
+                    log.clear_slot(slot)?;
+                }
+            }
+            Backend::Two(index) => {
+                let records = index.records_of(tx)?;
+                for (addr, rec) in &records {
+                    if process_deletes && rec.rtype == RecordType::Delete {
+                        self.pool.free(rec.addr, rec.old as usize)?;
+                    }
+                    // Record memory is owned by the manager in the two-layer
+                    // configuration; release it once the index entry is gone.
+                    let _ = addr;
+                }
+                index.remove_txn(tx)?;
+                for (addr, _) in records {
+                    self.pool.free(addr, RECORD_SIZE)?;
+                }
+            }
+        }
+        self.table.lock().remove(&tx);
+        Ok(())
+    }
+
+    fn maybe_auto_checkpoint(&self) -> Result<()> {
+        if self.cfg.policy != Policy::NoForce {
+            return Ok(());
+        }
+        let Some(every) = self.cfg.checkpoint_every else {
+            return Ok(());
+        };
+        if self.records_since_checkpoint.load(Ordering::Relaxed) >= every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+/// Location of a record, independent of the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordLocation {
+    /// One-layer: a slot in the recoverable log.
+    Slot(SlotId),
+    /// Two-layer: a record chained under `txid` at `addr`.
+    Chained {
+        /// Owning transaction.
+        txid: TxId,
+        /// Record address.
+        addr: PAddr,
+    },
+}
+
+/// Handle passed to [`TransactionManager::run`] closures: a thin wrapper that
+/// remembers the transaction id.
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    tm: &'a TransactionManager,
+    id: TxId,
+}
+
+impl Transaction<'_> {
+    /// The transaction identifier.
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// Reads an 8-byte word (no logging needed for reads).
+    pub fn read_u64(&self, addr: PAddr) -> u64 {
+        self.tm.pool.read_u64(addr)
+    }
+
+    /// Logs and performs an update of the word at `addr`.
+    pub fn write_u64(&mut self, addr: PAddr, new: u64) -> Result<()> {
+        self.tm.write_u64(self.id, addr, new)
+    }
+
+    /// Logs an update the caller will perform itself (the raw `tm->log` call
+    /// of Listing 2).
+    pub fn log_update(&mut self, addr: PAddr, old: u64, new: u64) -> Result<()> {
+        self.tm.log_update(self.id, addr, old, new)
+    }
+
+    /// Schedules `size` bytes at `addr` for de-allocation after the
+    /// transaction's records are cleared.
+    pub fn defer_free(&mut self, addr: PAddr, size: u64) -> Result<()> {
+        self.tm.log_delete(self.id, addr, size)
+    }
+
+    /// Aborts the transaction from inside a [`TransactionManager::run`]
+    /// closure by returning an error the closure can propagate.
+    pub fn abort<T>(&self, reason: &str) -> Result<T> {
+        Err(RewindError::Aborted(reason.to_string()))
+    }
+}

@@ -1,0 +1,33 @@
+//! # rewind-tpcc — the modified TPC-C workload of Section 5.3
+//!
+//! The paper stress-tests REWIND with a cut-down TPC-C: scale factor one (a
+//! single warehouse with ten districts), ten terminals (threads) issuing only
+//! *new-order* transactions — the most write-intensive transaction and the
+//! backbone of the benchmark — with 1 % of transactions aborted, as the TPC-C
+//! specification requires. Tables are stored in B+-trees.
+//!
+//! Section 5.3's point is co-design: because persistence and recovery live in
+//! the same runtime as the data structures, the programmer can specialise the
+//! physical layout to the workload. The paper evaluates four layouts, all
+//! reproduced here as [`Layout`] variants:
+//!
+//! * `SimpleNvm` — non-recoverable B+-trees directly in NVM (the baseline);
+//! * `Naive` — one REWIND-backed B+-tree per table, compound keys encoded
+//!   into a single `u64`;
+//! * `Optimized` — the order tables become *arrays of ten per-district
+//!   B+-trees* keyed only by order id, exploiting the tiny
+//!   warehouse × district domain;
+//! * `OptimizedDistLog` — the optimized layout plus distributed logging: each
+//!   terminal gets its own transaction manager (and therefore its own log),
+//!   the co-design enabled by REWIND's user-mode flexibility.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod schema;
+pub mod workload;
+
+pub use schema::{Layout, TpccDb, DISTRICTS_PER_WAREHOUSE, ITEMS};
+pub use workload::{NewOrderParams, TpccReport, TpccRunner};
+
+pub use rewind_core::{Result, RewindError};

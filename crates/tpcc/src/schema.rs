@@ -1,0 +1,312 @@
+//! The TPC-C schema over persistent B+-trees.
+//!
+//! Scale factor one: a single warehouse, [`DISTRICTS_PER_WAREHOUSE`]
+//! districts, [`ITEMS`] items and 3 000 customers per district. Only the
+//! tables the new-order transaction touches are materialised (warehouse,
+//! district, customer, item, stock, orders, new-order, order-line), which is
+//! exactly what the paper's modified benchmark exercises.
+
+use crate::Result;
+use rewind_core::{RewindConfig, TransactionManager};
+use rewind_nvm::{NvmPool, PoolConfig};
+use rewind_pds::{Backing, PBTree, TxToken, Value};
+use std::sync::Arc;
+
+/// Districts per warehouse (TPC-C fixes this at ten).
+pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+/// Number of items in the catalogue. The specification uses 100 000; the
+/// loader accepts a scaled-down count for quick runs.
+pub const ITEMS: u64 = 100_000;
+/// Customers per district.
+pub const CUSTOMERS_PER_DISTRICT: u64 = 3_000;
+
+/// Physical layout of the order tables (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Non-recoverable B+-trees in NVM (no logging at all).
+    SimpleNvm,
+    /// REWIND-backed trees with compound keys packed into one `u64`.
+    Naive,
+    /// REWIND-backed, order tables split into one tree per district.
+    Optimized,
+    /// `Optimized` plus one transaction manager (log) per terminal.
+    OptimizedDistLog,
+}
+
+impl Layout {
+    /// Whether this layout logs through REWIND.
+    pub fn recoverable(self) -> bool {
+        !matches!(self, Layout::SimpleNvm)
+    }
+
+    /// Whether each terminal uses its own transaction manager.
+    pub fn distributed_log(self) -> bool {
+        matches!(self, Layout::OptimizedDistLog)
+    }
+
+    /// Whether the order tables are split per district.
+    pub fn per_district_trees(self) -> bool {
+        matches!(self, Layout::Optimized | Layout::OptimizedDistLog)
+    }
+}
+
+/// Encodes a (district, id) compound key into a single `u64`
+/// (warehouse id is always 1 at scale factor one).
+pub fn compound_key(district: u64, id: u64) -> u64 {
+    district << 48 | id
+}
+
+/// Either one shared tree (compound keys) or one tree per district.
+#[derive(Debug, Clone)]
+pub enum OrderTable {
+    /// One tree, keys encoded with [`compound_key`].
+    Shared(PBTree),
+    /// One tree per district, keyed by plain id.
+    PerDistrict(Vec<PBTree>),
+}
+
+impl OrderTable {
+    fn create(backing: &Backing, per_district: bool) -> Result<Self> {
+        if per_district {
+            let mut trees = Vec::new();
+            for _ in 0..DISTRICTS_PER_WAREHOUSE {
+                trees.push(PBTree::create(backing.clone())?);
+            }
+            Ok(OrderTable::PerDistrict(trees))
+        } else {
+            Ok(OrderTable::Shared(PBTree::create(backing.clone())?))
+        }
+    }
+
+    /// Inserts `(district, id) -> value`.
+    pub fn insert(&self, tx: Option<TxToken>, district: u64, id: u64, value: Value) -> Result<()> {
+        match self {
+            OrderTable::Shared(t) => t.insert_in(tx, compound_key(district, id), value),
+            OrderTable::PerDistrict(ts) => ts[(district - 1) as usize].insert_in(tx, id, value),
+        }
+    }
+
+    /// Looks up `(district, id)`.
+    pub fn lookup(&self, district: u64, id: u64) -> Option<Value> {
+        match self {
+            OrderTable::Shared(t) => t.lookup(compound_key(district, id)),
+            OrderTable::PerDistrict(ts) => ts[(district - 1) as usize].lookup(id),
+        }
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> u64 {
+        match self {
+            OrderTable::Shared(t) => t.len(),
+            OrderTable::PerDistrict(ts) => ts.iter().map(|t| t.len()).sum(),
+        }
+    }
+
+    /// Returns `true` if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The TPC-C database: the tables touched by new-order.
+#[derive(Debug)]
+pub struct TpccDb {
+    /// The layout this database was built with.
+    pub layout: Layout,
+    /// The NVM pool everything lives in.
+    pub pool: Arc<NvmPool>,
+    /// Transaction managers: one shared manager, or one per terminal when the
+    /// layout uses a distributed log. Empty for the non-recoverable layout.
+    pub managers: Vec<Arc<TransactionManager>>,
+    /// district id -> next order id slot (stored in the district tree value).
+    pub district: PBTree,
+    /// customer records keyed by compound (district, customer id).
+    pub customer: PBTree,
+    /// item catalogue keyed by item id.
+    pub item: PBTree,
+    /// stock keyed by item id.
+    pub stock: PBTree,
+    /// orders table.
+    pub orders: OrderTable,
+    /// new-order table.
+    pub new_order: OrderTable,
+    /// order-line table (keyed by (district, order * 16 + line)).
+    pub order_line: OrderTable,
+    /// Number of items loaded (possibly scaled down).
+    pub items_loaded: u64,
+    /// Latch serializing data-structure modifications across terminals.
+    /// REWIND leaves user-data thread safety to the programmer (Section 4.7);
+    /// the workload uses a single latch for the shared trees, so the
+    /// differences Figure 11 measures come from the logging layouts, not from
+    /// ad-hoc synchronization.
+    pub data_latch: Arc<parking_lot::Mutex<()>>,
+}
+
+impl TpccDb {
+    /// Builds and loads a database with `terminals` terminals and `items`
+    /// catalogue entries (pass [`ITEMS`] for the full-size catalogue).
+    pub fn build(layout: Layout, terminals: usize, items: u64, cfg: RewindConfig) -> Result<TpccDb> {
+        let pool = NvmPool::new(PoolConfig::with_capacity(512 << 20));
+        let mut managers = Vec::new();
+        if layout.recoverable() {
+            let count = if layout.distributed_log() { terminals.max(1) } else { 1 };
+            for _ in 0..count {
+                managers.push(Arc::new(TransactionManager::create(Arc::clone(&pool), cfg)?));
+            }
+        }
+        // The loader uses a plain (unlogged) backing for every layout: TPC-C
+        // measures steady-state new-order throughput, not the initial load.
+        let load_backing = Backing::plain(Arc::clone(&pool), true);
+        let district = PBTree::create(load_backing.clone())?;
+        let customer = PBTree::create(load_backing.clone())?;
+        let item = PBTree::create(load_backing.clone())?;
+        let stock = PBTree::create(load_backing.clone())?;
+        let orders = OrderTable::create(&load_backing, layout.per_district_trees())?;
+        let new_order = OrderTable::create(&load_backing, layout.per_district_trees())?;
+        let order_line = OrderTable::create(&load_backing, layout.per_district_trees())?;
+
+        // Load static tables.
+        for d in 1..=DISTRICTS_PER_WAREHOUSE {
+            district.insert(d, [3001, 0, 0, 0])?; // next order id starts at 3001
+            for c in 1..=CUSTOMERS_PER_DISTRICT.min(items) {
+                customer.insert(compound_key(d, c), [c, d, 10_000, 0])?;
+            }
+        }
+        for i in 1..=items {
+            item.insert(i, [i, 100 + i % 900, 0, 0])?; // price in cents
+            stock.insert(i, [i, 100, 0, 0])?; // quantity 100
+        }
+
+        Ok(TpccDb {
+            layout,
+            pool,
+            managers,
+            district,
+            customer,
+            item,
+            stock,
+            orders,
+            new_order,
+            order_line,
+            items_loaded: items,
+            data_latch: Arc::new(parking_lot::Mutex::new(())),
+        })
+    }
+
+    /// The backing a given terminal should use for transactional work.
+    pub fn backing_for_terminal(&self, terminal: usize) -> Backing {
+        if !self.layout.recoverable() {
+            return Backing::plain(Arc::clone(&self.pool), true);
+        }
+        let tm = if self.layout.distributed_log() {
+            &self.managers[terminal % self.managers.len()]
+        } else {
+            &self.managers[0]
+        };
+        Backing::rewind(Arc::clone(tm))
+    }
+
+    /// Re-binds the trees to `backing` so transactional operations route
+    /// through it. (Trees are cheap handles: header address + backing.)
+    pub fn trees_for(&self, backing: &Backing) -> TpccTrees {
+        let rebind = |t: &PBTree| PBTree::attach(backing.clone(), t.header());
+        let rebind_table = |t: &OrderTable| match t {
+            OrderTable::Shared(t) => OrderTable::Shared(rebind(t)),
+            OrderTable::PerDistrict(ts) => {
+                OrderTable::PerDistrict(ts.iter().map(rebind).collect())
+            }
+        };
+        TpccTrees {
+            district: rebind(&self.district),
+            customer: rebind(&self.customer),
+            item: rebind(&self.item),
+            stock: rebind(&self.stock),
+            orders: rebind_table(&self.orders),
+            new_order: rebind_table(&self.new_order),
+            order_line: rebind_table(&self.order_line),
+        }
+    }
+}
+
+/// The per-terminal view of the database tables, bound to that terminal's
+/// backing (shared or distributed log).
+#[derive(Debug, Clone)]
+pub struct TpccTrees {
+    /// District tree (next order ids).
+    pub district: PBTree,
+    /// Customer tree.
+    pub customer: PBTree,
+    /// Item tree.
+    pub item: PBTree,
+    /// Stock tree.
+    pub stock: PBTree,
+    /// Orders table.
+    pub orders: OrderTable,
+    /// New-order table.
+    pub new_order: OrderTable,
+    /// Order-line table.
+    pub order_line: OrderTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compound_keys_are_unique_per_district() {
+        assert_ne!(compound_key(1, 5), compound_key(2, 5));
+        assert_ne!(compound_key(1, 5), compound_key(1, 6));
+        assert_eq!(compound_key(3, 9) & 0xFFFF_FFFF_FFFF, 9);
+    }
+
+    #[test]
+    fn build_loads_all_static_tables() {
+        let db = TpccDb::build(Layout::Naive, 2, 500, RewindConfig::batch()).unwrap();
+        assert_eq!(db.item.len(), 500);
+        assert_eq!(db.stock.len(), 500);
+        assert_eq!(db.district.len(), DISTRICTS_PER_WAREHOUSE);
+        assert_eq!(
+            db.customer.len(),
+            DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT.min(500)
+        );
+        assert!(db.orders.is_empty());
+        assert_eq!(db.managers.len(), 1);
+    }
+
+    #[test]
+    fn layout_properties() {
+        assert!(!Layout::SimpleNvm.recoverable());
+        assert!(Layout::Naive.recoverable());
+        assert!(Layout::Optimized.per_district_trees());
+        assert!(!Layout::Naive.per_district_trees());
+        assert!(Layout::OptimizedDistLog.distributed_log());
+        assert!(!Layout::Optimized.distributed_log());
+    }
+
+    #[test]
+    fn distributed_log_creates_one_manager_per_terminal() {
+        let db = TpccDb::build(Layout::OptimizedDistLog, 4, 100, RewindConfig::batch()).unwrap();
+        assert_eq!(db.managers.len(), 4);
+        // Terminals map to distinct managers.
+        let b0 = db.backing_for_terminal(0);
+        let b1 = db.backing_for_terminal(1);
+        assert!(!Arc::ptr_eq(b0.manager().unwrap(), b1.manager().unwrap()));
+    }
+
+    #[test]
+    fn order_table_shared_and_per_district_agree() {
+        let db = TpccDb::build(Layout::Optimized, 1, 100, RewindConfig::batch()).unwrap();
+        let backing = db.backing_for_terminal(0);
+        let trees = db.trees_for(&backing);
+        backing
+            .with_tx(|tx| {
+                trees.orders.insert(tx, 3, 42, [1, 2, 3, 4])?;
+                trees.orders.insert(tx, 4, 42, [5, 6, 7, 8])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(trees.orders.lookup(3, 42), Some([1, 2, 3, 4]));
+        assert_eq!(trees.orders.lookup(4, 42), Some([5, 6, 7, 8]));
+        assert_eq!(trees.orders.len(), 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! The new-order transaction and the multi-terminal driver.
+//!
+//! New-order is the most write-intensive TPC-C transaction: it reads the
+//! customer and district, increments the district's next-order counter,
+//! inserts an order, a new-order entry and 5–15 order lines, and updates the
+//! stock of every ordered item. As per the specification, 1 % of transactions
+//! carry an invalid item and must be aborted — which the recoverable layouts
+//! roll back through REWIND and the non-recoverable layout simply ignores
+//! (its partial effects stay in place, as the paper notes).
+
+use crate::schema::{TpccDb, TpccTrees, DISTRICTS_PER_WAREHOUSE};
+use crate::Result;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rewind_pds::Backing;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Input parameters of one new-order transaction.
+#[derive(Debug, Clone)]
+pub struct NewOrderParams {
+    /// District the order is placed in (1-based).
+    pub district: u64,
+    /// Ordering customer (1-based).
+    pub customer: u64,
+    /// Items and quantities ordered.
+    pub lines: Vec<(u64, u64)>,
+    /// Whether this transaction must abort (invalid item), ~1 % of the mix.
+    pub must_abort: bool,
+}
+
+impl NewOrderParams {
+    /// Draws a random new-order according to the TPC-C mix.
+    pub fn random(rng: &mut SmallRng, items: u64) -> Self {
+        let lines = (0..rng.gen_range(5..=15))
+            .map(|_| (rng.gen_range(1..=items), rng.gen_range(1..=10)))
+            .collect();
+        NewOrderParams {
+            district: rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE),
+            customer: rng.gen_range(1..=100.min(items)),
+            lines,
+            must_abort: rng.gen_range(0..100) == 0,
+        }
+    }
+}
+
+/// Outcome of a workload run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TpccReport {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (rolled back).
+    pub aborted: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// Simulated NVM nanoseconds charged during the run.
+    pub sim_ns: u64,
+    /// Committed transactions per minute, by wall clock.
+    pub tpm_wall: f64,
+    /// Committed transactions per minute, by wall clock plus simulated NVM
+    /// latency (the figure the harness reports).
+    pub tpm_sim: f64,
+}
+
+/// Drives new-order transactions against a [`TpccDb`].
+#[derive(Debug)]
+pub struct TpccRunner {
+    db: Arc<TpccDb>,
+}
+
+impl TpccRunner {
+    /// Creates a runner over `db`.
+    pub fn new(db: Arc<TpccDb>) -> Self {
+        TpccRunner { db }
+    }
+
+    /// The database under test.
+    pub fn db(&self) -> &Arc<TpccDb> {
+        &self.db
+    }
+
+    /// Executes one new-order transaction on behalf of `terminal`.
+    /// Returns `true` if it committed, `false` if it was aborted.
+    pub fn new_order(
+        &self,
+        backing: &Backing,
+        trees: &TpccTrees,
+        params: &NewOrderParams,
+    ) -> Result<bool> {
+        let d = params.district;
+        // Serialize data-structure access across terminals (see
+        // `TpccDb::data_latch`); the log underneath still behaves according
+        // to the layout being measured.
+        let _latch = self.db.data_latch.lock();
+        let result = backing.with_tx(|tx| {
+            // Read customer and district; bump the district's next order id.
+            let _customer = trees
+                .customer
+                .lookup(crate::schema::compound_key(d, params.customer));
+            let district_row = trees.district.lookup(d).unwrap_or([3001, 0, 0, 0]);
+            let order_id = district_row[0];
+            trees
+                .district
+                .update_in(tx, d, [order_id + 1, district_row[1], district_row[2], district_row[3]])?;
+            // Insert the order and its new-order entry.
+            trees
+                .orders
+                .insert(tx, d, order_id, [params.customer, params.lines.len() as u64, 0, 0])?;
+            trees.new_order.insert(tx, d, order_id, [order_id, 0, 0, 0])?;
+            // Order lines + stock updates.
+            for (line_no, (item, qty)) in params.lines.iter().enumerate() {
+                let price = trees.item.lookup(*item).map(|v| v[1]).unwrap_or(100);
+                trees.order_line.insert(
+                    tx,
+                    d,
+                    order_id * 16 + line_no as u64,
+                    [*item, *qty, price * qty, 0],
+                )?;
+                let stock = trees.stock.lookup(*item).unwrap_or([*item, 100, 0, 0]);
+                let new_qty = if stock[1] >= *qty + 10 {
+                    stock[1] - qty
+                } else {
+                    stock[1] + 91 - qty
+                };
+                trees
+                    .stock
+                    .update_in(tx, *item, [stock[0], new_qty, stock[2] + qty, stock[3] + 1])?;
+            }
+            if params.must_abort {
+                // Invalid item: the whole order must be rolled back.
+                return Err(rewind_core::RewindError::Aborted("invalid item".into()));
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => Ok(true),
+            Err(rewind_core::RewindError::Aborted(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs `per_terminal` new-order transactions on each of `terminals`
+    /// threads and reports throughput.
+    pub fn run(&self, terminals: usize, per_terminal: u64, seed: u64) -> Result<TpccReport> {
+        let start_stats = self.db.pool.stats();
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for t in 0..terminals {
+            let db = Arc::clone(&self.db);
+            let runner = TpccRunner { db: Arc::clone(&self.db) };
+            let backing = db.backing_for_terminal(t);
+            let trees = db.trees_for(&backing);
+            let items = db.items_loaded;
+            handles.push(std::thread::spawn(move || -> Result<(u64, u64)> {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64 + 1) * 0x9E37);
+                let mut committed = 0;
+                let mut aborted = 0;
+                for _ in 0..per_terminal {
+                    let params = NewOrderParams::random(&mut rng, items);
+                    if runner.new_order(&backing, &trees, &params)? {
+                        committed += 1;
+                    } else {
+                        aborted += 1;
+                    }
+                }
+                Ok((committed, aborted))
+            }));
+        }
+        let mut committed = 0;
+        let mut aborted = 0;
+        for h in handles {
+            let (c, a) = h.join().expect("terminal thread panicked")?;
+            committed += c;
+            aborted += a;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let sim_ns = self.db.pool.stats().since(&start_stats).sim_ns;
+        let total_seconds = wall + sim_ns as f64 / 1e9;
+        Ok(TpccReport {
+            committed,
+            aborted,
+            wall_seconds: wall,
+            sim_ns,
+            tpm_wall: committed as f64 / wall * 60.0,
+            tpm_sim: committed as f64 / total_seconds * 60.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_core::RewindConfig;
+    use crate::schema::Layout;
+
+    fn small_db(layout: Layout) -> Arc<TpccDb> {
+        Arc::new(TpccDb::build(layout, 2, 200, RewindConfig::batch()).unwrap())
+    }
+
+    #[test]
+    fn new_order_commits_and_updates_tables() {
+        for layout in [Layout::SimpleNvm, Layout::Naive, Layout::Optimized] {
+            let db = small_db(layout);
+            let runner = TpccRunner::new(Arc::clone(&db));
+            let backing = db.backing_for_terminal(0);
+            let trees = db.trees_for(&backing);
+            let params = NewOrderParams {
+                district: 3,
+                customer: 7,
+                lines: vec![(1, 2), (5, 1), (9, 4)],
+                must_abort: false,
+            };
+            assert!(runner.new_order(&backing, &trees, &params).unwrap());
+            assert_eq!(trees.orders.len(), 1, "{layout:?}");
+            assert_eq!(trees.new_order.len(), 1);
+            assert_eq!(trees.order_line.len(), 3);
+            // The district counter advanced.
+            assert_eq!(trees.district.lookup(3).unwrap()[0], 3002);
+            // Stock decreased.
+            assert_eq!(trees.stock.lookup(1).unwrap()[1], 98);
+        }
+    }
+
+    #[test]
+    fn aborted_new_order_leaves_no_trace_when_recoverable() {
+        let db = small_db(Layout::Optimized);
+        let runner = TpccRunner::new(Arc::clone(&db));
+        let backing = db.backing_for_terminal(0);
+        let trees = db.trees_for(&backing);
+        let params = NewOrderParams {
+            district: 1,
+            customer: 1,
+            lines: vec![(2, 3), (4, 5)],
+            must_abort: true,
+        };
+        assert!(!runner.new_order(&backing, &trees, &params).unwrap());
+        assert_eq!(trees.orders.len(), 0);
+        assert_eq!(trees.order_line.len(), 0);
+        assert_eq!(trees.district.lookup(1).unwrap()[0], 3001);
+        assert_eq!(trees.stock.lookup(2).unwrap()[1], 100);
+    }
+
+    #[test]
+    fn multi_terminal_run_reports_throughput() {
+        for layout in [Layout::Naive, Layout::OptimizedDistLog] {
+            let db = small_db(layout);
+            let runner = TpccRunner::new(Arc::clone(&db));
+            let report = runner.run(2, 30, 42).unwrap();
+            assert_eq!(report.committed + report.aborted, 60, "{layout:?}");
+            assert!(report.tpm_sim > 0.0);
+            assert!(report.tpm_wall >= report.tpm_sim);
+            assert_eq!(db.orders.len(), report.committed);
+        }
+    }
+
+    #[test]
+    fn random_params_respect_tpcc_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let p = NewOrderParams::random(&mut rng, 500);
+            assert!((1..=DISTRICTS_PER_WAREHOUSE).contains(&p.district));
+            assert!((5..=15).contains(&p.lines.len()));
+            assert!(p.lines.iter().all(|(i, q)| *i >= 1 && *i <= 500 && *q >= 1 && *q <= 10));
+        }
+    }
+}

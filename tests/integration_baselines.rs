@@ -1,0 +1,76 @@
+//! Cross-crate test: REWIND and the page-based baseline engines agree on the
+//! same workload, and the cost relationship the paper reports (REWIND is far
+//! cheaper per update) holds in the simulated cost model.
+
+use rewind::pds::btree::value_from_seed;
+use rewind::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn rewind_and_baselines_agree_on_workload_results() {
+    let ops = 400u64;
+    // REWIND B+-tree.
+    let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
+    let tm = Arc::new(TransactionManager::create(pool.clone(), RewindConfig::batch()).unwrap());
+    let tree = PBTree::create(Backing::rewind(tm)).unwrap();
+    // Baseline engine.
+    let bpool = NvmPool::new(PoolConfig::with_capacity(128 << 20));
+    let kv = KvStore::create(bpool.clone(), Personality::BerkeleyDbLike, 128, 8192, 64 << 20, 64)
+        .unwrap();
+
+    for k in 0..ops {
+        tree.insert(k, value_from_seed(k)).unwrap();
+        let tx = kv.begin();
+        kv.insert(tx, k, [k as u8; 32]).unwrap();
+        kv.commit(tx);
+    }
+    for k in (0..ops).step_by(3) {
+        tree.delete(k).unwrap();
+        let tx = kv.begin();
+        kv.delete(tx, k).unwrap();
+        kv.commit(tx);
+    }
+    for k in 0..ops {
+        let expected = k % 3 != 0;
+        assert_eq!(tree.contains(k), expected, "rewind key {k}");
+        assert_eq!(kv.lookup(k).is_some(), expected, "baseline key {k}");
+    }
+}
+
+#[test]
+fn rewind_charges_orders_of_magnitude_less_nvm_cost_per_update() {
+    let ops = 500u64;
+    let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
+    let tm = Arc::new(TransactionManager::create(pool.clone(), RewindConfig::batch()).unwrap());
+    let tree = PBTree::create(Backing::rewind(tm)).unwrap();
+    let before = pool.stats();
+    for k in 0..ops {
+        tree.insert(k, value_from_seed(k)).unwrap();
+    }
+    let rewind_ns = pool.stats().since(&before).sim_ns;
+
+    let mut baseline_ns = Vec::new();
+    for p in [
+        Personality::StasisLike,
+        Personality::BerkeleyDbLike,
+        Personality::ShoreMtLike,
+    ] {
+        let bpool = NvmPool::new(PoolConfig::with_capacity(128 << 20));
+        let kv = KvStore::create(bpool.clone(), p, 128, 8192, 64 << 20, 64).unwrap();
+        let before = bpool.stats();
+        for k in 0..ops {
+            let tx = kv.begin();
+            kv.insert(tx, k, [1u8; 32]).unwrap();
+            kv.commit(tx);
+        }
+        baseline_ns.push(bpool.stats().since(&before).sim_ns);
+    }
+    for (i, b) in baseline_ns.iter().enumerate() {
+        assert!(
+            *b > rewind_ns * 5,
+            "baseline {i} should be much more expensive: {b} vs {rewind_ns}"
+        );
+    }
+    // And the ordering among baselines follows their logging weight.
+    assert!(baseline_ns[0] < baseline_ns[2], "stasis < shore-mt");
+}

@@ -1,0 +1,79 @@
+//! Cross-crate test: the persistent B+-tree over the REWIND runtime, with
+//! crashes injected between and during transactions.
+
+use rewind::pds::btree::value_from_seed;
+use rewind::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[test]
+fn btree_contents_match_oracle_across_crashes() {
+    let cfg = RewindConfig::batch();
+    let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
+    let tm = Arc::new(TransactionManager::create(pool.clone(), cfg).unwrap());
+    let tree = PBTree::create(Backing::rewind(Arc::clone(&tm))).unwrap();
+    let header = tree.header();
+    let mut oracle: BTreeMap<u64, Value> = BTreeMap::new();
+
+    // Committed batch.
+    for k in 0..300u64 {
+        let v = value_from_seed(k);
+        tree.insert(k, v).unwrap();
+        oracle.insert(k, v);
+    }
+    // Crash mid-stream of further single-op transactions.
+    pool.crash_injector().arm_after(2_000);
+    for k in 300..600u64 {
+        let frozen = pool.crash_injector().is_frozen();
+        let _ = tree.insert(k, value_from_seed(k));
+        if !frozen && !pool.crash_injector().is_frozen() {
+            oracle.insert(k, value_from_seed(k));
+        }
+    }
+    drop(tree);
+    drop(tm);
+    pool.power_cycle();
+
+    let tm = Arc::new(TransactionManager::open(pool.clone(), cfg).unwrap());
+    let tree = PBTree::attach(Backing::rewind(tm), header);
+    assert!(tree.check_invariants());
+    for (k, v) in &oracle {
+        assert_eq!(tree.lookup(*k).as_ref(), Some(v), "key {k}");
+    }
+}
+
+#[test]
+fn multi_operation_transactions_are_all_or_nothing() {
+    let cfg = RewindConfig::batch().policy(Policy::Force);
+    let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
+    let tm = Arc::new(TransactionManager::create(pool.clone(), cfg).unwrap());
+    let tree = PBTree::create(Backing::rewind(Arc::clone(&tm))).unwrap();
+    for k in 0..100u64 {
+        tree.insert(k, value_from_seed(k)).unwrap();
+    }
+    // One transaction moves 50 keys (delete + reinsert at a new location).
+    let moved: Result<()> = tm.run(|tx| {
+        let token = Some(TxToken(tx.id()));
+        for k in 0..50u64 {
+            tree.delete_in(token, k)?;
+            tree.insert_in(token, 1000 + k, value_from_seed(k))?;
+        }
+        Ok(())
+    });
+    moved.unwrap();
+    assert_eq!(tree.len(), 100);
+    assert!(tree.contains(1000) && !tree.contains(0));
+
+    // The same kind of transaction, aborted, changes nothing.
+    let aborted: Result<()> = tm.run(|tx| {
+        let token = Some(TxToken(tx.id()));
+        for k in 50..100u64 {
+            tree.delete_in(token, k)?;
+            tree.insert_in(token, 2000 + k, value_from_seed(k))?;
+        }
+        Err(RewindError::Aborted("no".into()))
+    });
+    assert!(aborted.is_err());
+    assert!(tree.contains(50) && !tree.contains(2050));
+    assert!(tree.check_invariants());
+}

@@ -1,0 +1,81 @@
+//! Multi-threaded integration tests: many threads share one transaction
+//! manager (and therefore one log) while operating on disjoint data, then the
+//! pool crashes and everything committed must be recovered.
+
+use rewind::pds::btree::value_from_seed;
+use rewind::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn threads_share_a_log_and_all_commits_survive_a_crash() {
+    for cfg in [RewindConfig::batch(), RewindConfig::batch().policy(Policy::Force)] {
+        let pool = NvmPool::new(PoolConfig::with_capacity(256 << 20));
+        let threads = 4usize;
+        let per_thread = 200u64;
+        let headers: Vec<_>;
+        {
+            let tm = Arc::new(TransactionManager::create(pool.clone(), cfg).unwrap());
+            let trees: Vec<PBTree> = (0..threads)
+                .map(|_| PBTree::create(Backing::rewind(Arc::clone(&tm))).unwrap())
+                .collect();
+            headers = trees.iter().map(|t| t.header()).collect();
+            std::thread::scope(|s| {
+                for tree in &trees {
+                    s.spawn(move || {
+                        for k in 0..per_thread {
+                            tree.insert(k, value_from_seed(k)).unwrap();
+                        }
+                    });
+                }
+            });
+            if cfg.policy == Policy::NoForce {
+                tm.checkpoint().unwrap();
+            }
+        }
+        pool.power_cycle();
+        let tm = Arc::new(TransactionManager::open(pool.clone(), cfg).unwrap());
+        for header in headers {
+            let tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), header);
+            assert!(tree.check_invariants());
+            assert_eq!(tree.len(), per_thread, "cfg {cfg:?}");
+            for k in 0..per_thread {
+                assert_eq!(tree.lookup(k), Some(value_from_seed(k)));
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_commits_and_rollbacks_do_not_interfere() {
+    let pool = NvmPool::new(PoolConfig::with_capacity(128 << 20));
+    let tm = Arc::new(TransactionManager::create(pool.clone(), RewindConfig::batch()).unwrap());
+    let slots = pool.alloc(8 * 64).unwrap();
+    for i in 0..64 {
+        pool.write_u64_nt(slots.word(i), 0);
+    }
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let tm = Arc::clone(&tm);
+            s.spawn(move || {
+                for i in 0..16u64 {
+                    let idx = t * 16 + i;
+                    // Even slots commit, odd slots roll back.
+                    let r: Result<()> = tm.run(|tx| {
+                        tx.write_u64(slots.word(idx), idx + 1)?;
+                        if idx % 2 == 1 {
+                            return Err(RewindError::Aborted("odd".into()));
+                        }
+                        Ok(())
+                    });
+                    assert_eq!(r.is_ok(), idx % 2 == 0);
+                }
+            });
+        }
+    });
+    for idx in 0..64u64 {
+        let expect = if idx % 2 == 0 { idx + 1 } else { 0 };
+        assert_eq!(pool.read_u64(slots.word(idx)), expect, "slot {idx}");
+    }
+    assert_eq!(tm.stats().committed, 32);
+    assert_eq!(tm.stats().rolled_back, 32);
+}

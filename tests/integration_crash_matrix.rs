@@ -1,0 +1,118 @@
+//! A crash-point sweep across configurations: inject a power failure after
+//! every N-th persist event while a stream of list and tree transactions
+//! runs, recover, and check atomicity plus structural invariants every time.
+
+use rewind::pds::btree::value_from_seed;
+use rewind::pds::PList;
+use rewind::prelude::*;
+use std::sync::Arc;
+
+fn run_matrix(cfg: RewindConfig) {
+    for crash_at in (25..=1500u64).step_by(125) {
+        let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
+        let tree_header;
+        let list_header;
+        {
+            let tm = Arc::new(TransactionManager::create(pool.clone(), cfg).unwrap());
+            let tree = PBTree::create(Backing::rewind(Arc::clone(&tm))).unwrap();
+            let list = PList::create(Backing::rewind(Arc::clone(&tm))).unwrap();
+            tree_header = tree.header();
+            list_header = list.header();
+            // Committed base state.
+            for k in 0..50u64 {
+                tree.insert(k, value_from_seed(k)).unwrap();
+                list.push_back(k).unwrap();
+            }
+            if cfg.policy == Policy::NoForce {
+                tm.checkpoint().unwrap();
+            }
+            // Arm the crash, then keep mutating.
+            pool.crash_injector().arm_after(crash_at);
+            let nodes: Vec<_> = {
+                let mut cur = list.head();
+                let mut v = Vec::new();
+                while !cur.is_null() {
+                    v.push(cur);
+                    cur = list.next(cur);
+                }
+                v
+            };
+            for k in 50..120u64 {
+                let _ = tree.insert(k, value_from_seed(k));
+                if k % 10 == 0 {
+                    let _ = list.remove(nodes[(k % 50) as usize]);
+                }
+            }
+        }
+        pool.power_cycle();
+        let tm = Arc::new(TransactionManager::open(pool.clone(), cfg).unwrap());
+        let tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), tree_header);
+        let list = PList::attach(Backing::rewind(tm), list_header);
+        assert!(
+            tree.check_invariants(),
+            "cfg {cfg:?} crash {crash_at}: tree invariants violated"
+        );
+        for k in 0..50u64 {
+            assert_eq!(
+                tree.lookup(k),
+                Some(value_from_seed(k)),
+                "cfg {cfg:?} crash {crash_at}: committed key {k} lost"
+            );
+        }
+        // The list's forward and backward traversals must agree.
+        let forward = list.values();
+        let mut backward = Vec::new();
+        let mut cur = list.tail();
+        while !cur.is_null() {
+            backward.push(list.value(cur));
+            cur = list.prev(cur);
+        }
+        backward.reverse();
+        assert_eq!(forward, backward, "cfg {cfg:?} crash {crash_at}");
+        // Everything keeps working after recovery.
+        tree.insert(9_999, value_from_seed(1)).unwrap();
+        assert!(tree.contains(9_999));
+    }
+}
+
+#[test]
+fn crash_matrix_batch_noforce() {
+    run_matrix(RewindConfig::batch());
+}
+
+#[test]
+fn crash_matrix_batch_force() {
+    run_matrix(RewindConfig::batch().policy(Policy::Force));
+}
+
+#[test]
+fn crash_matrix_optimized_two_layer() {
+    run_matrix(RewindConfig::optimized().layers(LogLayers::TwoLayer));
+}
+
+#[test]
+fn crash_matrix_torn_words() {
+    // The torn-word crash mode persists a random subset of the words of each
+    // in-flight cacheline; committed data must still survive intact.
+    let cfg = RewindConfig::batch();
+    for seed in [1u64, 7, 42] {
+        let pool = NvmPool::new(
+            PoolConfig::with_capacity(64 << 20).crash_mode(CrashMode::TornWords(seed)),
+        );
+        let tm = Arc::new(TransactionManager::create(pool.clone(), cfg).unwrap());
+        let tree = PBTree::create(Backing::rewind(Arc::clone(&tm))).unwrap();
+        let header = tree.header();
+        for k in 0..100u64 {
+            tree.insert(k, value_from_seed(k)).unwrap();
+        }
+        drop(tree);
+        drop(tm);
+        pool.power_cycle();
+        let tm = Arc::new(TransactionManager::open(pool.clone(), cfg).unwrap());
+        let tree = PBTree::attach(Backing::rewind(tm), header);
+        assert!(tree.check_invariants(), "seed {seed}");
+        for k in 0..100u64 {
+            assert_eq!(tree.lookup(k), Some(value_from_seed(k)), "seed {seed} key {k}");
+        }
+    }
+}
