@@ -1,0 +1,4 @@
+//! Shard-count × thread-count scalability sweep of the sharded store.
+fn main() {
+    rewind_bench::shard_scalability(rewind_bench::scale_from_env());
+}

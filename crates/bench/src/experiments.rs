@@ -11,8 +11,10 @@ use rewind_nvm::{CostModel, NvmPool, PoolConfig};
 use rewind_pagestore::{KvStore, Personality};
 use rewind_pds::btree::value_from_seed;
 use rewind_pds::{Backing, PBTree, PTable};
+use rewind_shard::{ShardConfig, ShardedStore};
 use rewind_tpcc::{Layout, TpccDb, TpccRunner};
 use std::sync::Arc;
+use std::time::Instant;
 
 const NVM_WRITE_NS: u64 = 150;
 
@@ -57,7 +59,8 @@ pub fn fig03_update_intensity(scale: f64) {
         let compute_ns = NVM_WRITE_NS * (100 - intensity) / intensity.max(1);
         // Non-recoverable NVM baseline.
         let base_pool = pool_mib(64, CostModel::paper());
-        let base_table = PTable::create(Backing::plain(Arc::clone(&base_pool), true), 1024).unwrap();
+        let base_table =
+            PTable::create(Backing::plain(Arc::clone(&base_pool), true), 1024).unwrap();
         let base = measure(&base_pool, || {
             for i in 0..updates {
                 base_pool.charge_compute_ns(compute_ns);
@@ -127,7 +130,8 @@ pub fn fig03_skip_records(scale: f64) {
     for skip in (100..=1000).step_by(150) {
         // Non-recoverable baseline: the same user writes, no logging.
         let base_pool = pool_mib(64, CostModel::paper());
-        let base_table = PTable::create(Backing::plain(Arc::clone(&base_pool), true), 4096).unwrap();
+        let base_table =
+            PTable::create(Backing::plain(Arc::clone(&base_pool), true), 4096).unwrap();
         let base = measure(&base_pool, || {
             for i in 0..target_ops {
                 base_table.set(None, i, i + 1).unwrap();
@@ -270,7 +274,12 @@ pub fn fig06_checkpoint(scale: f64) {
     let inserts = scaled(100_000, scale, 4_000);
     header(
         "Figure 6: checkpointing overhead vs checkpoint interval",
-        &["ckpt_every_records", "Simple_pct", "Optimized_pct", "Batch_pct"],
+        &[
+            "ckpt_every_records",
+            "Simple_pct",
+            "Optimized_pct",
+            "Batch_pct",
+        ],
     );
     // Baseline runs without checkpoints, one per structure.
     let mut base = Vec::new();
@@ -279,7 +288,8 @@ pub fn fig06_checkpoint(scale: f64) {
         let table = PTable::create(Backing::rewind(Arc::clone(&tm)), 1024).unwrap();
         base.push(measure(&pool, || {
             for i in 0..inserts {
-                tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i)).unwrap();
+                tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i))
+                    .unwrap();
             }
         }));
     }
@@ -291,7 +301,8 @@ pub fn fig06_checkpoint(scale: f64) {
             let table = PTable::create(Backing::rewind(Arc::clone(&tm)), 1024).unwrap();
             let m = measure(&pool, || {
                 for i in 0..inserts {
-                    tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i)).unwrap();
+                    tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i))
+                        .unwrap();
                 }
             });
             cols.push((m.slowdown_over(&base[idx]) - 1.0) * 100.0);
@@ -355,22 +366,35 @@ pub fn fig07_btree_rewind(scale: f64) {
     let ops = loads * 2;
     header(
         "Figure 7 (left): B+-tree logging, REWIND vs non-recoverable",
-        &["update_frac", "DRAM_s", "NVM_s", "Simple_s", "Optimized_s", "Batch_s"],
+        &[
+            "update_frac",
+            "DRAM_s",
+            "NVM_s",
+            "Simple_s",
+            "Optimized_s",
+            "Batch_s",
+        ],
     );
     for update_frac in [0.1, 0.5, 1.0] {
         let mut cols = Vec::new();
         // DRAM: zero-cost pool, cached stores.
         let dram_pool = pool_mib(512, CostModel::free());
         let dram = PBTree::create(Backing::plain(Arc::clone(&dram_pool), false)).unwrap();
-        cols.push(measure(&dram_pool, || btree_workload(&dram, loads, ops, update_frac)));
+        cols.push(measure(&dram_pool, || {
+            btree_workload(&dram, loads, ops, update_frac)
+        }));
         // NVM: persistent, non-recoverable.
         let nvm_pool = pool_mib(512, CostModel::paper());
         let nvm = PBTree::create(Backing::plain(Arc::clone(&nvm_pool), true)).unwrap();
-        cols.push(measure(&nvm_pool, || btree_workload(&nvm, loads, ops, update_frac)));
+        cols.push(measure(&nvm_pool, || {
+            btree_workload(&nvm, loads, ops, update_frac)
+        }));
         for NamedConfig { cfg, .. } in structure_configs() {
             let (pool, tm) = make_tm(cfg, 1024);
             let tree = PBTree::create(Backing::rewind(tm)).unwrap();
-            cols.push(measure(&pool, || btree_workload(&tree, loads, ops, update_frac)));
+            cols.push(measure(&pool, || {
+                btree_workload(&tree, loads, ops, update_frac)
+            }));
         }
         row(&[
             f(update_frac),
@@ -390,7 +414,13 @@ pub fn fig07_btree_baselines(scale: f64) {
     let ops = loads * 2;
     header(
         "Figure 7 (right): B+-tree logging, REWIND vs DBMS baselines",
-        &["update_frac", "REWIND_Batch_s", "Stasis_s", "BerkeleyDB_s", "ShoreMT_s"],
+        &[
+            "update_frac",
+            "REWIND_Batch_s",
+            "Stasis_s",
+            "BerkeleyDB_s",
+            "ShoreMT_s",
+        ],
     );
     for update_frac in [0.5, 1.0] {
         let (pool, tm) = make_tm(RewindConfig::batch(), 1024);
@@ -423,7 +453,13 @@ pub fn fig08_rollback(scale: f64) {
     let base_ops = scaled(80_000, scale.min(0.02), 1_000);
     header(
         "Figure 8 (left): single-transaction rollback duration",
-        &["thousand_ops", "REWIND_Batch_s", "Stasis_s", "BerkeleyDB_s", "ShoreMT_s"],
+        &[
+            "thousand_ops",
+            "REWIND_Batch_s",
+            "Stasis_s",
+            "BerkeleyDB_s",
+            "ShoreMT_s",
+        ],
     );
     for mult in [1u64, 2, 4] {
         let ops = base_ops * mult;
@@ -437,7 +473,8 @@ pub fn fig08_rollback(scale: f64) {
         let token = Some(rewind_pds::TxToken(tx));
         for i in 0..ops {
             if i % 2 == 0 {
-                tree.insert_in(token, 10_000 + i, value_from_seed(i)).unwrap();
+                tree.insert_in(token, 10_000 + i, value_from_seed(i))
+                    .unwrap();
             } else {
                 tree.delete_in(token, i % 1_000).unwrap();
             }
@@ -478,7 +515,13 @@ pub fn fig08_recovery(scale: f64) {
     let base_ops = scaled(80_000, scale.min(0.02), 1_000);
     header(
         "Figure 8 (right): multi-transaction recovery duration",
-        &["thousand_ops", "REWIND_Batch_s", "Stasis_s", "BerkeleyDB_s", "ShoreMT_s"],
+        &[
+            "thousand_ops",
+            "REWIND_Batch_s",
+            "Stasis_s",
+            "BerkeleyDB_s",
+            "ShoreMT_s",
+        ],
     );
     for mult in [1u64, 2] {
         let ops = base_ops * mult;
@@ -552,7 +595,13 @@ pub fn fig09_concurrency(scale: f64) {
     let per_thread = scaled(100_000, scale.min(0.02), 1_000);
     header(
         "Figure 9: multithreaded B+-tree logging",
-        &["threads", "REWIND_Batch_s", "Stasis_s", "BerkeleyDB_s", "ShoreMT_s"],
+        &[
+            "threads",
+            "REWIND_Batch_s",
+            "Stasis_s",
+            "BerkeleyDB_s",
+            "ShoreMT_s",
+        ],
     );
     for threads in [1usize, 2, 4, 8] {
         // REWIND: shared manager, per-thread trees.
@@ -626,7 +675,13 @@ pub fn fig10_fence_sensitivity(scale: f64) {
     let ops = loads;
     header(
         "Figure 10: memory fence sensitivity",
-        &["fence_us", "Optimized_s", "Batch8_s", "Batch16_s", "Batch32_s"],
+        &[
+            "fence_us",
+            "Optimized_s",
+            "Batch8_s",
+            "Batch16_s",
+            "Batch32_s",
+        ],
     );
     let configs = [
         ("Optimized", RewindConfig::optimized()),
@@ -692,6 +747,82 @@ pub fn fig11_tpcc(scale: f64) {
 }
 
 // ---------------------------------------------------------------------------
+// Shard scalability (beyond the paper: the rewind-shard front-end)
+// ---------------------------------------------------------------------------
+
+/// Shard-count × thread-count scalability sweep of the sharded,
+/// group-committed store. Each thread performs a 50/25/25 put/get/delete mix
+/// over its own key range; keys hash across every shard, so threads contend
+/// on shards only through the group-commit pipeline. The pools busy-wait
+/// their NVM latencies (`emulate_latency`) with a 5 µs fence (the top of the
+/// paper's Figure 10 sensitivity sweep), so wall-clock throughput honestly
+/// includes the fence-dominated commit cost — which is exactly what group
+/// commit amortizes and sharding parallelizes. Reported per cell:
+/// wall-clock seconds, total simulated NVM milliseconds (summed over the
+/// shard pools, which run in parallel), throughput in kops/s of wall time,
+/// and the mean committed group size the pipeline achieved.
+pub fn shard_scalability(scale: f64) {
+    let per_thread = scaled(20_000, scale, 500);
+    header(
+        "Shard scalability: shards x threads, group-committed mixed workload",
+        &[
+            "shards",
+            "threads",
+            "wall_s",
+            "sim_ms_total",
+            "kops_wall",
+            "mean_group",
+        ],
+    );
+    for shards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 4, 8, 16] {
+            let store = Arc::new(
+                ShardedStore::create(
+                    ShardConfig::new(shards).shard_capacity(64 << 20).cost(
+                        CostModel::paper()
+                            .with_fence_latency_ns(5_000)
+                            .with_emulation(true),
+                    ),
+                )
+                .expect("create sharded store"),
+            );
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || {
+                        let base = t as u64 * 10_000_000;
+                        for i in 0..per_thread {
+                            let k = base + (i % (per_thread / 2).max(1));
+                            match i % 4 {
+                                0 | 1 => store.put(k, value_from_seed(i)).unwrap(),
+                                2 => {
+                                    let _ = store.get(k).unwrap();
+                                }
+                                _ => {
+                                    let _ = store.delete(k).unwrap();
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let wall_s = start.elapsed().as_secs_f64();
+            let stats = store.stats();
+            let total_ops = per_thread * threads as u64;
+            row(&[
+                shards.to_string(),
+                threads.to_string(),
+                f(wall_s),
+                f(stats.nvm.sim_ns as f64 / 1e6),
+                f(total_ops as f64 / wall_s / 1e3),
+                f(stats.group.mean_group_size()),
+            ]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ablations beyond the paper's figures
 // ---------------------------------------------------------------------------
 
@@ -709,7 +840,8 @@ pub fn ablation_log_tuning(scale: f64) {
         let table = PTable::create(Backing::rewind(Arc::clone(&tm)), 1024).unwrap();
         let m = measure(&pool, || {
             for i in 0..inserts {
-                tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i)).unwrap();
+                tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i))
+                    .unwrap();
             }
         });
         row(&[bucket.to_string(), f(m.total_s())]);
@@ -724,7 +856,8 @@ pub fn ablation_log_tuning(scale: f64) {
         let table = PTable::create(Backing::rewind(Arc::clone(&tm)), 1024).unwrap();
         let m = measure(&pool, || {
             for i in 0..inserts {
-                tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i)).unwrap();
+                tm.run(|tx| tx.write_u64(table.slot_addr(i % 1024), i))
+                    .unwrap();
             }
         });
         row(&[group.to_string(), f(m.total_s())]);

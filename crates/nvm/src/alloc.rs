@@ -63,9 +63,9 @@ pub(crate) fn size_class(size: usize) -> usize {
     if size == 0 {
         WORD
     } else if size < CACHELINE {
-        (size + WORD - 1) / WORD * WORD
+        size.div_ceil(WORD) * WORD
     } else {
-        (size + CACHELINE - 1) / CACHELINE * CACHELINE
+        size.div_ceil(CACHELINE) * CACHELINE
     }
 }
 
@@ -109,7 +109,7 @@ impl NvmAllocator {
         }
         // Bump allocation. Keep cacheline-sized classes cacheline aligned.
         let align = if class >= CACHELINE { CACHELINE } else { WORD } as u64;
-        let start = (inner.frontier + align - 1) / align * align;
+        let start = inner.frontier.div_ceil(align) * align;
         let new_frontier = start + class as u64;
         if new_frontier > inner.end {
             return Err(NvmError::OutOfMemory {
@@ -130,7 +130,11 @@ impl NvmAllocator {
         if addr.offset() < self.heap_start || addr.offset() + class as u64 > inner.frontier {
             return Err(NvmError::InvalidFree(addr.offset()));
         }
-        inner.free_lists.entry(class).or_default().push(addr.offset());
+        inner
+            .free_lists
+            .entry(class)
+            .or_default()
+            .push(addr.offset());
         inner.stats.freed_bytes += class as u64;
         inner.stats.free_blocks += 1;
         Ok(())

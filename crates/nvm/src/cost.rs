@@ -247,6 +247,23 @@ impl StatsSnapshot {
     pub fn sim_duration(&self) -> Duration {
         Duration::from_nanos(self.sim_ns)
     }
+
+    /// Component-wise sum, for aggregating the snapshots of independent
+    /// pools (e.g. the per-shard pools of a partitioned store).
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            nvm_writes: self.nvm_writes + other.nvm_writes,
+            stores: self.stores + other.stores,
+            nt_stores: self.nt_stores + other.nt_stores,
+            flushes: self.flushes + other.flushes,
+            fences: self.fences + other.fences,
+            reads: self.reads + other.reads,
+            allocs: self.allocs + other.allocs,
+            frees: self.frees + other.frees,
+            power_cycles: self.power_cycles + other.power_cycles,
+            sim_ns: self.sim_ns + other.sim_ns,
+        }
+    }
 }
 
 /// Busy-waits for approximately `ns` nanoseconds (the paper's emulation

@@ -68,7 +68,7 @@ impl PAddr {
     /// Returns `true` if the address is aligned to `align` bytes.
     #[inline]
     pub const fn is_aligned(self, align: usize) -> bool {
-        self.0 % align as u64 == 0
+        self.0.is_multiple_of(align as u64)
     }
 }
 

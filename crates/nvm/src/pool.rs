@@ -127,12 +127,12 @@ impl NvmPool {
     /// Creates and formats a fresh pool.
     pub fn new(cfg: PoolConfig) -> Arc<Self> {
         let capacity = cfg.capacity.max(2 * ROOT_SIZE);
-        let capacity = (capacity + CACHELINE - 1) / CACHELINE * CACHELINE;
+        let capacity = capacity.div_ceil(CACHELINE) * CACHELINE;
         let words = capacity / WORD;
         let lines = capacity / CACHELINE;
         let volatile: Box<[AtomicU64]> = (0..words).map(|_| AtomicU64::new(0)).collect();
         let persistent: Box<[AtomicU64]> = (0..words).map(|_| AtomicU64::new(0)).collect();
-        let dirty: Box<[AtomicU64]> = (0..(lines + 63) / 64).map(|_| AtomicU64::new(0)).collect();
+        let dirty: Box<[AtomicU64]> = (0..lines.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
         let pool = NvmPool {
             cfg,
             capacity,
@@ -333,7 +333,10 @@ impl NvmPool {
     /// under the force policy, for user data writes.
     #[inline]
     pub fn write_u64_nt(&self, addr: PAddr, val: u64) {
-        debug_assert!(self.check(addr, WORD, WORD).is_ok(), "bad nt write at {addr}");
+        debug_assert!(
+            self.check(addr, WORD, WORD).is_ok(),
+            "bad nt write at {addr}"
+        );
         self.stats.record_nt_store();
         let idx = self.word_index(addr);
         self.volatile[idx].store(val, Ordering::Release);

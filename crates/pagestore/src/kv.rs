@@ -150,7 +150,11 @@ impl KvStore {
         buffer_pages: usize,
     ) -> Result<Self> {
         let pages = PagedFile::create(Arc::clone(&pool), max_pages)?;
-        let wal = WalManager::create(Arc::clone(&pool), log_capacity, personality.log_partitions())?;
+        let wal = WalManager::create(
+            Arc::clone(&pool),
+            log_capacity,
+            personality.log_partitions(),
+        )?;
         let mut directory = Vec::with_capacity(buckets);
         for _ in 0..buckets {
             let id = pages.allocate_page()?;
@@ -327,8 +331,11 @@ impl KvStore {
             inner.active.remove(&txid);
             inner.stats.committed += 1;
         }
-        self.wal
-            .append(&WalRecord::control(self.wal.next_lsn(), txid, WalRecordKind::Commit));
+        self.wal.append(&WalRecord::control(
+            self.wal.next_lsn(),
+            txid,
+            WalRecordKind::Commit,
+        ));
         self.wal.force(txid);
         // Keep the log bounded: take a checkpoint when a partition is close
         // to full and no transaction is in flight.
@@ -343,7 +350,11 @@ impl KvStore {
         let undo = {
             let mut inner = self.inner.lock();
             inner.stats.rolled_back += 1;
-            inner.active.remove(&txid).map(|t| t.undo).unwrap_or_default()
+            inner
+                .active
+                .remove(&txid)
+                .map(|t| t.undo)
+                .unwrap_or_default()
         };
         // The in-memory undo list is authoritative (it always reflects every
         // update of the transaction, even if a checkpoint truncated the log).
@@ -368,7 +379,8 @@ impl KvStore {
                 // Logical undo (Stasis) re-runs the inverse operation through
                 // the access method, which costs another traversal.
                 if self.personality == Personality::StasisLike {
-                    self.pool.charge_compute_ns(self.personality.op_overhead_ns());
+                    self.pool
+                        .charge_compute_ns(self.personality.op_overhead_ns());
                 }
                 self.wal.append(&WalRecord {
                     lsn: self.wal.next_lsn(),
@@ -377,8 +389,11 @@ impl KvStore {
                 });
             }
         }
-        self.wal
-            .append(&WalRecord::control(self.wal.next_lsn(), txid, WalRecordKind::Abort));
+        self.wal.append(&WalRecord::control(
+            self.wal.next_lsn(),
+            txid,
+            WalRecordKind::Abort,
+        ));
         self.wal.force(txid);
     }
 
@@ -434,7 +449,8 @@ impl KvStore {
     pub fn insert(&self, txid: u64, key: u64, value: KvValue) -> Result<()> {
         let mut inner = self.inner.lock();
         inner.stats.operations += 1;
-        self.pool.charge_compute_ns(self.personality.op_overhead_ns());
+        self.pool
+            .charge_compute_ns(self.personality.op_overhead_ns());
         let old = self.lookup_locked(&mut inner, key);
         let page_id = self.apply_upsert(&mut inner, key, &value);
         self.log_update(&mut inner, txid, page_id, key, old, Some(value));
@@ -445,7 +461,8 @@ impl KvStore {
     pub fn delete(&self, txid: u64, key: u64) -> Result<bool> {
         let mut inner = self.inner.lock();
         inner.stats.operations += 1;
-        self.pool.charge_compute_ns(self.personality.op_overhead_ns());
+        self.pool
+            .charge_compute_ns(self.personality.op_overhead_ns());
         let old = self.lookup_locked(&mut inner, key);
         if old.is_none() {
             return Ok(false);
@@ -748,9 +765,15 @@ mod tests {
         let (_pool, kv) = store(Personality::StasisLike);
         // A single bucket forces every key into one overflow chain.
         let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
-        let kv_single =
-            KvStore::create(Arc::clone(&pool), Personality::StasisLike, 1, 1024, 2 << 20, 16)
-                .unwrap();
+        let kv_single = KvStore::create(
+            Arc::clone(&pool),
+            Personality::StasisLike,
+            1,
+            1024,
+            2 << 20,
+            16,
+        )
+        .unwrap();
         let tx = kv_single.begin();
         for k in 0..(ENTRIES_PER_PAGE as u64 * 3) {
             kv_single.insert(tx, k, value((k % 256) as u8)).unwrap();
@@ -784,8 +807,15 @@ mod tests {
     fn buffer_pool_eviction_preserves_data() {
         let pool = NvmPool::new(PoolConfig::with_capacity(64 << 20));
         // Tiny buffer pool: 4 frames over 64 buckets forces constant eviction.
-        let kv = KvStore::create(Arc::clone(&pool), Personality::BerkeleyDbLike, 64, 4096, 8 << 20, 4)
-            .unwrap();
+        let kv = KvStore::create(
+            Arc::clone(&pool),
+            Personality::BerkeleyDbLike,
+            64,
+            4096,
+            8 << 20,
+            4,
+        )
+        .unwrap();
         let tx = kv.begin();
         for k in 0..300u64 {
             kv.insert(tx, k, value((k % 256) as u8)).unwrap();

@@ -59,7 +59,10 @@ impl Pmfs {
 
     /// Reads `buf.len()` bytes starting at `offset`.
     pub fn read_at(&self, offset: usize, buf: &mut [u8]) {
-        assert!(offset + buf.len() <= self.capacity, "pmfs read out of bounds");
+        assert!(
+            offset + buf.len() <= self.capacity,
+            "pmfs read out of bounds"
+        );
         self.pool.read_bytes(self.base.add(offset as u64), buf);
     }
 
@@ -205,7 +208,11 @@ mod tests {
         pf.write_page(id, &vec![1u8; PAGE_SIZE]);
         let d = pool.stats().since(&before);
         // A 4 KiB page spans 64 cachelines; the engine pays for all of them.
-        assert!(d.nvm_writes >= 60, "page write charged {} writes", d.nvm_writes);
+        assert!(
+            d.nvm_writes >= 60,
+            "page write charged {} writes",
+            d.nvm_writes
+        );
     }
 
     #[test]

@@ -154,7 +154,8 @@ impl PBTree {
         for w in 0..NODE_WORDS {
             self.backing.write_unlogged(node.word(w), 0);
         }
-        self.backing.write_unlogged(node.word(N_IS_LEAF), if leaf { 1 } else { 0 });
+        self.backing
+            .write_unlogged(node.word(N_IS_LEAF), if leaf { 1 } else { 0 });
         Ok(node)
     }
 
@@ -241,7 +242,8 @@ impl PBTree {
         if node.is_null() {
             // First insertion: create the root leaf.
             let leaf = self.new_node(true)?;
-            self.backing.write(tx, self.header.word(H_ROOT), leaf.offset())?;
+            self.backing
+                .write(tx, self.header.word(H_ROOT), leaf.offset())?;
             self.backing
                 .write(tx, self.header.word(H_FIRST_LEAF), leaf.offset())?;
             node = leaf;
@@ -249,7 +251,8 @@ impl PBTree {
         // Preemptive split of a full root.
         if self.nkeys(node) == CAP {
             let new_root = self.new_node(false)?;
-            self.backing.write_unlogged(new_root.word(N_PAYLOAD), node.offset());
+            self.backing
+                .write_unlogged(new_root.word(N_PAYLOAD), node.offset());
             let root_addr = new_root;
             // The new root is unreachable until the header points at it; the
             // split below then only touches logged state.
@@ -320,13 +323,15 @@ impl PBTree {
             }
             (self.key(child, mid), child_n - mid - 1)
         };
-        self.backing.write_unlogged(right.word(N_NKEYS), right_n as u64);
+        self.backing
+            .write_unlogged(right.word(N_NKEYS), right_n as u64);
 
         // Now mutate reachable state (all logged): shrink the child, link the
         // sibling into the leaf chain, and insert the separator into the
         // parent.
         if leaf {
-            self.backing.write(tx, child.word(N_NEXT_LEAF), right.offset())?;
+            self.backing
+                .write(tx, child.word(N_NEXT_LEAF), right.offset())?;
             self.backing.write(tx, child.word(N_NKEYS), mid as u64)?;
         } else {
             self.backing.write(tx, child.word(N_NKEYS), mid as u64)?;
@@ -394,11 +399,13 @@ impl PBTree {
             let src = self.value_addr(leaf, i - 1);
             let dst = self.value_addr(leaf, i);
             for w in 0..VALUE_WORDS as u64 {
-                self.backing.write(tx, dst.word(w), self.backing.read(src.word(w)))?;
+                self.backing
+                    .write(tx, dst.word(w), self.backing.read(src.word(w)))?;
             }
             i -= 1;
         }
-        self.backing.write(tx, leaf.word(N_KEYS + pos as u64), key)?;
+        self.backing
+            .write(tx, leaf.word(N_KEYS + pos as u64), key)?;
         let dst = self.value_addr(leaf, pos);
         for (w, word) in value.iter().enumerate() {
             self.backing.write(tx, dst.word(w as u64), *word)?;
@@ -446,7 +453,8 @@ impl PBTree {
             let src = self.value_addr(node, i + 1);
             let dst = self.value_addr(node, i);
             for w in 0..VALUE_WORDS as u64 {
-                self.backing.write(tx, dst.word(w), self.backing.read(src.word(w)))?;
+                self.backing
+                    .write(tx, dst.word(w), self.backing.read(src.word(w)))?;
             }
         }
         self.backing.write(tx, node.word(N_NKEYS), (n - 1) as u64)?;
@@ -549,10 +557,21 @@ impl PBTree {
                     return false;
                 }
                 for i in 0..=n {
-                    let child_lo = if i == 0 { lo } else { Some(tree.key(node, i - 1)) };
+                    let child_lo = if i == 0 {
+                        lo
+                    } else {
+                        Some(tree.key(node, i - 1))
+                    };
                     let child_hi = if i == n { hi } else { Some(tree.key(node, i)) };
-                    if !walk(tree, tree.child(node, i), child_lo, child_hi, depth + 1, leaf_depth, entries)
-                    {
+                    if !walk(
+                        tree,
+                        tree.child(node, i),
+                        child_lo,
+                        child_hi,
+                        depth + 1,
+                        leaf_depth,
+                        entries,
+                    ) {
                         return false;
                     }
                 }
@@ -561,7 +580,7 @@ impl PBTree {
         }
         let root = self.root();
         if root.is_null() {
-            return self.len() == 0;
+            return self.is_empty();
         }
         let mut leaf_depth = None;
         let mut entries = 0;
@@ -680,7 +699,11 @@ mod tests {
                 Err::<(), _>(rewind_core::RewindError::Aborted("no".into()))
             });
             assert!(err.is_err());
-            assert_eq!(tree.stats(), before, "aborted txn must leave the tree unchanged");
+            assert_eq!(
+                tree.stats(),
+                before,
+                "aborted txn must leave the tree unchanged"
+            );
             assert!(tree.check_invariants());
             assert!(tree.contains(5));
             assert!(!tree.contains(1000));
@@ -732,7 +755,7 @@ mod tests {
                     expect_present = false;
                 }
                 assert!(
-                    !(present && !expect_present),
+                    !present || expect_present,
                     "crash at {crash_at}: key {k} present after a missing one"
                 );
             }

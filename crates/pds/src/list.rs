@@ -124,16 +124,21 @@ impl PList {
         // The new node is unreachable until the links below are written, so
         // its own initialisation needs no logging.
         self.backing.write_unlogged(node.word(NODE_VALUE), value);
-        self.backing.write_unlogged(node.word(NODE_PREV), tail.offset());
+        self.backing
+            .write_unlogged(node.word(NODE_PREV), tail.offset());
         self.backing.write_unlogged(node.word(NODE_NEXT), 0);
         // Critical updates, in the same order as Listing 2.
         if tail.is_null() {
-            self.backing.write(tx, self.header.word(HDR_HEAD), node.offset())?;
+            self.backing
+                .write(tx, self.header.word(HDR_HEAD), node.offset())?;
         } else {
-            self.backing.write(tx, tail.word(NODE_NEXT), node.offset())?;
+            self.backing
+                .write(tx, tail.word(NODE_NEXT), node.offset())?;
         }
-        self.backing.write(tx, self.header.word(HDR_TAIL), node.offset())?;
-        self.backing.write(tx, self.header.word(HDR_LEN), self.len() + 1)?;
+        self.backing
+            .write(tx, self.header.word(HDR_TAIL), node.offset())?;
+        self.backing
+            .write(tx, self.header.word(HDR_LEN), self.len() + 1)?;
         Ok(node)
     }
 
@@ -157,21 +162,26 @@ impl PList {
         let next = self.next(node);
         // if (n == tail) tail = n->prv;
         if self.tail() == node {
-            self.backing.write(tx, self.header.word(HDR_TAIL), prev.offset())?;
+            self.backing
+                .write(tx, self.header.word(HDR_TAIL), prev.offset())?;
         }
         // if (n == head) head = n->nxt;
         if self.head() == node {
-            self.backing.write(tx, self.header.word(HDR_HEAD), next.offset())?;
+            self.backing
+                .write(tx, self.header.word(HDR_HEAD), next.offset())?;
         }
         // if (n->prv) n->prv->nxt = n->nxt;
         if !prev.is_null() {
-            self.backing.write(tx, prev.word(NODE_NEXT), next.offset())?;
+            self.backing
+                .write(tx, prev.word(NODE_NEXT), next.offset())?;
         }
         // if (n->nxt) n->nxt->prv = n->prv;
         if !next.is_null() {
-            self.backing.write(tx, next.word(NODE_PREV), prev.offset())?;
+            self.backing
+                .write(tx, next.word(NODE_PREV), prev.offset())?;
         }
-        self.backing.write(tx, self.header.word(HDR_LEN), self.len() - 1)?;
+        self.backing
+            .write(tx, self.header.word(HDR_LEN), self.len() - 1)?;
         // delete(n) — deferred: it cannot be undone, so it only happens once
         // the transaction's log records are cleared.
         if let (Some(tm), Some(tx)) = (self.backing.manager(), tx) {
@@ -231,9 +241,7 @@ mod tests {
             let cfg = RewindConfig::batch();
             let header;
             {
-                let tm = Arc::new(
-                    TransactionManager::create(Arc::clone(&pool), cfg).unwrap(),
-                );
+                let tm = Arc::new(TransactionManager::create(Arc::clone(&pool), cfg).unwrap());
                 let list = PList::create(Backing::rewind(Arc::clone(&tm))).unwrap();
                 header = list.header();
                 let nodes: Vec<PAddr> = (1..=4).map(|v| list.push_back(v).unwrap()).collect();

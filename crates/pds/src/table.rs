@@ -86,7 +86,9 @@ impl PTable {
 
     /// Sum of all slots (handy for invariant checks in tests).
     pub fn sum(&self) -> u64 {
-        (0..self.slots).map(|i| self.get(i)).fold(0, u64::wrapping_add)
+        (0..self.slots)
+            .map(|i| self.get(i))
+            .fold(0, u64::wrapping_add)
     }
 }
 
@@ -137,7 +139,8 @@ mod tests {
         // Crash + recovery preserve the committed values.
         let base = t.base();
         pool.power_cycle();
-        let tm = Arc::new(TransactionManager::open(Arc::clone(&pool), RewindConfig::batch()).unwrap());
+        let tm =
+            Arc::new(TransactionManager::open(Arc::clone(&pool), RewindConfig::batch()).unwrap());
         let t = PTable::attach(Backing::rewind(tm), base, 8);
         for i in 0..8 {
             assert_eq!(t.get(i), 100 + i);

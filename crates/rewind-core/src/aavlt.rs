@@ -357,8 +357,7 @@ impl Aavlt {
         // The record is not yet reachable through the tree, so its prev link
         // does not need undo logging; it only becomes meaningful once the
         // chain head below is (atomically) switched to it.
-        self.pool
-            .write_u64_nt(record_addr.word(7), old_head);
+        self.pool.write_u64_nt(record_addr.word(7), old_head);
         self.logged_write(node.word(N_CHAIN), record_addr.offset())?;
         self.logged_write(node.word(N_COUNT), self.field(node, N_COUNT) + 1)?;
         self.finish_op(&deferred)?;

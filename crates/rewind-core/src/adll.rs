@@ -94,7 +94,8 @@ impl Adll {
 
     #[inline]
     fn hdr_write(&self, word: u64, value: PAddr) {
-        self.pool.write_u64_nt(self.header.word(word), value.offset());
+        self.pool
+            .write_u64_nt(self.header.word(word), value.offset());
     }
 
     #[inline]
@@ -391,7 +392,7 @@ mod tests {
         let before = p.stats();
         list.append(payload(&p, 2)).unwrap();
         let events_per_append =
-            (p.stats().since(&before).nt_stores + p.stats().since(&before).fences) as u64 + 4;
+            (p.stats().since(&before).nt_stores + p.stats().since(&before).fences) + 4;
 
         for crash_at in 1..=events_per_append {
             let p = pool();

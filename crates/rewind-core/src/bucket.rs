@@ -125,10 +125,7 @@ impl Bucket {
                 pool.clflush_range(PAddr::new(rec), crate::record::RECORD_SIZE);
             }
         }
-        pool.clflush_range(
-            self.cell_addr(from),
-            (to - from) * 8,
-        );
+        pool.clflush_range(self.cell_addr(from), (to - from) * 8);
         pool.sfence();
         pool.write_u64_nt(self.addr.word(OFF_LAST_PERSISTENT), to as u64);
     }

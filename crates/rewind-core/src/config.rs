@@ -219,7 +219,9 @@ mod tests {
     #[test]
     fn fingerprints_distinguish_configurations() {
         let a = RewindConfig::batch().fingerprint();
-        let b = RewindConfig::batch().layers(LogLayers::TwoLayer).fingerprint();
+        let b = RewindConfig::batch()
+            .layers(LogLayers::TwoLayer)
+            .fingerprint();
         let c = RewindConfig::batch().policy(Policy::Force).fingerprint();
         let d = RewindConfig::simple().fingerprint();
         let all = [a, b, c, d];

@@ -33,6 +33,9 @@ pub enum RewindError {
     CorruptLog(String),
     /// The user explicitly aborted a `run` closure.
     Aborted(String),
+    /// The store (or one of its shards) is powered off; it must be recovered
+    /// before it accepts new work.
+    Offline(&'static str),
 }
 
 impl fmt::Display for RewindError {
@@ -47,6 +50,7 @@ impl fmt::Display for RewindError {
             RewindError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
             RewindError::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
             RewindError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
+            RewindError::Offline(what) => write!(f, "{what} is offline; recover it first"),
         }
     }
 }

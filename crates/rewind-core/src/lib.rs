@@ -60,4 +60,4 @@ pub use error::{Result, RewindError};
 pub use log::{LogEntry, RecoverableLog, SlotId};
 pub use record::{LogRecord, RecordType, RECORD_SIZE};
 pub use recovery::RecoveryReport;
-pub use txn::{TmStats, Transaction, TransactionManager, TxId, TxStatus};
+pub use txn::{TmStats, TmStatsSnapshot, Transaction, TransactionManager, TxId, TxStatus};

@@ -422,10 +422,8 @@ impl RecoverableLog {
         let mut inner = self.inner.lock();
         // Step (a): keep a handle to the old structure.
         let old_adll = inner.adll.clone();
-        let old_nodes: Vec<(PAddr, PAddr)> = old_adll
-            .iter()
-            .map(|n| (n, old_adll.element(n)))
-            .collect();
+        let old_nodes: Vec<(PAddr, PAddr)> =
+            old_adll.iter().map(|n| (n, old_adll.element(n))).collect();
         // Step (b): create a new, empty log and adopt it.
         let new_adll = Adll::create(Arc::clone(&self.pool))?;
         let new_header = new_adll.header();
@@ -573,7 +571,12 @@ mod tests {
                 log.append(&rec(i, i % 3)).unwrap();
             }
             assert_eq!(log.len(), 20);
-            let lsns: Vec<u64> = log.scan(false).unwrap().iter().map(|e| e.record.lsn).collect();
+            let lsns: Vec<u64> = log
+                .scan(false)
+                .unwrap()
+                .iter()
+                .map(|e| e.record.lsn)
+                .collect();
             assert_eq!(lsns, (0..20).collect::<Vec<_>>(), "structure {s:?}");
             let tx1: Vec<u64> = log
                 .scan_transaction(1)
@@ -650,7 +653,12 @@ mod tests {
             }
             log.clear_slot(slots[2]).unwrap();
             log.clear_slot(slots[4]).unwrap();
-            let lsns: Vec<u64> = log.scan(false).unwrap().iter().map(|e| e.record.lsn).collect();
+            let lsns: Vec<u64> = log
+                .scan(false)
+                .unwrap()
+                .iter()
+                .map(|e| e.record.lsn)
+                .collect();
             assert_eq!(lsns, vec![0, 1, 3, 5], "structure {s:?}");
             assert_eq!(log.len(), 4);
         }
@@ -670,7 +678,12 @@ mod tests {
         for slot in &slots[..8] {
             log.clear_slot(*slot).unwrap();
         }
-        let lsns: Vec<u64> = log.scan(false).unwrap().iter().map(|e| e.record.lsn).collect();
+        let lsns: Vec<u64> = log
+            .scan(false)
+            .unwrap()
+            .iter()
+            .map(|e| e.record.lsn)
+            .collect();
         assert_eq!(lsns, (8..16).collect::<Vec<_>>());
         // The freed bucket's memory is reusable: appending more records works.
         for i in 16..24 {
@@ -713,7 +726,12 @@ mod tests {
         }
         let compacted = log.compact_if_sparse(0.5).unwrap();
         assert!(compacted.is_some());
-        let lsns: Vec<u64> = log.scan(false).unwrap().iter().map(|e| e.record.lsn).collect();
+        let lsns: Vec<u64> = log
+            .scan(false)
+            .unwrap()
+            .iter()
+            .map(|e| e.record.lsn)
+            .collect();
         assert_eq!(lsns, vec![29, 30, 31]);
         // A dense log is not compacted.
         assert!(log.compact_if_sparse(0.5).unwrap().is_none());

@@ -47,6 +47,21 @@ pub struct RecoveryReport {
     pub log_cleared: bool,
 }
 
+impl RecoveryReport {
+    /// Component-wise sum (`log_cleared` is AND-ed), for aggregating the
+    /// per-shard recovery passes of a partitioned store.
+    pub fn merge(&self, other: &RecoveryReport) -> RecoveryReport {
+        RecoveryReport {
+            finished: self.finished + other.finished,
+            rolled_back: self.rolled_back + other.rolled_back,
+            redone: self.redone + other.redone,
+            undone: self.undone + other.undone,
+            scanned: self.scanned + other.scanned,
+            log_cleared: self.log_cleared && other.log_cleared,
+        }
+    }
+}
+
 impl TransactionManager {
     /// Runs full crash recovery. Called automatically by
     /// [`TransactionManager::open`] when the pool was not shut down cleanly;
@@ -79,10 +94,8 @@ impl TransactionManager {
             let entry = table.entry(rec.txid).or_insert(TxStatus::Running);
             match rec.rtype {
                 RecordType::End => *entry = TxStatus::Finished,
-                RecordType::Rollback => {
-                    if *entry != TxStatus::Finished {
-                        *entry = TxStatus::Aborted;
-                    }
+                RecordType::Rollback if *entry != TxStatus::Finished => {
+                    *entry = TxStatus::Aborted;
                 }
                 _ => {}
             }
@@ -102,10 +115,7 @@ impl TransactionManager {
                 );
             }
         }
-        report.finished = table
-            .values()
-            .filter(|s| **s == TxStatus::Finished)
-            .count() as u64;
+        report.finished = table.values().filter(|s| **s == TxStatus::Finished).count() as u64;
 
         // Phase 2: redo (no-force only) — repeat history.
         if self.cfg.policy == Policy::NoForce {
@@ -180,7 +190,16 @@ impl TransactionManager {
 
         // Recovery leaves no running transactions behind.
         self.table.lock().clear();
+        *self.last_recovery.lock() = Some(report);
         Ok(report)
+    }
+
+    /// Report of the most recent [`TransactionManager::recover`] pass run by
+    /// this manager (including the implicit one in
+    /// [`TransactionManager::open`]), or `None` if none has run. Multi-pool
+    /// front-ends aggregate these per-partition reports into one view.
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        *self.last_recovery.lock()
     }
 
     /// The paper's Algorithm 2: a single backward scan that undoes every
@@ -209,11 +228,11 @@ impl TransactionManager {
             }
             match rec.rtype {
                 RecordType::Clr => {
-                    if !undo_map.contains_key(&rec.txid) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = undo_map.entry(rec.txid) {
                         // First (i.e. most recent) CLR of this transaction:
                         // everything at or above the LSN it compensated is
                         // already undone.
-                        undo_map.insert(rec.txid, rec.undo_next.offset());
+                        e.insert(rec.undo_next.offset());
                         if self.cfg.policy == Policy::Force {
                             // Re-apply the most recent compensation: it may
                             // have been created right before the crash,
@@ -246,9 +265,9 @@ impl TransactionManager {
         let mut undone = 0u64;
         for txid in losers {
             let chain = index.records_of(*txid)?; // newest first
-            // Records already undone = number of CLRs written before the
-            // crash; the undo order is deterministic (newest update first),
-            // so the newest `clr_count` updates are already compensated.
+                                                  // Records already undone = number of CLRs written before the
+                                                  // crash; the undo order is deterministic (newest update first),
+                                                  // so the newest `clr_count` updates are already compensated.
             let clr_count = chain
                 .iter()
                 .filter(|(_, r)| r.rtype == RecordType::Clr)

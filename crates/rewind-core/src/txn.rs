@@ -89,6 +89,21 @@ pub struct TmStatsSnapshot {
     pub recoveries: u64,
 }
 
+impl TmStatsSnapshot {
+    /// Component-wise sum, for aggregating the managers of independent
+    /// partitions (e.g. the shards of a sharded store) into one view.
+    pub fn merge(&self, other: &TmStatsSnapshot) -> TmStatsSnapshot {
+        TmStatsSnapshot {
+            begun: self.begun + other.begun,
+            committed: self.committed + other.committed,
+            rolled_back: self.rolled_back + other.rolled_back,
+            records_logged: self.records_logged + other.records_logged,
+            checkpoints: self.checkpoints + other.checkpoints,
+            recoveries: self.recoveries + other.recoveries,
+        }
+    }
+}
+
 /// Storage backend for log records: the one-layer configurations keep them in
 /// the recoverable log directly; the two-layer configurations keep them in the
 /// atomic AVL tree (whose own updates are logged in its private list).
@@ -113,6 +128,9 @@ pub struct TransactionManager {
     /// Records appended since the last checkpoint (drives automatic
     /// checkpointing under the no-force policy).
     pub(crate) records_since_checkpoint: AtomicU64,
+    /// Report of the most recent recovery pass run by this manager, if any
+    /// (surfaced so a multi-pool front-end can aggregate recovery work).
+    pub(crate) last_recovery: Mutex<Option<crate::recovery::RecoveryReport>>,
     /// Serializes checkpoints and whole-log clearing against each other.
     pub(crate) checkpoint_lock: Mutex<()>,
 }
@@ -139,6 +157,7 @@ impl TransactionManager {
             stats: TmStats::default(),
             records_since_checkpoint: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
+            last_recovery: Mutex::new(None),
         };
         tm.persist_root();
         tm.pool.mark_in_use();
@@ -183,6 +202,7 @@ impl TransactionManager {
             stats: TmStats::default(),
             records_since_checkpoint: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
+            last_recovery: Mutex::new(None),
         };
         if !pool.was_clean_shutdown() {
             tm.recover()?;
@@ -206,7 +226,8 @@ impl TransactionManager {
     /// Writes the durable root pointers for the current backend.
     pub(crate) fn persist_root(&self) {
         let root = self.pool.user_root();
-        self.pool.write_u64_nt(root.word(RW_FINGERPRINT), self.cfg.fingerprint());
+        self.pool
+            .write_u64_nt(root.word(RW_FINGERPRINT), self.cfg.fingerprint());
         match &self.backend {
             Backend::One(log) => {
                 self.pool
@@ -265,11 +286,7 @@ impl TransactionManager {
     pub fn log_len(&self) -> u64 {
         match &self.backend {
             Backend::One(log) => log.len(),
-            Backend::Two(index) => index
-                .txids()
-                .iter()
-                .map(|t| index.record_count(*t))
-                .sum(),
+            Backend::Two(index) => index.txids().iter().map(|t| index.record_count(*t)).sum(),
         }
     }
 
@@ -292,7 +309,10 @@ impl TransactionManager {
     /// Returns every live record as `(slot-or-chain-position, record)` pairs
     /// in log order (one-layer) or grouped by transaction (two-layer).
     /// Recovery and checkpointing build on this.
-    pub(crate) fn all_records(&self, trust_watermark: bool) -> Result<Vec<(RecordLocation, LogRecord)>> {
+    pub(crate) fn all_records(
+        &self,
+        trust_watermark: bool,
+    ) -> Result<Vec<(RecordLocation, LogRecord)>> {
         match &self.backend {
             Backend::One(log) => Ok(log
                 .scan(trust_watermark)?
@@ -485,7 +505,8 @@ impl TransactionManager {
     /// table.
     pub(crate) fn append_for(&self, tx: TxId, rec: &mut LogRecord) -> Result<PAddr> {
         self.stats.records_logged.fetch_add(1, Ordering::Relaxed);
-        self.records_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+        self.records_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed);
         match &self.backend {
             Backend::One(log) => {
                 let (addr, _slot) = log.append(rec)?;

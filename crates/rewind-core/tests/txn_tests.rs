@@ -2,9 +2,7 @@
 //! across all REWIND configurations ({one,two}-layer × {force,no-force} ×
 //! {Simple,Optimized,Batch}).
 
-use rewind_core::{
-    LogLayers, LogStructure, Policy, RewindConfig, RewindError, TransactionManager,
-};
+use rewind_core::{LogLayers, LogStructure, Policy, RewindConfig, RewindError, TransactionManager};
 use rewind_nvm::{NvmPool, PAddr, PoolConfig};
 use std::sync::Arc;
 
@@ -158,8 +156,7 @@ fn force_policy_clears_log_at_commit_noforce_keeps_it() {
         };
         // Force: log empty right after commit.
         let p = pool();
-        let tm =
-            TransactionManager::create(Arc::clone(&p), base.policy(Policy::Force)).unwrap();
+        let tm = TransactionManager::create(Arc::clone(&p), base.policy(Policy::Force)).unwrap();
         let data = alloc_words(&p, 4);
         tm.run(|tx| {
             for i in 0..4 {
@@ -168,12 +165,15 @@ fn force_policy_clears_log_at_commit_noforce_keeps_it() {
             Ok(())
         })
         .unwrap();
-        assert_eq!(tm.log_len(), 0, "force policy clears at commit ({structure:?})");
+        assert_eq!(
+            tm.log_len(),
+            0,
+            "force policy clears at commit ({structure:?})"
+        );
 
         // No-force: records remain until a checkpoint.
         let p = pool();
-        let tm =
-            TransactionManager::create(Arc::clone(&p), base.policy(Policy::NoForce)).unwrap();
+        let tm = TransactionManager::create(Arc::clone(&p), base.policy(Policy::NoForce)).unwrap();
         let data = alloc_words(&p, 4);
         tm.run(|tx| {
             for i in 0..4 {
@@ -289,7 +289,11 @@ fn mixed_winners_and_losers_recover_correctly() {
         let _tm = TransactionManager::open(Arc::clone(&p), cfg).unwrap();
         for i in 0..5u64 {
             assert_eq!(p.read_u64(data.word(i)), 100 + i, "winner lost ({cfg:?})");
-            assert_eq!(p.read_u64(data.word(5 + i)), 0, "loser not undone ({cfg:?})");
+            assert_eq!(
+                p.read_u64(data.word(5 + i)),
+                0,
+                "loser not undone ({cfg:?})"
+            );
         }
     }
 }
@@ -399,7 +403,11 @@ fn clean_shutdown_skips_recovery_and_preserves_data() {
     }
     p.power_cycle();
     let tm = TransactionManager::open(Arc::clone(&p), cfg).unwrap();
-    assert_eq!(tm.stats().recoveries, 0, "clean shutdown must skip recovery");
+    assert_eq!(
+        tm.stats().recoveries,
+        0,
+        "clean shutdown must skip recovery"
+    );
     for i in 0..4 {
         assert_eq!(p.read_u64(data.word(i)), 500 + i);
     }

@@ -14,7 +14,10 @@
 //!   (table, doubly-linked list, B+-tree);
 //! * [`pagestore`] — the DBMS-style baseline engines the paper compares
 //!   against (Stasis-, BerkeleyDB- and Shore-MT-like personalities);
-//! * [`tpcc`] — the modified TPC-C (new-order) workload of Section 5.3.
+//! * [`tpcc`] — the modified TPC-C (new-order) workload of Section 5.3;
+//! * [`shard`] — the scale-out front-end: a [`ShardedStore`](shard::ShardedStore)
+//!   that hash-partitions keys across independent pool+manager+tree shards
+//!   and batches concurrent writes into per-shard group commits.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use rewind_core as core;
 pub use rewind_nvm as nvm;
 pub use rewind_pagestore as pagestore;
 pub use rewind_pds as pds;
+pub use rewind_shard as shard;
 pub use rewind_tpcc as tpcc;
 
 /// The most commonly used types, importable with `use rewind::prelude::*`.
@@ -55,5 +59,6 @@ pub mod prelude {
     pub use rewind_nvm::{CostModel, CrashMode, NvmPool, PAddr, PoolConfig};
     pub use rewind_pagestore::{KvStore, Personality};
     pub use rewind_pds::{Backing, PBTree, PList, PTable, TxToken, Value};
+    pub use rewind_shard::{ShardConfig, ShardStats, ShardedStore};
     pub use rewind_tpcc::{Layout, TpccDb, TpccRunner};
 }

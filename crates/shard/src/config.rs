@@ -1,0 +1,94 @@
+//! Configuration for a [`ShardedStore`](crate::ShardedStore).
+
+use rewind_core::RewindConfig;
+use rewind_nvm::{CostModel, CrashMode};
+
+/// How a sharded store is laid out and how its group-commit pipeline behaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Number of independent shards (pools × transaction managers × trees).
+    pub shards: usize,
+    /// Capacity of each shard's NVM pool, in bytes.
+    pub shard_capacity: usize,
+    /// REWIND configuration every shard's transaction manager runs with.
+    pub rewind: RewindConfig,
+    /// Maximum number of queued operations committed as one group (one
+    /// REWIND transaction). Larger groups amortize the commit protocol over
+    /// more user requests at the price of a larger all-or-nothing unit.
+    pub max_group: usize,
+    /// NVM cost model for every shard pool.
+    pub cost: CostModel,
+    /// How a simulated power failure treats in-flight cachelines on every
+    /// shard pool (test knob; see [`CrashMode`]).
+    pub crash_mode: CrashMode,
+}
+
+impl ShardConfig {
+    /// A store with `shards` shards and defaults matching the paper's
+    /// evaluation substrate: 32 MiB pools, the Batch log under the no-force
+    /// policy, groups of up to 64 operations, paper NVM latencies.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded store needs at least one shard");
+        ShardConfig {
+            shards,
+            shard_capacity: 32 << 20,
+            rewind: RewindConfig::batch(),
+            max_group: 64,
+            cost: CostModel::paper(),
+            crash_mode: CrashMode::DropDirty,
+        }
+    }
+
+    /// Sets the per-shard pool capacity in bytes.
+    pub fn shard_capacity(mut self, bytes: usize) -> Self {
+        self.shard_capacity = bytes;
+        self
+    }
+
+    /// Sets the REWIND configuration used by every shard.
+    pub fn rewind(mut self, cfg: RewindConfig) -> Self {
+        self.rewind = cfg;
+        self
+    }
+
+    /// Sets the maximum group-commit batch size (clamped to at least 1).
+    pub fn max_group(mut self, ops: usize) -> Self {
+        self.max_group = ops.max(1);
+        self
+    }
+
+    /// Sets the NVM cost model used by every shard pool.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the simulated crash mode of every shard pool.
+    pub fn crash_mode(mut self, mode: CrashMode) -> Self {
+        self.crash_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = ShardConfig::new(8)
+            .shard_capacity(4 << 20)
+            .max_group(16)
+            .cost(CostModel::free());
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.shard_capacity, 4 << 20);
+        assert_eq!(cfg.max_group, 16);
+        assert_eq!(ShardConfig::new(1).max_group(0).max_group, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardConfig::new(0);
+    }
+}

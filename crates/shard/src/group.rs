@@ -1,0 +1,173 @@
+//! The per-shard group-commit queue.
+//!
+//! Writers enqueue operations and block; whichever writer finds no leader
+//! active becomes the leader, drains the queue (up to the configured batch
+//! size) and commits the whole batch as one REWIND transaction. Everyone
+//! whose operation rode in the batch is woken with its individual result.
+//! This is the classic leader/follower group commit, applied to REWIND: the
+//! paper's Batch log amortizes one fence across the records *of one
+//! transaction*; the group pipeline amortizes the whole commit protocol
+//! (END record, fence, log clearing) across *many user requests*.
+
+use parking_lot::Mutex;
+use rewind_core::Result;
+use rewind_pds::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single queued write operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WriteOp {
+    /// Insert or overwrite `key` with a value.
+    Put(u64, Value),
+    /// Remove `key` (the result reports whether it was present).
+    Delete(u64),
+}
+
+/// Where a waiting writer receives the outcome of its operation.
+#[derive(Debug, Default)]
+pub(crate) struct OpSlot(Mutex<Option<Result<bool>>>);
+
+impl OpSlot {
+    pub(crate) fn put(&self, result: Result<bool>) {
+        *self.0.lock() = Some(result);
+    }
+
+    pub(crate) fn take(&self) -> Option<Result<bool>> {
+        self.0.lock().take()
+    }
+}
+
+/// An operation waiting in the queue together with its result slot.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub(crate) op: WriteOp,
+    pub(crate) slot: Arc<OpSlot>,
+}
+
+/// The queue itself; guarded by the shard's queue mutex.
+#[derive(Debug, Default)]
+pub(crate) struct GroupQueue {
+    pub(crate) ops: VecDeque<Pending>,
+    /// Whether some writer is currently draining/committing a batch.
+    pub(crate) leader_active: bool,
+}
+
+/// Counters for the group-commit pipeline of one shard.
+#[derive(Debug, Default)]
+pub(crate) struct GroupCommitStats {
+    groups_committed: AtomicU64,
+    ops_committed: AtomicU64,
+    groups_failed: AtomicU64,
+    largest_group: AtomicU64,
+}
+
+impl GroupCommitStats {
+    pub(crate) fn record_commit(&self, group_size: usize) {
+        self.groups_committed.fetch_add(1, Ordering::Relaxed);
+        self.ops_committed
+            .fetch_add(group_size as u64, Ordering::Relaxed);
+        self.largest_group
+            .fetch_max(group_size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failure(&self) {
+        self.groups_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> GroupCommitSnapshot {
+        GroupCommitSnapshot {
+            groups_committed: self.groups_committed.load(Ordering::Relaxed),
+            ops_committed: self.ops_committed.load(Ordering::Relaxed),
+            groups_failed: self.groups_failed.load(Ordering::Relaxed),
+            largest_group: self.largest_group.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's (or, summed, the whole store's)
+/// group-commit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitSnapshot {
+    /// Groups committed (each one REWIND transaction).
+    pub groups_committed: u64,
+    /// User operations that rode in committed groups.
+    pub ops_committed: u64,
+    /// Groups that rolled back as a whole (an operation or the commit
+    /// itself failed).
+    pub groups_failed: u64,
+    /// Size of the largest committed group.
+    pub largest_group: u64,
+}
+
+impl GroupCommitSnapshot {
+    /// Mean committed group size — the amortization factor the pipeline
+    /// achieved (1.0 means no batching happened).
+    pub fn mean_group_size(&self) -> f64 {
+        if self.groups_committed == 0 {
+            0.0
+        } else {
+            self.ops_committed as f64 / self.groups_committed as f64
+        }
+    }
+
+    /// Component-wise sum (`largest_group` takes the max).
+    pub fn merge(&self, other: &GroupCommitSnapshot) -> GroupCommitSnapshot {
+        GroupCommitSnapshot {
+            groups_committed: self.groups_committed + other.groups_committed,
+            ops_committed: self.ops_committed + other.ops_committed,
+            groups_failed: self.groups_failed + other.groups_failed,
+            largest_group: self.largest_group.max(other.largest_group),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_commits_and_failures() {
+        let stats = GroupCommitStats::default();
+        stats.record_commit(3);
+        stats.record_commit(5);
+        stats.record_failure();
+        let s = stats.snapshot();
+        assert_eq!(s.groups_committed, 2);
+        assert_eq!(s.ops_committed, 8);
+        assert_eq!(s.groups_failed, 1);
+        assert_eq!(s.largest_group, 5);
+        assert!((s.mean_group_size() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_and_maxes() {
+        let a = GroupCommitSnapshot {
+            groups_committed: 1,
+            ops_committed: 4,
+            groups_failed: 0,
+            largest_group: 4,
+        };
+        let b = GroupCommitSnapshot {
+            groups_committed: 2,
+            ops_committed: 3,
+            groups_failed: 1,
+            largest_group: 2,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.groups_committed, 3);
+        assert_eq!(m.ops_committed, 7);
+        assert_eq!(m.largest_group, 4);
+        assert_eq!(GroupCommitSnapshot::default().mean_group_size(), 0.0);
+    }
+
+    #[test]
+    fn op_slot_delivers_once() {
+        let slot = OpSlot::default();
+        assert!(slot.take().is_none());
+        slot.put(Ok(true));
+        assert!(slot.take().unwrap().unwrap());
+        assert!(slot.take().is_none());
+    }
+}

@@ -1,0 +1,375 @@
+//! One shard: an NVM pool, a REWIND transaction manager, a persistent
+//! B+-tree, and the group-commit queue in front of them.
+
+use crate::config::ShardConfig;
+use crate::group::{GroupCommitStats, GroupQueue, OpSlot, Pending, WriteOp};
+use parking_lot::{Condvar, Mutex};
+use rewind_core::{RecoveryReport, Result, RewindError, TransactionManager};
+use rewind_nvm::{NvmPool, PAddr, PoolConfig};
+use rewind_pds::{Backing, PBTree, TxToken, Value};
+use std::sync::Arc;
+
+/// Durable shard root, stored in the pool's user-root region *after* the
+/// words the transaction manager owns (it uses the first five): `magic,
+/// tree header, shard id, shard count`. The magic goes in last on create so
+/// a torn root is never taken for a valid one.
+const SHARD_MAGIC: u64 = 0x5245_5753_4841_5244; // "REWSHARD"
+const SW_MAGIC: u64 = 16;
+const SW_TREE_HEADER: u64 = 17;
+const SW_SHARD_ID: u64 = 18;
+const SW_SHARD_COUNT: u64 = 19;
+
+/// The live handles of a shard. Replaced wholesale by
+/// [`Shard::reopen`]; `open` is false between a power cycle and the
+/// next recovery.
+#[derive(Debug)]
+struct ShardInner {
+    tm: Arc<TransactionManager>,
+    tree: PBTree,
+    open: bool,
+}
+
+/// A single partition of a [`ShardedStore`](crate::ShardedStore).
+#[derive(Debug)]
+pub(crate) struct Shard {
+    id: usize,
+    pool: Arc<NvmPool>,
+    cfg: ShardConfig,
+    /// Serializes every tree access: group commits, single-shard
+    /// transactions, reads and reopen. Within a shard REWIND's data
+    /// structures are single-writer (as in the paper); across shards there
+    /// is no shared state at all, which is where the scalability comes from.
+    inner: Mutex<ShardInner>,
+    queue: Mutex<GroupQueue>,
+    queue_cv: Condvar,
+    stats: GroupCommitStats,
+}
+
+impl Shard {
+    /// Creates shard `id` of `cfg.shards` with a fresh pool and tree.
+    pub(crate) fn create(id: usize, cfg: ShardConfig) -> Result<Self> {
+        let pool = NvmPool::new(
+            PoolConfig::with_capacity(cfg.shard_capacity)
+                .cost(cfg.cost)
+                .crash_mode(cfg.crash_mode),
+        );
+        let tm = Arc::new(TransactionManager::create(Arc::clone(&pool), cfg.rewind)?);
+        let tree = PBTree::create(Backing::rewind(Arc::clone(&tm)))?;
+        let root = pool.user_root();
+        pool.write_u64_nt(root.word(SW_TREE_HEADER), tree.header().offset());
+        pool.write_u64_nt(root.word(SW_SHARD_ID), id as u64);
+        pool.write_u64_nt(root.word(SW_SHARD_COUNT), cfg.shards as u64);
+        pool.sfence();
+        pool.write_u64_nt(root.word(SW_MAGIC), SHARD_MAGIC);
+        pool.sfence();
+        Ok(Shard {
+            id,
+            pool,
+            cfg,
+            inner: Mutex::new(ShardInner {
+                tm,
+                tree,
+                open: true,
+            }),
+            queue: Mutex::new(GroupQueue::default()),
+            queue_cv: Condvar::new(),
+            stats: GroupCommitStats::default(),
+        })
+    }
+
+    pub(crate) fn pool(&self) -> &Arc<NvmPool> {
+        &self.pool
+    }
+
+    pub(crate) fn group_stats(&self) -> crate::group::GroupCommitSnapshot {
+        self.stats.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Simulates a power failure on this shard's pool and takes it offline
+    /// until [`Shard::reopen`] runs.
+    pub(crate) fn power_cycle(&self) {
+        let mut inner = self.inner.lock();
+        inner.open = false;
+        self.pool.power_cycle();
+    }
+
+    /// Re-attaches to the shard's durable state, running REWIND recovery if
+    /// the pool was not shut down cleanly. Returns the recovery report, if a
+    /// recovery pass ran.
+    pub(crate) fn reopen(&self) -> Result<Option<RecoveryReport>> {
+        let mut inner = self.inner.lock();
+        let tm = Arc::new(TransactionManager::open(
+            Arc::clone(&self.pool),
+            self.cfg.rewind,
+        )?);
+        let root = self.pool.user_root();
+        if self.pool.read_u64(root.word(SW_MAGIC)) != SHARD_MAGIC {
+            return Err(RewindError::CorruptLog(format!(
+                "shard {}: user root holds no shard header",
+                self.id
+            )));
+        }
+        let stored_id = self.pool.read_u64(root.word(SW_SHARD_ID));
+        let stored_count = self.pool.read_u64(root.word(SW_SHARD_COUNT));
+        if stored_id != self.id as u64 || stored_count != self.cfg.shards as u64 {
+            return Err(RewindError::ConfigMismatch(format!(
+                "pool belongs to shard {stored_id}/{stored_count}, \
+                 opened as shard {}/{}",
+                self.id, self.cfg.shards
+            )));
+        }
+        let header = PAddr::new(self.pool.read_u64(root.word(SW_TREE_HEADER)));
+        let report = tm.last_recovery();
+        inner.tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), header);
+        inner.tm = tm;
+        inner.open = true;
+        Ok(report)
+    }
+
+    /// Flushes and cleanly shuts down this shard (the next reopen skips
+    /// recovery).
+    pub(crate) fn shutdown(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.check_open(&inner)?;
+        inner.tm.shutdown()?;
+        inner.open = false;
+        Ok(())
+    }
+
+    /// Takes a checkpoint on this shard, returning the records cleared.
+    pub(crate) fn checkpoint(&self) -> Result<u64> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        inner.tm.checkpoint()
+    }
+
+    fn check_open(&self, inner: &ShardInner) -> Result<()> {
+        if inner.open {
+            Ok(())
+        } else {
+            Err(RewindError::Offline("shard"))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    pub(crate) fn get(&self, key: u64) -> Result<Option<Value>> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        Ok(inner.tree.lookup(key))
+    }
+
+    pub(crate) fn range(&self, low: u64, high: u64, limit: usize) -> Result<Vec<(u64, Value)>> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        Ok(inner.tree.range(low, high, limit))
+    }
+
+    pub(crate) fn len(&self) -> Result<u64> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        Ok(inner.tree.len())
+    }
+
+    /// Entry count for statistics: an offline shard reports 0 rather than
+    /// failing the whole stats snapshot.
+    pub(crate) fn len_or_zero(&self) -> u64 {
+        let inner = self.inner.lock();
+        if inner.open {
+            inner.tree.len()
+        } else {
+            0
+        }
+    }
+
+    pub(crate) fn tm_stats(&self) -> rewind_core::TmStatsSnapshot {
+        self.inner.lock().tm.stats()
+    }
+
+    pub(crate) fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.inner.lock().tm.last_recovery()
+    }
+
+    // ------------------------------------------------------------------
+    // Group-committed writes
+    // ------------------------------------------------------------------
+
+    /// Enqueues `op` and blocks until the group it rides in commits (or
+    /// rolls back). Whichever waiting writer finds no leader active drains
+    /// the queue and commits the batch for everyone.
+    pub(crate) fn submit(&self, op: WriteOp) -> Result<bool> {
+        let slot = Arc::new(OpSlot::default());
+        let mut q = self.queue.lock();
+        q.ops.push_back(Pending {
+            op,
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            if q.leader_active {
+                self.queue_cv.wait(&mut q);
+                continue;
+            }
+            // Become the leader: drain one batch and commit it.
+            q.leader_active = true;
+            let n = q.ops.len().min(self.cfg.max_group);
+            let batch: Vec<Pending> = q.ops.drain(..n).collect();
+            drop(q);
+            self.commit_group(batch);
+            q = self.queue.lock();
+            q.leader_active = false;
+            self.queue_cv.notify_all();
+        }
+    }
+
+    /// Commits `batch` as one REWIND transaction and delivers every result.
+    /// The group is all-or-nothing: if any operation fails, the transaction
+    /// rolls back and every member sees the error. An error from the commit
+    /// call itself is also reported to every member, but is *ambiguous*: the
+    /// END record may already be durable (e.g. only the post-commit log
+    /// clearing failed), in which case the group survives recovery despite
+    /// the error — the same at-least-once caveat every group-committed
+    /// system has on a failed commit acknowledgement.
+    fn commit_group(&self, batch: Vec<Pending>) {
+        let inner = self.inner.lock();
+        if !inner.open {
+            for p in &batch {
+                p.slot.put(Err(RewindError::Offline("shard")));
+            }
+            return;
+        }
+        let tx = inner.tm.begin();
+        let token = Some(TxToken(tx));
+        let mut results: Vec<Result<bool>> = Vec::with_capacity(batch.len());
+        let mut failure: Option<RewindError> = None;
+        for p in &batch {
+            let r = match p.op {
+                WriteOp::Put(key, value) => inner.tree.insert_in(token, key, value).map(|()| true),
+                WriteOp::Delete(key) => inner.tree.delete_in(token, key),
+            };
+            match r {
+                Ok(b) => results.push(Ok(b)),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let outcome = match failure {
+            None => inner.tm.commit(tx),
+            Some(e) => {
+                let _ = inner.tm.rollback(tx);
+                Err(e)
+            }
+        };
+        match outcome {
+            Ok(()) => {
+                self.stats.record_commit(batch.len());
+                for (p, r) in batch.iter().zip(results) {
+                    p.slot.put(r);
+                }
+            }
+            Err(e) => {
+                self.stats.record_failure();
+                for p in &batch {
+                    p.slot.put(Err(e.clone()));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Single-shard multi-op transactions
+    // ------------------------------------------------------------------
+
+    /// Runs `f` as one REWIND transaction against this shard's tree:
+    /// commits on `Ok`, rolls back on `Err`. Serialized with group commits
+    /// through the shard lock.
+    pub(crate) fn transact<T>(
+        &self,
+        store_shards: usize,
+        f: impl FnOnce(&mut ShardTx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        let tx = inner.tm.begin();
+        let mut handle = ShardTx {
+            tree: &inner.tree,
+            token: TxToken(tx),
+            shard_id: self.id,
+            shard_count: store_shards,
+        };
+        match f(&mut handle) {
+            Ok(v) => {
+                inner.tm.commit(tx)?;
+                Ok(v)
+            }
+            Err(e) => {
+                inner.tm.rollback(tx)?;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Handle passed to [`ShardedStore::transact_on`](crate::ShardedStore::transact_on)
+/// closures: typed operations against one shard inside one open REWIND
+/// transaction.
+#[derive(Debug)]
+pub struct ShardTx<'a> {
+    tree: &'a PBTree,
+    token: TxToken,
+    shard_id: usize,
+    shard_count: usize,
+}
+
+impl ShardTx<'_> {
+    /// The shard this transaction runs on.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    fn check_key(&self, key: u64) -> Result<()> {
+        let owner = crate::store::shard_of_key(key, self.shard_count);
+        if owner == self.shard_id {
+            Ok(())
+        } else {
+            Err(RewindError::Aborted(format!(
+                "key {key} belongs to shard {owner}, transaction is on shard {}",
+                self.shard_id
+            )))
+        }
+    }
+
+    /// Reads `key` (which must belong to this shard). Reads are not logged.
+    pub fn get(&self, key: u64) -> Result<Option<Value>> {
+        self.check_key(key)?;
+        Ok(self.tree.lookup(key))
+    }
+
+    /// Inserts or overwrites `key` within the transaction.
+    pub fn put(&mut self, key: u64, value: Value) -> Result<()> {
+        self.check_key(key)?;
+        self.tree.insert_in(Some(self.token), key, value)
+    }
+
+    /// Removes `key` within the transaction; reports whether it was present.
+    pub fn delete(&mut self, key: u64) -> Result<bool> {
+        self.check_key(key)?;
+        self.tree.delete_in(Some(self.token), key)
+    }
+
+    /// Aborts the transaction by returning an error for the closure to
+    /// propagate; every operation performed so far is rolled back.
+    pub fn abort<T>(&self, reason: &str) -> Result<T> {
+        Err(RewindError::Aborted(reason.to_string()))
+    }
+}

@@ -1,0 +1,461 @@
+//! The sharded store front-end: hash partitioning, the public API, and
+//! aggregated statistics.
+
+use crate::config::ShardConfig;
+use crate::group::{GroupCommitSnapshot, WriteOp};
+use crate::shard::{Shard, ShardTx};
+use rewind_core::{RecoveryReport, Result, TmStatsSnapshot};
+use rewind_nvm::{NvmPool, StatsSnapshot};
+use rewind_pds::Value;
+use std::sync::Arc;
+
+/// SplitMix64 finalizer: a full-avalanche mix so that adjacent keys spread
+/// across shards instead of landing on one.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The shard owning `key` in a store of `shards` partitions.
+pub(crate) fn shard_of_key(key: u64, shards: usize) -> usize {
+    (mix64(key) % shards as u64) as usize
+}
+
+/// A sharded, group-committed, crash-recoverable key/value store.
+///
+/// Keys are hash-partitioned across independent shards, each owning its own
+/// [`NvmPool`], REWIND transaction manager and persistent B+-tree. Writes go
+/// through a per-shard group-commit pipeline; reads and single-shard
+/// transactions are serialized with the committer through the shard lock.
+/// See the crate documentation for the design rationale.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Shard>,
+    cfg: ShardConfig,
+}
+
+impl ShardedStore {
+    /// Creates a fresh store: `cfg.shards` pools, transaction managers and
+    /// trees, initialized in parallel (shards share nothing).
+    pub fn create(cfg: ShardConfig) -> Result<Self> {
+        let mut slots: Vec<Option<Result<Shard>>> = (0..cfg.shards).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (id, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || *slot = Some(Shard::create(id, cfg)));
+            }
+        });
+        let shards = slots
+            .into_iter()
+            .map(|slot| slot.expect("shard creation thread completed"))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedStore { shards, cfg })
+    }
+
+    /// The configuration the store was created with.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of_key(key, self.shards.len())
+    }
+
+    /// The `n`-th key after `key` (in key order) that hashes to the same
+    /// shard (`n == 0` returns `key` itself). Useful for building
+    /// single-shard multi-key transactions.
+    pub fn sibling_key(&self, key: u64, n: u64) -> u64 {
+        if n == 0 {
+            return key;
+        }
+        let target = self.shard_of(key);
+        let mut found = 0;
+        let mut candidate = key;
+        loop {
+            candidate = candidate.wrapping_add(1);
+            if self.shard_of(candidate) == target {
+                found += 1;
+                if found == n {
+                    return candidate;
+                }
+            }
+        }
+    }
+
+    /// The pool backing shard `idx` (for crash injection in tests and cost
+    /// accounting in benchmarks).
+    pub fn shard_pool(&self, idx: usize) -> &Arc<NvmPool> {
+        self.shards[idx].pool()
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Result<Option<Value>> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: u64) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Returns up to `limit` pairs with keys in `[low, high]`, in ascending
+    /// key order, merged across all shards.
+    pub fn scan(&self, low: u64, high: u64, limit: usize) -> Result<Vec<(u64, Value)>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.range(low, high, limit)?);
+        }
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out.truncate(limit);
+        Ok(out)
+    }
+
+    /// Total number of key/value pairs across all shards. Errors with
+    /// [`RewindError::Offline`](rewind_core::RewindError::Offline) while the
+    /// store is powered off (the data is intact on NVM, just not countable).
+    pub fn len(&self) -> Result<u64> {
+        let mut total = 0;
+        for shard in &self.shards {
+            total += shard.len()?;
+        }
+        Ok(total)
+    }
+
+    /// Returns `true` if the store holds no entries (errors while offline,
+    /// like [`ShardedStore::len`]).
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Group-committed writes
+    // ------------------------------------------------------------------
+
+    /// Inserts or overwrites `key`. The operation is batched with other
+    /// concurrent writes to the same shard and committed as one REWIND
+    /// transaction; it returns once that group is committed.
+    pub fn put(&self, key: u64, value: Value) -> Result<()> {
+        self.shards[self.shard_of(key)]
+            .submit(WriteOp::Put(key, value))
+            .map(|_| ())
+    }
+
+    /// Removes `key`, reporting whether it was present. Group-committed like
+    /// [`ShardedStore::put`].
+    pub fn delete(&self, key: u64) -> Result<bool> {
+        self.shards[self.shard_of(key)].submit(WriteOp::Delete(key))
+    }
+
+    // ------------------------------------------------------------------
+    // Single-shard transactions
+    // ------------------------------------------------------------------
+
+    /// Runs `f` as one REWIND transaction on the shard owning `key`:
+    /// commits on `Ok`, rolls back on `Err`. Every key the closure touches
+    /// must hash to the same shard (checked; see
+    /// [`ShardedStore::sibling_key`]). Cross-shard transactions are a
+    /// ROADMAP item, not supported here.
+    pub fn transact_on<T>(
+        &self,
+        key: u64,
+        f: impl FnOnce(&mut ShardTx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        self.shards[self.shard_of(key)].transact(self.shards.len(), f)
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Simulates a power failure on every shard (all volatile state is
+    /// discarded). The store is offline until [`ShardedStore::recover`].
+    pub fn power_cycle(&self) {
+        for shard in &self.shards {
+            shard.power_cycle();
+        }
+    }
+
+    /// Reopens every shard, running REWIND recovery wherever the shard's
+    /// pool was not shut down cleanly. The per-shard analysis/redo/undo
+    /// passes run in parallel — shards share nothing, so whole-store
+    /// recovery takes the time of the slowest shard, not the sum. Returns
+    /// the merged recovery report.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let mut outcomes: Vec<Option<Result<Option<RecoveryReport>>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (shard, slot) in self.shards.iter().zip(outcomes.iter_mut()) {
+                s.spawn(move || *slot = Some(shard.reopen()));
+            }
+        });
+        let mut merged: Option<RecoveryReport> = None;
+        for outcome in outcomes {
+            if let Some(report) = outcome.expect("shard recovery thread completed")? {
+                merged = Some(match merged {
+                    None => report,
+                    Some(m) => m.merge(&report),
+                });
+            }
+        }
+        Ok(merged.unwrap_or_default())
+    }
+
+    /// Checkpoints every shard, returning the total records cleared.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let mut removed = 0;
+        for shard in &self.shards {
+            removed += shard.checkpoint()?;
+        }
+        Ok(removed)
+    }
+
+    /// Flushes and cleanly shuts down every shard; the next
+    /// [`ShardedStore::recover`] skips the recovery passes.
+    pub fn shutdown(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.shutdown()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Aggregated statistics across every shard.
+    pub fn stats(&self) -> ShardStats {
+        let per_shard = self.per_shard_stats();
+        let mut agg = ShardStats {
+            shards: per_shard.len(),
+            ..ShardStats::default()
+        };
+        for s in &per_shard {
+            agg.entries += s.entries;
+            agg.group = agg.group.merge(&s.group);
+            agg.tm = agg.tm.merge(&s.tm);
+            agg.nvm = agg.nvm.merge(&s.nvm);
+            if let Some(r) = s.last_recovery {
+                agg.last_recovery = Some(match agg.last_recovery {
+                    None => r,
+                    Some(m) => m.merge(&r),
+                });
+            }
+        }
+        agg
+    }
+
+    /// Per-shard statistics snapshots.
+    pub fn per_shard_stats(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(id, s)| ShardSnapshot {
+                shard: id,
+                entries: s.len_or_zero(),
+                group: s.group_stats(),
+                tm: s.tm_stats(),
+                nvm: s.pool().stats(),
+                last_recovery: s.last_recovery(),
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time statistics of one shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Key/value pairs held (0 while the shard is offline).
+    pub entries: u64,
+    /// Group-commit pipeline counters.
+    pub group: GroupCommitSnapshot,
+    /// Transaction-manager counters.
+    pub tm: TmStatsSnapshot,
+    /// NVM substrate counters of the shard's pool.
+    pub nvm: StatsSnapshot,
+    /// Report of the shard's most recent recovery pass, if any.
+    pub last_recovery: Option<RecoveryReport>,
+}
+
+/// Aggregated statistics of a whole [`ShardedStore`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Number of shards aggregated.
+    pub shards: usize,
+    /// Total key/value pairs.
+    pub entries: u64,
+    /// Summed group-commit counters.
+    pub group: GroupCommitSnapshot,
+    /// Summed transaction-manager counters.
+    pub tm: TmStatsSnapshot,
+    /// Summed NVM substrate counters.
+    pub nvm: StatsSnapshot,
+    /// Merged recovery reports of the most recent [`ShardedStore::recover`].
+    pub last_recovery: Option<RecoveryReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_core::RewindError;
+
+    fn small(shards: usize) -> ShardedStore {
+        ShardedStore::create(ShardConfig::new(shards).shard_capacity(8 << 20)).unwrap()
+    }
+
+    fn val(seed: u64) -> Value {
+        [seed, seed * 3, !seed, seed ^ 0xabcd]
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let store = small(4);
+        let mut hit = [false; 4];
+        for k in 0..64 {
+            hit[store.shard_of(k)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 keys must touch all 4 shards");
+        // Partitioning is a pure function of (key, shard count).
+        assert_eq!(store.shard_of(17), shard_of_key(17, 4));
+    }
+
+    #[test]
+    fn put_get_delete_scan_across_shards() {
+        let store = small(4);
+        for k in 0..200u64 {
+            store.put(k, val(k)).unwrap();
+        }
+        assert_eq!(store.len().unwrap(), 200);
+        for k in 0..200u64 {
+            assert_eq!(store.get(k).unwrap(), Some(val(k)), "key {k}");
+        }
+        assert!(store.delete(100).unwrap());
+        assert!(!store.delete(100).unwrap(), "double delete reports absence");
+        assert_eq!(store.get(100).unwrap(), None);
+        // Scans merge shard-local ranges into global key order.
+        let r = store.scan(50, 60, 100).unwrap();
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (50..=60).collect::<Vec<_>>());
+        let limited = store.scan(0, u64::MAX, 5).unwrap();
+        assert_eq!(limited.len(), 5);
+        assert_eq!(limited[0].0, 0);
+    }
+
+    #[test]
+    fn sibling_keys_share_a_shard() {
+        let store = small(4);
+        assert_eq!(store.sibling_key(42, 0), 42, "n == 0 is the key itself");
+        for n in 1..10 {
+            let sib = store.sibling_key(42, n);
+            assert_eq!(store.shard_of(sib), store.shard_of(42));
+            assert_ne!(sib, 42);
+        }
+    }
+
+    #[test]
+    fn transact_on_is_atomic_per_shard() {
+        let store = small(4);
+        let a = 7u64;
+        let b = store.sibling_key(a, 1);
+        store
+            .transact_on(a, |tx| {
+                tx.put(a, val(1))?;
+                tx.put(b, val(2))?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(store.get(a).unwrap(), Some(val(1)));
+        assert_eq!(store.get(b).unwrap(), Some(val(2)));
+        // An aborted transaction leaves both keys untouched.
+        let err = store.transact_on(a, |tx| {
+            tx.put(a, val(9))?;
+            tx.delete(b)?;
+            tx.abort::<()>("no")
+        });
+        assert!(err.is_err());
+        assert_eq!(store.get(a).unwrap(), Some(val(1)));
+        assert_eq!(store.get(b).unwrap(), Some(val(2)));
+    }
+
+    #[test]
+    fn transact_on_rejects_foreign_keys() {
+        let store = small(4);
+        let key = 3u64;
+        let foreign = (0..100)
+            .find(|k| store.shard_of(*k) != store.shard_of(key))
+            .unwrap();
+        let err = store.transact_on(key, |tx| tx.put(foreign, val(0)));
+        assert!(matches!(err, Err(RewindError::Aborted(_))));
+        assert_eq!(store.get(foreign).unwrap(), None);
+    }
+
+    #[test]
+    fn power_cycle_then_recover_preserves_committed_data() {
+        let store = small(4);
+        for k in 0..150u64 {
+            store.put(k, val(k)).unwrap();
+        }
+        store.checkpoint().unwrap();
+        store.power_cycle();
+        // Offline shards refuse work instead of corrupting anything.
+        assert!(matches!(store.put(1, val(1)), Err(RewindError::Offline(_))));
+        assert!(
+            store.len().is_err(),
+            "an offline store must not claim to be empty"
+        );
+        assert!(store.get(1).is_err());
+        store.recover().unwrap();
+        for k in 0..150u64 {
+            assert_eq!(store.get(k).unwrap(), Some(val(k)), "key {k}");
+        }
+        // The store keeps working after recovery.
+        store.put(999, val(999)).unwrap();
+        assert_eq!(store.get(999).unwrap(), Some(val(999)));
+    }
+
+    #[test]
+    fn clean_shutdown_skips_recovery() {
+        let store = small(2);
+        for k in 0..50u64 {
+            store.put(k, val(k)).unwrap();
+        }
+        store.shutdown().unwrap();
+        store.power_cycle();
+        let report = store.recover().unwrap();
+        assert_eq!(report, RecoveryReport::default(), "clean open: no recovery");
+        for k in 0..50u64 {
+            assert_eq!(store.get(k).unwrap(), Some(val(k)));
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_all_shards() {
+        let store = small(4);
+        for k in 0..100u64 {
+            store.put(k, val(k)).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.entries, 100);
+        assert_eq!(stats.group.ops_committed, 100);
+        assert!(stats.group.groups_committed <= 100);
+        assert!(stats.tm.committed >= stats.group.groups_committed);
+        assert!(stats.nvm.nvm_writes > 0);
+        let per = store.per_shard_stats();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().map(|s| s.entries).sum::<u64>(), 100);
+        assert!(per.iter().all(|s| s.entries > 0), "all shards used");
+    }
+}

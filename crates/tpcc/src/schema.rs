@@ -145,13 +145,25 @@ pub struct TpccDb {
 impl TpccDb {
     /// Builds and loads a database with `terminals` terminals and `items`
     /// catalogue entries (pass [`ITEMS`] for the full-size catalogue).
-    pub fn build(layout: Layout, terminals: usize, items: u64, cfg: RewindConfig) -> Result<TpccDb> {
+    pub fn build(
+        layout: Layout,
+        terminals: usize,
+        items: u64,
+        cfg: RewindConfig,
+    ) -> Result<TpccDb> {
         let pool = NvmPool::new(PoolConfig::with_capacity(512 << 20));
         let mut managers = Vec::new();
         if layout.recoverable() {
-            let count = if layout.distributed_log() { terminals.max(1) } else { 1 };
+            let count = if layout.distributed_log() {
+                terminals.max(1)
+            } else {
+                1
+            };
             for _ in 0..count {
-                managers.push(Arc::new(TransactionManager::create(Arc::clone(&pool), cfg)?));
+                managers.push(Arc::new(TransactionManager::create(
+                    Arc::clone(&pool),
+                    cfg,
+                )?));
             }
         }
         // The loader uses a plain (unlogged) backing for every layout: TPC-C
@@ -212,9 +224,7 @@ impl TpccDb {
         let rebind = |t: &PBTree| PBTree::attach(backing.clone(), t.header());
         let rebind_table = |t: &OrderTable| match t {
             OrderTable::Shared(t) => OrderTable::Shared(rebind(t)),
-            OrderTable::PerDistrict(ts) => {
-                OrderTable::PerDistrict(ts.iter().map(rebind).collect())
-            }
+            OrderTable::PerDistrict(ts) => OrderTable::PerDistrict(ts.iter().map(rebind).collect()),
         };
         TpccTrees {
             district: rebind(&self.district),

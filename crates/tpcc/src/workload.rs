@@ -99,14 +99,26 @@ impl TpccRunner {
                 .lookup(crate::schema::compound_key(d, params.customer));
             let district_row = trees.district.lookup(d).unwrap_or([3001, 0, 0, 0]);
             let order_id = district_row[0];
-            trees
-                .district
-                .update_in(tx, d, [order_id + 1, district_row[1], district_row[2], district_row[3]])?;
+            trees.district.update_in(
+                tx,
+                d,
+                [
+                    order_id + 1,
+                    district_row[1],
+                    district_row[2],
+                    district_row[3],
+                ],
+            )?;
             // Insert the order and its new-order entry.
+            trees.orders.insert(
+                tx,
+                d,
+                order_id,
+                [params.customer, params.lines.len() as u64, 0, 0],
+            )?;
             trees
-                .orders
-                .insert(tx, d, order_id, [params.customer, params.lines.len() as u64, 0, 0])?;
-            trees.new_order.insert(tx, d, order_id, [order_id, 0, 0, 0])?;
+                .new_order
+                .insert(tx, d, order_id, [order_id, 0, 0, 0])?;
             // Order lines + stock updates.
             for (line_no, (item, qty)) in params.lines.iter().enumerate() {
                 let price = trees.item.lookup(*item).map(|v| v[1]).unwrap_or(100);
@@ -122,9 +134,11 @@ impl TpccRunner {
                 } else {
                     stock[1] + 91 - qty
                 };
-                trees
-                    .stock
-                    .update_in(tx, *item, [stock[0], new_qty, stock[2] + qty, stock[3] + 1])?;
+                trees.stock.update_in(
+                    tx,
+                    *item,
+                    [stock[0], new_qty, stock[2] + qty, stock[3] + 1],
+                )?;
             }
             if params.must_abort {
                 // Invalid item: the whole order must be rolled back.
@@ -147,12 +161,14 @@ impl TpccRunner {
         let mut handles = Vec::new();
         for t in 0..terminals {
             let db = Arc::clone(&self.db);
-            let runner = TpccRunner { db: Arc::clone(&self.db) };
+            let runner = TpccRunner {
+                db: Arc::clone(&self.db),
+            };
             let backing = db.backing_for_terminal(t);
             let trees = db.trees_for(&backing);
             let items = db.items_loaded;
             handles.push(std::thread::spawn(move || -> Result<(u64, u64)> {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64 + 1) * 0x9E37);
+                let mut rng = SmallRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37));
                 let mut committed = 0;
                 let mut aborted = 0;
                 for _ in 0..per_terminal {
@@ -190,8 +206,8 @@ impl TpccRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rewind_core::RewindConfig;
     use crate::schema::Layout;
+    use rewind_core::RewindConfig;
 
     fn small_db(layout: Layout) -> Arc<TpccDb> {
         Arc::new(TpccDb::build(layout, 2, 200, RewindConfig::batch()).unwrap())
@@ -260,7 +276,10 @@ mod tests {
             let p = NewOrderParams::random(&mut rng, 500);
             assert!((1..=DISTRICTS_PER_WAREHOUSE).contains(&p.district));
             assert!((5..=15).contains(&p.lines.len()));
-            assert!(p.lines.iter().all(|(i, q)| *i >= 1 && *i <= 500 && *q >= 1 && *q <= 10));
+            assert!(p
+                .lines
+                .iter()
+                .all(|(i, q)| *i >= 1 && *i <= 500 && *q >= 1 && *q <= 10));
         }
     }
 }

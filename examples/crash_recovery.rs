@@ -15,7 +15,11 @@ const ROUNDS: usize = 30;
 const TXNS_PER_ROUND: u64 = 40;
 
 fn main() -> Result<()> {
-    let cfg = RewindConfig::batch();
+    // Force policy: a returned commit is durable, so the oracle below can
+    // treat every insert that completed before the crash as guaranteed.
+    // (Under no-force the Batch log may still hold the last group's records
+    // in its volatile buffer, and a crash legitimately rolls them back.)
+    let cfg = RewindConfig::batch().policy(Policy::Force);
     let pool = NvmPool::new(PoolConfig::with_capacity(128 << 20));
     let tm = Arc::new(TransactionManager::create(pool.clone(), cfg)?);
     let tree = PBTree::create(Backing::rewind(Arc::clone(&tm)))?;
@@ -30,18 +34,28 @@ fn main() -> Result<()> {
     let mut tree = tree;
     for round in 0..ROUNDS {
         let _ = &tm; // the handle from the previous round is replaced below
-        // Arm a crash at a random persist event in this round.
+                     // Arm a crash at a random persist event in this round.
         let crash_after = rng.gen_range(50..5_000);
         pool.crash_injector().arm_after(crash_after);
+        // The transaction the crash fires *inside* is atomic but its outcome
+        // is unknown until recovery: it either committed just before the
+        // failure or rolls back. Exactly one per round can straddle the
+        // crash point; later transactions run entirely against the frozen
+        // pool and durably change nothing.
+        let mut straddler: Option<(u64, Value)> = None;
         for _ in 0..TXNS_PER_ROUND {
             let key = rng.gen_range(0..500);
             let val = value_from_seed(rng.gen());
-            // Each operation is one transaction; if the simulated crash has
-            // already fired the writes silently stop persisting, which is
-            // exactly the situation recovery must cope with.
-            let frozen = pool.crash_injector().is_frozen();
-            if tree.insert(key, val).is_ok() && !frozen {
+            // Each operation is one transaction; once the simulated crash has
+            // fired the writes silently stop persisting, which is exactly the
+            // situation recovery must cope with. The injector is checked
+            // *after* the insert: only a transaction whose commit completed
+            // with the pool still live is guaranteed durable.
+            let ok = tree.insert(key, val).is_ok();
+            if ok && !pool.crash_injector().is_frozen() {
                 oracle.insert(key, val);
+            } else if ok && straddler.is_none() {
+                straddler = Some((key, val));
             }
         }
         // Power-cycle and recover.
@@ -49,7 +63,24 @@ fn main() -> Result<()> {
         total_crashes += 1;
         tm = Arc::new(TransactionManager::open(pool.clone(), cfg)?);
         tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), header);
-        assert!(tree.check_invariants(), "round {round}: invariants violated");
+        assert!(
+            tree.check_invariants(),
+            "round {round}: invariants violated"
+        );
+        if let Some((k, v)) = straddler {
+            // All-or-nothing: the straddling transaction's key holds either
+            // its new value or whatever the oracle last saw committed.
+            let actual = tree.lookup(k);
+            assert!(
+                actual == Some(v) || actual == oracle.get(&k).copied(),
+                "round {round}: key {k} is neither the old nor the new value"
+            );
+            // Resolve the uncertainty for the rounds that follow.
+            match actual {
+                Some(resolved) => oracle.insert(k, resolved),
+                None => oracle.remove(&k),
+            };
+        }
         for (k, v) in &oracle {
             assert_eq!(
                 tree.lookup(*k).as_ref(),

@@ -13,7 +13,10 @@ const KEYS: u64 = 20_000;
 fn main() -> Result<()> {
     // REWIND-backed B+-tree.
     let pool = NvmPool::new(PoolConfig::with_capacity(256 << 20));
-    let tm = Arc::new(TransactionManager::create(pool.clone(), RewindConfig::batch())?);
+    let tm = Arc::new(TransactionManager::create(
+        pool.clone(),
+        RewindConfig::batch(),
+    )?);
     let tree = PBTree::create(Backing::rewind(Arc::clone(&tm)))?;
 
     let t = Instant::now();

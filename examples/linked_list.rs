@@ -9,7 +9,10 @@ use std::sync::Arc;
 
 fn main() -> Result<()> {
     let pool = NvmPool::new(PoolConfig::small());
-    let tm = Arc::new(TransactionManager::create(pool.clone(), RewindConfig::batch())?);
+    let tm = Arc::new(TransactionManager::create(
+        pool.clone(),
+        RewindConfig::batch(),
+    )?);
     let list = PList::create(Backing::rewind(Arc::clone(&tm)))?;
 
     // Build 1 <-> 2 <-> 3 <-> 4 <-> 5.
@@ -27,7 +30,10 @@ fn main() -> Result<()> {
     let _ = list.remove(nodes[1]);
     pool.power_cycle();
 
-    let tm = Arc::new(TransactionManager::open(pool.clone(), RewindConfig::batch())?);
+    let tm = Arc::new(TransactionManager::open(
+        pool.clone(),
+        RewindConfig::batch(),
+    )?);
     let list = PList::attach(Backing::rewind(tm), list.header());
     println!("after crash mid-remove + recovery: {:?}", list.values());
     println!("(either the removal completed or it never happened — never half of it)");

@@ -9,7 +9,10 @@ fn main() -> Result<()> {
     // 1. Create a simulated NVM pool (persistent image + cache model) and a
     //    REWIND transaction manager in its default Batch configuration.
     let pool = NvmPool::new(PoolConfig::small());
-    let tm = Arc::new(TransactionManager::create(pool.clone(), RewindConfig::batch())?);
+    let tm = Arc::new(TransactionManager::create(
+        pool.clone(),
+        RewindConfig::batch(),
+    )?);
 
     // 2. Allocate some persistent words and update them atomically — the
     //    library equivalent of the paper's `persistent atomic { ... }` block.
@@ -37,7 +40,10 @@ fn main() -> Result<()> {
 
     // 4. Simulate a power failure and re-open: committed state survives.
     pool.power_cycle();
-    let tm = Arc::new(TransactionManager::open(pool.clone(), RewindConfig::batch())?);
+    let tm = Arc::new(TransactionManager::open(
+        pool.clone(),
+        RewindConfig::batch(),
+    )?);
     let table = PTable::attach(Backing::rewind(Arc::clone(&tm)), table.base(), 8);
     println!("counter after crash + recovery: {}", pool.read_u64(counter));
     println!(

@@ -12,15 +12,25 @@ fn main() -> Result<()> {
     let per_terminal = 200;
     let items = 2_000; // scaled-down catalogue for a quick demo
 
-    println!("TPC-C new-order, {terminals} terminals x {per_terminal} transactions, {items} items\n");
-    println!("{:<28} {:>10} {:>10} {:>12}", "layout", "committed", "aborted", "ktpm(sim)");
+    println!(
+        "TPC-C new-order, {terminals} terminals x {per_terminal} transactions, {items} items\n"
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>12}",
+        "layout", "committed", "aborted", "ktpm(sim)"
+    );
     for layout in [
         Layout::SimpleNvm,
         Layout::Naive,
         Layout::Optimized,
         Layout::OptimizedDistLog,
     ] {
-        let db = Arc::new(TpccDb::build(layout, terminals, items, RewindConfig::batch())?);
+        let db = Arc::new(TpccDb::build(
+            layout,
+            terminals,
+            items,
+            RewindConfig::batch(),
+        )?);
         let runner = TpccRunner::new(db);
         let report = runner.run(terminals, per_terminal, 7)?;
         println!(

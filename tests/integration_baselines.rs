@@ -15,8 +15,15 @@ fn rewind_and_baselines_agree_on_workload_results() {
     let tree = PBTree::create(Backing::rewind(tm)).unwrap();
     // Baseline engine.
     let bpool = NvmPool::new(PoolConfig::with_capacity(128 << 20));
-    let kv = KvStore::create(bpool.clone(), Personality::BerkeleyDbLike, 128, 8192, 64 << 20, 64)
-        .unwrap();
+    let kv = KvStore::create(
+        bpool.clone(),
+        Personality::BerkeleyDbLike,
+        128,
+        8192,
+        64 << 20,
+        64,
+    )
+    .unwrap();
 
     for k in 0..ops {
         tree.insert(k, value_from_seed(k)).unwrap();

@@ -8,7 +8,10 @@ use std::sync::Arc;
 
 #[test]
 fn threads_share_a_log_and_all_commits_survive_a_crash() {
-    for cfg in [RewindConfig::batch(), RewindConfig::batch().policy(Policy::Force)] {
+    for cfg in [
+        RewindConfig::batch(),
+        RewindConfig::batch().policy(Policy::Force),
+    ] {
         let pool = NvmPool::new(PoolConfig::with_capacity(256 << 20));
         let threads = 4usize;
         let per_thread = 200u64;

@@ -112,7 +112,11 @@ fn crash_matrix_torn_words() {
         let tree = PBTree::attach(Backing::rewind(tm), header);
         assert!(tree.check_invariants(), "seed {seed}");
         for k in 0..100u64 {
-            assert_eq!(tree.lookup(k), Some(value_from_seed(k)), "seed {seed} key {k}");
+            assert_eq!(
+                tree.lookup(k),
+                Some(value_from_seed(k)),
+                "seed {seed} key {k}"
+            );
         }
     }
 }

@@ -25,7 +25,11 @@ fn all_layouts_run_the_new_order_mix() {
             // The non-recoverable layout cannot undo an aborted order; its
             // partial effects remain (as the paper notes for the plain NVM
             // version).
-            assert_eq!(db.orders.len(), report.committed + report.aborted, "{layout:?}");
+            assert_eq!(
+                db.orders.len(),
+                report.committed + report.aborted,
+                "{layout:?}"
+            );
         }
         // Roughly 1% aborts; with 120 transactions allow 0..=8.
         assert!(report.aborted <= 8, "{layout:?}: {} aborts", report.aborted);
