@@ -1,0 +1,4 @@
+//! Per-commit NVM cost vs live interleaved transactions (must stay flat).
+fn main() {
+    rewind_bench::commit_path(rewind_bench::scale_from_env());
+}

@@ -823,6 +823,72 @@ pub fn shard_scalability(scale: f64) {
 }
 
 // ---------------------------------------------------------------------------
+// Commit path (beyond the paper: the de-quadratized runtime hot path)
+// ---------------------------------------------------------------------------
+
+/// Commit-path microbenchmark: per-commit NVM cost as a function of the
+/// number of *unrelated* live transactions parked in the log. The paper only
+/// pays the one-layer "skip records" cost at rollback/recovery time
+/// (Figs. 3–4); a naive implementation pays it on every force-policy commit,
+/// because clearing the committed transaction's records by full log scan is
+/// O(all live records) — N interleaved transactions then cost O(N²). With
+/// the per-transaction slot registries, commit touches only the committing
+/// transaction's own records, so every per-commit column below must stay
+/// flat as `live_txns` grows. Reported per cell: pool reads, fences and
+/// charged NVM writes per commit (from `PoolStats` deltas) plus simulated
+/// microseconds per commit.
+pub fn commit_path(scale: f64) {
+    let ops = 8u64;
+    let iters = scaled(50, scale, 5);
+    header(
+        "Commit path: per-commit NVM cost vs live interleaved transactions (1L-FP Optimized)",
+        &[
+            "live_txns",
+            "live_records",
+            "reads_per_commit",
+            "fences_per_commit",
+            "nvm_writes_per_commit",
+            "sim_us_per_commit",
+        ],
+    );
+    for live in [0usize, 4, 16, 64] {
+        let cfg = RewindConfig::optimized().policy(Policy::Force);
+        let (pool, tm) = make_tm(cfg, 256);
+        let table = PTable::create(Backing::rewind(Arc::clone(&tm)), 8192).unwrap();
+        // Park `live` transactions, each holding `ops` records, never
+        // committed: pure skip records for everyone else.
+        let mut parked_slot = 4096u64;
+        for _ in 0..live {
+            let t = tm.begin();
+            for _ in 0..ops {
+                tm.write_u64(t, table.slot_addr(parked_slot % 8192), parked_slot + 1)
+                    .unwrap();
+                parked_slot += 1;
+            }
+        }
+        let live_records = tm.log_len();
+        let before = pool.stats();
+        for i in 0..iters {
+            let t = tm.begin();
+            for op in 0..ops {
+                tm.write_u64(t, table.slot_addr((i * ops + op) % 4096), i * ops + op + 1)
+                    .unwrap();
+            }
+            tm.commit(t).unwrap();
+        }
+        let d = pool.stats().since(&before);
+        row(&[
+            live.to_string(),
+            live_records.to_string(),
+            f(d.reads as f64 / iters as f64),
+            f(d.fences as f64 / iters as f64),
+            f(d.nvm_writes as f64 / iters as f64),
+            f(d.sim_ns as f64 / 1e3 / iters as f64),
+        ]);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ablations beyond the paper's figures
 // ---------------------------------------------------------------------------
 

@@ -39,6 +39,21 @@ pub struct AllocStats {
     pub free_blocks: u64,
 }
 
+impl AllocStats {
+    /// Component-wise sum, for aggregating the allocators of independent
+    /// pools (e.g. the per-shard pools of a partitioned store). The summed
+    /// `frontier` reads as the aggregate bump-allocated footprint across the
+    /// pools, not as an address.
+    pub fn merge(&self, other: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocated_bytes: self.allocated_bytes + other.allocated_bytes,
+            freed_bytes: self.freed_bytes + other.freed_bytes,
+            frontier: self.frontier + other.frontier,
+            free_blocks: self.free_blocks + other.free_blocks,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct AllocInner {
     /// Next never-allocated byte (absolute pool offset).
@@ -47,6 +62,10 @@ struct AllocInner {
     end: u64,
     /// size-class -> stack of free block offsets.
     free_lists: HashMap<usize, Vec<u64>>,
+    /// Dedicated slab for the single-cacheline class — by far the hottest
+    /// allocation size (every log record is exactly one cacheline), served
+    /// without touching the `HashMap` while the global mutex is held.
+    line_slab: Vec<u64>,
     stats: AllocStats,
 }
 
@@ -81,6 +100,7 @@ impl NvmAllocator {
                 frontier,
                 end: capacity,
                 free_lists: HashMap::new(),
+                line_slab: Vec::new(),
                 stats: AllocStats {
                     frontier,
                     ..AllocStats::default()
@@ -100,12 +120,15 @@ impl NvmAllocator {
     pub(crate) fn alloc_raw(&self, size: usize) -> Result<(PAddr, Option<u64>)> {
         let class = size_class(size);
         let mut inner = self.inner.lock();
-        if let Some(list) = inner.free_lists.get_mut(&class) {
-            if let Some(addr) = list.pop() {
-                inner.stats.allocated_bytes += class as u64;
-                inner.stats.free_blocks -= 1;
-                return Ok((PAddr::new(addr), None));
-            }
+        let reused = if class == CACHELINE {
+            inner.line_slab.pop()
+        } else {
+            inner.free_lists.get_mut(&class).and_then(|list| list.pop())
+        };
+        if let Some(addr) = reused {
+            inner.stats.allocated_bytes += class as u64;
+            inner.stats.free_blocks -= 1;
+            return Ok((PAddr::new(addr), None));
         }
         // Bump allocation. Keep cacheline-sized classes cacheline aligned.
         let align = if class >= CACHELINE { CACHELINE } else { WORD } as u64;
@@ -130,11 +153,15 @@ impl NvmAllocator {
         if addr.offset() < self.heap_start || addr.offset() + class as u64 > inner.frontier {
             return Err(NvmError::InvalidFree(addr.offset()));
         }
-        inner
-            .free_lists
-            .entry(class)
-            .or_default()
-            .push(addr.offset());
+        if class == CACHELINE {
+            inner.line_slab.push(addr.offset());
+        } else {
+            inner
+                .free_lists
+                .entry(class)
+                .or_default()
+                .push(addr.offset());
+        }
         inner.stats.freed_bytes += class as u64;
         inner.stats.free_blocks += 1;
         Ok(())
@@ -146,6 +173,7 @@ impl NvmAllocator {
         let mut inner = self.inner.lock();
         inner.frontier = frontier.max(self.heap_start);
         inner.free_lists.clear();
+        inner.line_slab.clear();
         inner.stats = AllocStats {
             frontier: inner.frontier,
             ..AllocStats::default()
@@ -203,6 +231,50 @@ mod tests {
         let (y, moved) = a.alloc_raw(64).unwrap();
         assert_eq!(x, y, "freed block should be reused");
         assert!(moved.is_none(), "reuse must not move the frontier");
+    }
+
+    #[test]
+    fn cacheline_slab_reuses_in_lifo_order_without_hashmap() {
+        // The cacheline class goes through the dedicated slab; behaviour is
+        // identical to a free list (LIFO reuse, no frontier movement) and
+        // mixing it with other classes never crosses blocks over.
+        let a = NvmAllocator::new(4096, 1 << 20, 4096);
+        let (x, _) = a.alloc_raw(64).unwrap();
+        let (y, _) = a.alloc_raw(64).unwrap();
+        let (small, _) = a.alloc_raw(16).unwrap();
+        a.free_raw(x, 64).unwrap();
+        a.free_raw(y, 64).unwrap();
+        a.free_raw(small, 16).unwrap();
+        assert_eq!(a.stats().free_blocks, 3);
+        let (r1, m1) = a.alloc_raw(64).unwrap();
+        let (r2, m2) = a.alloc_raw(64).unwrap();
+        assert_eq!(r1, y, "slab reuse is LIFO");
+        assert_eq!(r2, x);
+        assert!(m1.is_none() && m2.is_none());
+        let (s, _) = a.alloc_raw(16).unwrap();
+        assert_eq!(s, small, "small classes still use their free list");
+        assert_eq!(a.stats().free_blocks, 0);
+    }
+
+    #[test]
+    fn alloc_stats_merge_sums_components() {
+        let a = AllocStats {
+            allocated_bytes: 10,
+            freed_bytes: 4,
+            frontier: 100,
+            free_blocks: 1,
+        };
+        let b = AllocStats {
+            allocated_bytes: 5,
+            freed_bytes: 1,
+            frontier: 200,
+            free_blocks: 2,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.allocated_bytes, 15);
+        assert_eq!(m.freed_bytes, 5);
+        assert_eq!(m.frontier, 300);
+        assert_eq!(m.free_blocks, 3);
     }
 
     #[test]

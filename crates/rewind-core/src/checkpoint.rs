@@ -16,13 +16,17 @@
 //!   simply repeated on the next attempt. Concurrent transactions may keep
 //!   appending while the checkpoint runs, because appends only touch the log
 //!   tail while clearing removes records from the middle.
+//!
+//! The one-layer clearing pass consumes the per-transaction slot registries
+//! (plus the cached CHECKPOINT-marker slots) rather than rescanning the whole
+//! log, so a checkpoint costs O(records actually cleared), not O(log size).
 
 use crate::config::Policy;
 use crate::record::RecordType;
-use crate::txn::{Backend, TransactionManager};
+use crate::txn::{Backend, SlotRef, TransactionManager, TxHandle, TxId, TxStatus};
 use crate::Result;
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 impl TransactionManager {
     /// Takes a checkpoint. Under the force policy this only flushes the
@@ -47,63 +51,71 @@ impl TransactionManager {
                 //    the marker may not be persistent yet and must survive.
                 let ckpt = crate::record::LogRecord::checkpoint(self.next_lsn());
                 let ckpt_lsn = ckpt.lsn;
-                log.append(&ckpt)?;
+                let (marker_addr, marker_slot) = log.append(&ckpt)?;
+                self.ckpt_slots.lock().push(SlotRef {
+                    slot: marker_slot,
+                    addr: marker_addr,
+                    rtype: RecordType::Checkpoint,
+                    lsn: ckpt_lsn,
+                });
                 log.flush_pending()?;
 
                 // 2. Make every pending write persistent ("cache-consistent"
                 //    checkpoint): user data and any batch-buffered records.
                 self.pool.flush_all();
 
-                // 3. Clear records of finished transactions up to the
-                //    cut-off, END records last; honour DELETE records.
-                let entries = log.scan(false)?;
-                let mut finished: HashSet<u64> = HashSet::new();
-                let mut seen: HashMap<u64, bool> = HashMap::new();
-                for e in &entries {
-                    if e.record.rtype == RecordType::End {
-                        seen.insert(e.record.txid, true);
-                    } else {
-                        seen.entry(e.record.txid).or_insert(false);
+                // 3. Clear the registered records of finished transactions up
+                //    to the cut-off, END records last; honour DELETE records.
+                //    Records past the cut-off stay registered (and their
+                //    entry stays in the table) for the next checkpoint. The
+                //    handles are cloned under the table lock but their
+                //    mutexes are only taken after it is released, so
+                //    concurrent begin/commit never stalls behind this pass.
+                let candidates: Vec<(TxId, TxHandle)> = self
+                    .table
+                    .lock()
+                    .iter()
+                    .map(|(t, h)| (*t, Arc::clone(h)))
+                    .collect();
+                let mut fully_cleared = Vec::new();
+                for (txid, handle) in &candidates {
+                    let clear_now: Vec<SlotRef> = {
+                        let mut e = handle.lock();
+                        if e.status != TxStatus::Finished {
+                            continue;
+                        }
+                        let (now, keep) = e.slots.drain(..).partition(|r| r.lsn <= ckpt_lsn);
+                        e.slots = keep;
+                        now
+                    };
+                    let n = clear_now.len() as u64;
+                    self.clear_registered_slots(log, handle, clear_now, true)?;
+                    removed += n;
+                    if handle.lock().slots.is_empty() {
+                        fully_cleared.push(*txid);
                     }
                 }
-                for (txid, has_end) in &seen {
-                    if *has_end {
-                        finished.insert(*txid);
+                // Superseded (and the current) checkpoint markers go last,
+                // with the END records, once the clearing pass completed. On
+                // a mid-batch error the unprocessed markers are pushed back
+                // so a later checkpoint retries them.
+                let markers: Vec<SlotRef> = {
+                    let mut g = self.ckpt_slots.lock();
+                    let (now, keep) = g.drain(..).partition(|r| r.lsn <= ckpt_lsn);
+                    *g = keep;
+                    now
+                };
+                for (i, m) in markers.iter().enumerate() {
+                    if let Err(e) = log.clear_slot(m.slot) {
+                        self.ckpt_slots.lock().extend_from_slice(&markers[i..]);
+                        return Err(e);
                     }
-                }
-                let mut end_slots = Vec::new();
-                for e in &entries {
-                    if e.record.lsn > ckpt_lsn {
-                        continue;
-                    }
-                    if e.record.rtype == RecordType::Checkpoint {
-                        // Old (and the current) checkpoint markers can go as
-                        // soon as the clearing pass completes; collect them
-                        // with the END records so they are removed last.
-                        end_slots.push(e.slot);
-                        continue;
-                    }
-                    if !finished.contains(&e.record.txid) {
-                        continue;
-                    }
-                    if e.record.rtype == RecordType::End {
-                        end_slots.push(e.slot);
-                        continue;
-                    }
-                    if e.record.rtype == RecordType::Delete {
-                        self.pool.free(e.record.addr, e.record.old as usize)?;
-                    }
-                    log.clear_slot(e.slot)?;
-                    removed += 1;
-                }
-                for slot in end_slots {
-                    log.clear_slot(slot)?;
                     removed += 1;
                 }
                 // Finished transactions are gone from the log; drop their
                 // volatile table entries too.
                 let mut table = self.table.lock();
-                for txid in finished {
+                for txid in fully_cleared {
                     table.remove(&txid);
                 }
             }

@@ -25,6 +25,7 @@ use crate::Result;
 use parking_lot::Mutex;
 use rewind_nvm::{NvmPool, PAddr};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifies the physical location of a log record inside the log so it can
@@ -53,6 +54,17 @@ pub struct LogEntry {
     pub record: LogRecord,
 }
 
+/// Volatile per-bucket bookkeeping: the live-record count plus a back-pointer
+/// to the ADLL node carrying the bucket, so that unlinking an emptied bucket
+/// is O(1) instead of a linear search through the list.
+#[derive(Debug, Clone, Copy)]
+struct BucketRef {
+    /// Live (non-gap) records in the bucket.
+    live: usize,
+    /// The ADLL node whose element is this bucket.
+    node: PAddr,
+}
+
 /// Volatile bookkeeping for the bucketed variants.
 #[derive(Debug, Default)]
 struct BucketState {
@@ -63,8 +75,8 @@ struct BucketState {
     /// First cell of the current batch group not yet covered by a group
     /// persist (Batch only).
     group_start: usize,
-    /// Live (non-gap) records per bucket, keyed by bucket address.
-    occupancy: HashMap<u64, usize>,
+    /// Per-bucket state, keyed by bucket address.
+    occupancy: HashMap<u64, BucketRef>,
 }
 
 #[derive(Debug)]
@@ -86,6 +98,10 @@ pub struct RecoverableLog {
     structure: LogStructure,
     bucket_size: usize,
     group_size: usize,
+    /// Cached copy of the ADLL header address, readable without taking the
+    /// inner mutex (`header()` runs on every `persist_root`). Updated only
+    /// by [`RecoverableLog::clear_all`], which swaps the list wholesale.
+    header: AtomicU64,
     inner: Mutex<LogInner>,
 }
 
@@ -98,6 +114,7 @@ impl RecoverableLog {
             structure: cfg.structure,
             bucket_size: cfg.bucket_size,
             group_size: cfg.group_size,
+            header: AtomicU64::new(adll.header().offset()),
             inner: Mutex::new(LogInner {
                 adll,
                 buckets: BucketState::default(),
@@ -116,6 +133,7 @@ impl RecoverableLog {
             structure: cfg.structure,
             bucket_size: cfg.bucket_size,
             group_size: cfg.group_size,
+            header: AtomicU64::new(header.offset()),
             inner: Mutex::new(LogInner {
                 adll,
                 buckets: BucketState::default(),
@@ -128,8 +146,9 @@ impl RecoverableLog {
     }
 
     /// Address of the durable ADLL header; store it in the REWIND root.
+    /// Served from a volatile cache — no lock taken.
     pub fn header(&self) -> PAddr {
-        self.inner.lock().adll.header()
+        PAddr::new(self.header.load(Ordering::Acquire))
     }
 
     /// The pool this log lives in.
@@ -188,11 +207,12 @@ impl RecoverableLog {
                 let (bucket, cell) = self.reserve_cell(&mut inner)?;
                 bucket.set_cell_nt(&self.pool, cell, rec_addr);
                 self.pool.sfence();
-                *inner
+                inner
                     .buckets
                     .occupancy
-                    .entry(bucket.addr.offset())
-                    .or_insert(0) += 1;
+                    .get_mut(&bucket.addr.offset())
+                    .expect("current bucket has an occupancy entry")
+                    .live += 1;
                 inner.live_records += 1;
                 inner.appended += 1;
                 Ok((
@@ -209,11 +229,12 @@ impl RecoverableLog {
                 let mut inner = self.inner.lock();
                 let (bucket, cell) = self.reserve_cell(&mut inner)?;
                 bucket.set_cell(&self.pool, cell, rec_addr);
-                *inner
+                inner
                     .buckets
                     .occupancy
-                    .entry(bucket.addr.offset())
-                    .or_insert(0) += 1;
+                    .get_mut(&bucket.addr.offset())
+                    .expect("current bucket has an occupancy entry")
+                    .live += 1;
                 inner.live_records += 1;
                 inner.appended += 1;
                 // Group boundary, bucket boundary or END record: flush now.
@@ -262,11 +283,14 @@ impl RecoverableLog {
         };
         if need_new {
             let bucket = Bucket::create(&self.pool, self.bucket_size)?;
-            inner.adll.append(bucket.addr)?;
+            let node = inner.adll.append(bucket.addr)?;
             inner.buckets.current = Some(bucket);
             inner.buckets.next_cell = 0;
             inner.buckets.group_start = 0;
-            inner.buckets.occupancy.insert(bucket.addr.offset(), 0);
+            inner
+                .buckets
+                .occupancy
+                .insert(bucket.addr.offset(), BucketRef { live: 0, node });
         }
         let bucket = inner.buckets.current.expect("current bucket must exist");
         let cell = inner.buckets.next_cell;
@@ -341,7 +365,10 @@ impl RecoverableLog {
     /// Returns the live records of one transaction, oldest first, by scanning
     /// the whole log. This is the linear scan whose cost grows with the
     /// number of interleaved "skip records" of other transactions — the
-    /// effect Figures 3 (right) and 4 quantify for one-layer logging.
+    /// effect Figures 3 (right) and 4 quantify for one-layer logging. The
+    /// runtime commit/rollback/clear paths avoid it via the transaction
+    /// manager's per-transaction slot registries; it remains for recovery
+    /// and for orphaned transactions with no volatile state.
     pub fn scan_transaction(&self, txid: u64) -> Result<Vec<LogEntry>> {
         Ok(self
             .scan(false)?
@@ -381,31 +408,26 @@ impl RecoverableLog {
                 if rec != 0 {
                     self.pool.free(PAddr::new(rec), RECORD_SIZE)?;
                 }
-                let occ = inner
-                    .buckets
-                    .occupancy
-                    .entry(bucket.addr.offset())
-                    .or_insert(1);
-                *occ = occ.saturating_sub(1);
-                let empty = *occ == 0;
                 let is_current = inner
                     .buckets
                     .current
                     .map(|b| b.addr == bucket.addr)
                     .unwrap_or(false);
-                if empty && !is_current {
-                    // Unlink the now-empty bucket from the ADLL.
-                    let node = inner
-                        .adll
-                        .iter()
-                        .find(|n| inner.adll.element(*n) == bucket.addr);
-                    if let Some(node) = node {
-                        let capacity = bucket.capacity(&self.pool);
-                        inner.adll.remove(node)?;
-                        self.pool.free(node, crate::adll::ADLL_NODE_SIZE)?;
-                        self.pool.free(bucket.addr, Bucket::byte_size(capacity))?;
-                        inner.buckets.occupancy.remove(&bucket.addr.offset());
+                let mut empty_node = None;
+                if let Some(occ) = inner.buckets.occupancy.get_mut(&bucket.addr.offset()) {
+                    occ.live = occ.live.saturating_sub(1);
+                    if occ.live == 0 && !is_current {
+                        empty_node = Some(occ.node);
                     }
+                }
+                if let Some(node) = empty_node {
+                    // Unlink the now-empty bucket from the ADLL through the
+                    // stored node back-pointer — O(1), no list walk.
+                    let capacity = bucket.capacity(&self.pool);
+                    inner.adll.remove(node)?;
+                    self.pool.free(node, crate::adll::ADLL_NODE_SIZE)?;
+                    self.pool.free(bucket.addr, Bucket::byte_size(capacity))?;
+                    inner.buckets.occupancy.remove(&bucket.addr.offset());
                 }
             }
         }
@@ -430,6 +452,7 @@ impl RecoverableLog {
         inner.adll = new_adll;
         inner.buckets = BucketState::default();
         inner.live_records = 0;
+        self.header.store(new_header.offset(), Ordering::Release);
         // Step (c): de-allocate the old structure.
         for (node, element) in old_nodes {
             match self.structure {
@@ -462,6 +485,11 @@ impl RecoverableLog {
     /// the live records over, and atomically adopts the new structure — the
     /// alternative clearing strategy sketched at the end of Section 3.3.
     /// Returns `Some(new_header)` if compaction ran.
+    ///
+    /// Compaction re-slots every surviving record, so any [`SlotId`]s the
+    /// caller holds (e.g. the transaction manager's per-transaction slot
+    /// registries) are invalidated; only run it when no such references
+    /// exist.
     pub fn compact_if_sparse(&self, threshold: f64) -> Result<Option<PAddr>> {
         if self.structure == LogStructure::Simple {
             return Ok(None);
@@ -514,7 +542,7 @@ impl RecoverableLog {
             for node in inner.adll.iter() {
                 let bucket = Bucket::attach(inner.adll.element(node));
                 let (next_free, live) = bucket.reconstruct(&self.pool, trust);
-                occupancy.insert(bucket.addr.offset(), live);
+                occupancy.insert(bucket.addr.offset(), BucketRef { live, node });
                 live_total += live as u64;
                 last_bucket = Some((bucket, next_free));
             }
@@ -532,6 +560,10 @@ impl RecoverableLog {
                 .filter(|n| !inner.adll.element(*n).is_null())
                 .count() as u64;
         }
+        // Lifetime stats are volatile; the best post-crash reconstruction of
+        // `appended` is the number of records found in the log (fresh attach
+        // starts from 0, so without this the counter silently resets).
+        inner.appended = inner.appended.max(inner.live_records);
         Ok(())
     }
 }

@@ -24,9 +24,8 @@
 
 use crate::config::Policy;
 use crate::record::{LogRecord, RecordType};
-use crate::txn::{Backend, TransactionManager, TxEntry, TxStatus};
+use crate::txn::{analyze_records, Backend, RecordLocation, TransactionManager, TxStatus};
 use crate::Result;
-use rewind_nvm::PAddr;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 
@@ -79,47 +78,30 @@ impl TransactionManager {
             }
         }
 
-        // Phase 1: analysis.
+        // Phase 1: analysis. Besides transaction statuses and counters this
+        // rebuilds the volatile per-transaction slot registries (and the
+        // CHECKPOINT-marker slots) — the one full scan the registries are
+        // allowed to cost.
         let records = self.all_records(true)?;
         report.scanned = records.len() as u64;
-        let mut table: HashMap<u64, TxStatus> = HashMap::new();
-        let mut max_lsn = 0u64;
-        let mut max_txid = 0u64;
-        for (_, rec) in &records {
-            max_lsn = max_lsn.max(rec.lsn);
-            if rec.txid == u64::MAX || rec.rtype == RecordType::Checkpoint {
-                continue;
-            }
-            max_txid = max_txid.max(rec.txid);
-            let entry = table.entry(rec.txid).or_insert(TxStatus::Running);
-            match rec.rtype {
-                RecordType::End => *entry = TxStatus::Finished,
-                RecordType::Rollback if *entry != TxStatus::Finished => {
-                    *entry = TxStatus::Aborted;
-                }
-                _ => {}
-            }
-        }
-        self.next_lsn.store(max_lsn + 1, Ordering::SeqCst);
-        self.next_txid.store(max_txid + 1, Ordering::SeqCst);
+        let mut analysis = analyze_records(&records);
+        let table = std::mem::take(&mut analysis.statuses);
+        self.next_lsn.store(analysis.max_lsn + 1, Ordering::SeqCst);
+        self.next_txid
+            .store(analysis.max_txid + 1, Ordering::SeqCst);
         {
             let mut t = self.table.lock();
             t.clear();
             for (txid, status) in &table {
-                t.insert(
-                    *txid,
-                    TxEntry {
-                        status: *status,
-                        last_record: PAddr::NULL,
-                    },
-                );
+                t.insert(*txid, analysis.take_entry(*txid, *status));
             }
         }
+        *self.ckpt_slots.lock() = analysis.markers;
         report.finished = table.values().filter(|s| **s == TxStatus::Finished).count() as u64;
 
         // Phase 2: redo (no-force only) — repeat history.
         if self.cfg.policy == Policy::NoForce {
-            for (_, rec) in &records {
+            for (_, _, rec) in &records {
                 match rec.rtype {
                     RecordType::Update | RecordType::Clr => {
                         self.pool.write_u64(rec.addr, rec.new);
@@ -168,7 +150,7 @@ impl TransactionManager {
             match &self.backend {
                 Backend::One(log) => {
                     // Process deferred de-allocations of committed work first.
-                    for (_, rec) in &records {
+                    for (_, _, rec) in &records {
                         if rec.rtype == RecordType::Delete
                             && table.get(&rec.txid) == Some(&TxStatus::Finished)
                         {
@@ -188,8 +170,16 @@ impl TransactionManager {
             report.log_cleared = true;
         }
 
-        // Recovery leaves no running transactions behind.
-        self.table.lock().clear();
+        // Recovery leaves no running transactions behind. Under the force
+        // policy the log was dropped wholesale, so the volatile table and
+        // the cached checkpoint-marker slots go with it; the two-layer index
+        // rediscovers finished transactions itself. Under one-layer no-force
+        // every entry is now Finished and keeps its rebuilt slot registry so
+        // the next checkpoint can clear its records without rescanning.
+        if self.cfg.policy == Policy::Force || matches!(self.backend, Backend::Two(_)) {
+            self.table.lock().clear();
+            self.ckpt_slots.lock().clear();
+        }
         *self.last_recovery.lock() = Some(report);
         Ok(report)
     }
@@ -207,14 +197,14 @@ impl TransactionManager {
     /// previous, interrupted recovery already compensated.
     fn undo_one_layer(
         &self,
-        records: &[(crate::txn::RecordLocation, LogRecord)],
+        records: &[(RecordLocation, rewind_nvm::PAddr, LogRecord)],
         table: &HashMap<u64, TxStatus>,
     ) -> Result<u64> {
         let mut undone = 0u64;
         // LSN of the oldest record already compensated, per transaction.
         let mut undo_map: HashMap<u64, u64> = HashMap::new();
         let mut rollback_written: HashSet<u64> = HashSet::new();
-        for (_, rec) in records.iter().rev() {
+        for (_, _, rec) in records.iter().rev() {
             let status = match table.get(&rec.txid) {
                 Some(s) => *s,
                 None => continue,

@@ -13,6 +13,14 @@
 //! `persistent atomic { ... }` block of Listing 1, and
 //! [`Transaction::write_u64`] combines the log call with the store itself the
 //! way a compiler pass would.
+//!
+//! Unlike the paper's presentation — which pays the one-layer full-log-scan
+//! cost at rollback/recovery time only — this implementation also keeps a
+//! volatile **per-transaction slot registry** in the transaction table, so
+//! that commit, rollback, clearing and checkpointing cost O(the
+//! transaction's own record count) rather than O(the whole log). The
+//! registry is rebuilt by the recovery analysis scan; persistent state and
+//! the recovery protocol are unchanged.
 
 use crate::aavlt::Aavlt;
 use crate::config::{LogLayers, Policy, RewindConfig};
@@ -50,15 +58,120 @@ pub enum TxStatus {
     Finished,
 }
 
-/// Volatile transaction-table entry. The table is authoritative only in the
-/// two-layer configuration (the paper maintains it during logging there); in
-/// the one-layer configuration it exists purely for API error-checking and
-/// statistics and carries no protocol state.
+/// Volatile location of one of a transaction's own log records (one-layer
+/// backend): everything needed to clear or undo the record without scanning
+/// the log. The registry these live in is the volatile dual of the two-layer
+/// configuration's per-transaction chain — it makes commit, rollback and
+/// clearing cost O(the transaction's own records) instead of O(the whole
+/// log), while recovery (which cannot trust volatile state) still rebuilds
+/// it from the analysis scan.
 #[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotRef {
+    /// Where the record sits in the log (for clearing).
+    pub(crate) slot: SlotId,
+    /// Address of the record payload (for re-reading it during undo and
+    /// deferred-deallocation processing).
+    pub(crate) addr: PAddr,
+    /// Record type, cached so clearing never touches NVM for non-DELETEs.
+    pub(crate) rtype: RecordType,
+    /// Record LSN, cached for the checkpoint cut-off test.
+    pub(crate) lsn: u64,
+}
+
+/// Volatile transaction-table entry. Each entry is shared behind its own
+/// mutex so that an operation takes the table lock once (to fetch the
+/// handle) and then works on per-transaction state without further global
+/// round-trips.
+#[derive(Debug)]
 pub(crate) struct TxEntry {
     pub(crate) status: TxStatus,
-    /// Most recent log record of the transaction (two-layer back-chain).
-    pub(crate) last_record: PAddr,
+    /// Per-transaction slot registry (one-layer backend; empty for
+    /// two-layer, whose AVL index already chains records by transaction —
+    /// the `prev` back-chain lives in the records themselves).
+    pub(crate) slots: Vec<SlotRef>,
+}
+
+impl TxEntry {
+    fn new(status: TxStatus) -> TxEntry {
+        TxEntry::with_slots(status, Vec::new())
+    }
+
+    /// Entry with a pre-built slot registry (recovery's analysis scan).
+    pub(crate) fn with_slots(status: TxStatus, slots: Vec<SlotRef>) -> TxEntry {
+        TxEntry { status, slots }
+    }
+}
+
+/// Shared handle to one transaction's volatile state.
+pub(crate) type TxHandle = Arc<Mutex<TxEntry>>;
+
+/// What one pass over the log yields: per-transaction statuses and slot
+/// registries, leftover CHECKPOINT markers, and the counter high-water
+/// marks. Produced by [`analyze_records`]; consumed by crash recovery's
+/// analysis phase and by the clean-attach scan.
+#[derive(Debug, Default)]
+pub(crate) struct LogAnalysis {
+    pub(crate) statuses: HashMap<TxId, TxStatus>,
+    pub(crate) registries: HashMap<TxId, Vec<SlotRef>>,
+    pub(crate) markers: Vec<SlotRef>,
+    pub(crate) max_lsn: u64,
+    pub(crate) max_txid: u64,
+}
+
+impl LogAnalysis {
+    /// Builds the volatile table entry for `txid`, moving its rebuilt slot
+    /// registry out of the analysis. Both consumers of the analysis (crash
+    /// recovery and the clean-attach scan) go through this, so registry
+    /// handling cannot diverge between the two paths.
+    pub(crate) fn take_entry(&mut self, txid: TxId, status: TxStatus) -> TxHandle {
+        Arc::new(Mutex::new(TxEntry::with_slots(
+            status,
+            self.registries.remove(&txid).unwrap_or_default(),
+        )))
+    }
+}
+
+/// Derives transaction statuses (END → finished, ROLLBACK without END →
+/// aborted, otherwise running), one-layer slot registries and CHECKPOINT
+/// marker slots from a log scan. This is the single definition of the
+/// analysis both recovery and clean attach perform.
+pub(crate) fn analyze_records(records: &[(RecordLocation, PAddr, LogRecord)]) -> LogAnalysis {
+    let mut out = LogAnalysis::default();
+    for (loc, addr, rec) in records {
+        out.max_lsn = out.max_lsn.max(rec.lsn);
+        if rec.rtype == RecordType::Checkpoint {
+            if let RecordLocation::Slot(slot) = loc {
+                out.markers.push(SlotRef {
+                    slot: *slot,
+                    addr: *addr,
+                    rtype: rec.rtype,
+                    lsn: rec.lsn,
+                });
+            }
+            continue;
+        }
+        if rec.txid == u64::MAX {
+            continue;
+        }
+        out.max_txid = out.max_txid.max(rec.txid);
+        let status = out.statuses.entry(rec.txid).or_insert(TxStatus::Running);
+        match rec.rtype {
+            RecordType::End => *status = TxStatus::Finished,
+            RecordType::Rollback if *status != TxStatus::Finished => {
+                *status = TxStatus::Aborted;
+            }
+            _ => {}
+        }
+        if let RecordLocation::Slot(slot) = loc {
+            out.registries.entry(rec.txid).or_default().push(SlotRef {
+                slot: *slot,
+                addr: *addr,
+                rtype: rec.rtype,
+                lsn: rec.lsn,
+            });
+        }
+    }
+    out
 }
 
 /// Aggregate counters exposed for tests and the benchmark harness.
@@ -123,7 +236,11 @@ pub struct TransactionManager {
     pub(crate) backend: Backend,
     pub(crate) next_txid: AtomicU64,
     pub(crate) next_lsn: AtomicU64,
-    pub(crate) table: Mutex<HashMap<TxId, TxEntry>>,
+    pub(crate) table: Mutex<HashMap<TxId, TxHandle>>,
+    /// Slots of CHECKPOINT marker records still in the one-layer log
+    /// (volatile; rebuilt by the recovery analysis scan). Checkpoints clear
+    /// superseded markers from here instead of rediscovering them by scan.
+    pub(crate) ckpt_slots: Mutex<Vec<SlotRef>>,
     pub(crate) stats: TmStats,
     /// Records appended since the last checkpoint (drives automatic
     /// checkpointing under the no-force policy).
@@ -154,6 +271,7 @@ impl TransactionManager {
             next_txid: AtomicU64::new(1),
             next_lsn: AtomicU64::new(1),
             table: Mutex::new(HashMap::new()),
+            ckpt_slots: Mutex::new(Vec::new()),
             stats: TmStats::default(),
             records_since_checkpoint: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
@@ -199,6 +317,7 @@ impl TransactionManager {
             next_txid: AtomicU64::new(1),
             next_lsn: AtomicU64::new(1),
             table: Mutex::new(HashMap::new()),
+            ckpt_slots: Mutex::new(Vec::new()),
             stats: TmStats::default(),
             records_since_checkpoint: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
@@ -253,18 +372,29 @@ impl TransactionManager {
     }
 
     /// After a clean attach there is no recovery pass to discover the highest
-    /// LSN/transaction id in the log, so scan for them explicitly.
+    /// LSN/transaction id in the log, so scan for them explicitly. The same
+    /// scan registers any *finished* transactions still in the log (e.g. a
+    /// commit that raced the clean shutdown's checkpoint) and any leftover
+    /// CHECKPOINT markers, so the next checkpoint can clear them from the
+    /// registries; transactions without an END stay unregistered, exactly as
+    /// the scan-based checkpoint (which only cleared ENDed transactions)
+    /// treated them.
     fn bump_counters_past_log(&self) -> Result<()> {
-        let mut max_lsn = 0;
-        let mut max_txid = 0;
-        for (_, rec) in self.all_records(false)? {
-            max_lsn = max_lsn.max(rec.lsn);
-            if rec.txid != u64::MAX {
-                max_txid = max_txid.max(rec.txid);
+        let records = self.all_records(false)?;
+        let mut analysis = analyze_records(&records);
+        self.next_lsn.store(analysis.max_lsn + 1, Ordering::SeqCst);
+        self.next_txid
+            .store(analysis.max_txid + 1, Ordering::SeqCst);
+        {
+            let statuses = std::mem::take(&mut analysis.statuses);
+            let mut table = self.table.lock();
+            for (txid, status) in statuses {
+                if status == TxStatus::Finished {
+                    table.insert(txid, analysis.take_entry(txid, status));
+                }
             }
         }
-        self.next_lsn.store(max_lsn + 1, Ordering::SeqCst);
-        self.next_txid.store(max_txid + 1, Ordering::SeqCst);
+        *self.ckpt_slots.lock() = analysis.markers;
         Ok(())
     }
 
@@ -306,28 +436,29 @@ impl TransactionManager {
         self.next_lsn.fetch_add(1, Ordering::SeqCst)
     }
 
-    /// Returns every live record as `(slot-or-chain-position, record)` pairs
-    /// in log order (one-layer) or grouped by transaction (two-layer).
-    /// Recovery and checkpointing build on this.
+    /// Returns every live record as `(location, payload address, record)`
+    /// triples in log order (one-layer) or grouped by transaction
+    /// (two-layer). Recovery builds on this — it is the analysis scan that
+    /// also rebuilds the per-transaction slot registries.
     pub(crate) fn all_records(
         &self,
         trust_watermark: bool,
-    ) -> Result<Vec<(RecordLocation, LogRecord)>> {
+    ) -> Result<Vec<(RecordLocation, PAddr, LogRecord)>> {
         match &self.backend {
             Backend::One(log) => Ok(log
                 .scan(trust_watermark)?
                 .into_iter()
-                .map(|e| (RecordLocation::Slot(e.slot), e.record))
+                .map(|e| (RecordLocation::Slot(e.slot), e.record_addr, e.record))
                 .collect()),
             Backend::Two(index) => {
                 let mut out = Vec::new();
                 for txid in index.txids() {
                     for (addr, rec) in index.records_of(txid)?.into_iter().rev() {
-                        out.push((RecordLocation::Chained { txid, addr }, rec));
+                        out.push((RecordLocation::Chained { txid, addr }, addr, rec));
                     }
                 }
                 // Order by LSN so forward scans see a global log order.
-                out.sort_by_key(|(_, r)| r.lsn);
+                out.sort_by_key(|(_, _, r)| r.lsn);
                 Ok(out)
             }
         }
@@ -342,13 +473,9 @@ impl TransactionManager {
     pub fn begin(&self) -> TxId {
         let id = self.next_txid.fetch_add(1, Ordering::SeqCst);
         self.stats.begun.fetch_add(1, Ordering::Relaxed);
-        self.table.lock().insert(
-            id,
-            TxEntry {
-                status: TxStatus::Running,
-                last_record: PAddr::NULL,
-            },
-        );
+        self.table
+            .lock()
+            .insert(id, Arc::new(Mutex::new(TxEntry::new(TxStatus::Running))));
         id
     }
 
@@ -360,9 +487,9 @@ impl TransactionManager {
     /// The caller performs the store itself afterwards, exactly like the
     /// expanded code in Listing 2; [`Transaction::write_u64`] does both.
     pub fn log_update(&self, tx: TxId, addr: PAddr, old: u64, new: u64) -> Result<()> {
-        self.check_running(tx)?;
+        let handle = self.running_handle(tx)?;
         let mut rec = LogRecord::update(self.next_lsn(), tx, addr, old, new);
-        self.append_for(tx, &mut rec)?;
+        self.append_with(tx, Some(&handle), &mut rec)?;
         self.maybe_auto_checkpoint()?;
         Ok(())
     }
@@ -372,9 +499,10 @@ impl TransactionManager {
     /// records are cleared (commit-time under force, checkpoint-time under
     /// no-force), because freeing earlier could not be undone.
     pub fn log_delete(&self, tx: TxId, addr: PAddr, size: u64) -> Result<()> {
-        self.check_running(tx)?;
+        let handle = self.running_handle(tx)?;
         let mut rec = LogRecord::delete(self.next_lsn(), tx, addr, size);
-        self.append_for(tx, &mut rec)?;
+        self.append_with(tx, Some(&handle), &mut rec)?;
+        self.maybe_auto_checkpoint()?;
         Ok(())
     }
 
@@ -382,11 +510,14 @@ impl TransactionManager {
     /// policy: forced updates go to NVM with a non-temporal store, unforced
     /// updates stay in the cache until a checkpoint.
     pub fn write_u64(&self, tx: TxId, addr: PAddr, new: u64) -> Result<()> {
+        let handle = self.running_handle(tx)?;
         let old = self.pool.read_u64(addr);
         if old == new {
-            return self.check_running(tx);
+            return Ok(());
         }
-        self.log_update(tx, addr, old, new)?;
+        let mut rec = LogRecord::update(self.next_lsn(), tx, addr, old, new);
+        self.append_with(tx, Some(&handle), &mut rec)?;
+        self.maybe_auto_checkpoint()?;
         match self.cfg.policy {
             Policy::Force => {
                 // WAL: the record group must be persistent before the data.
@@ -406,17 +537,20 @@ impl TransactionManager {
     /// NVM; commit fences, writes the END record and clears the transaction's
     /// log records. Under no-force only the END record is written; records are
     /// cleared by a later checkpoint.
+    ///
+    /// The whole path costs O(the transaction's own record count): clearing
+    /// consumes the volatile slot registry instead of rescanning the log.
     pub fn commit(&self, tx: TxId) -> Result<()> {
-        self.check_running(tx)?;
+        let handle = self.running_handle(tx)?;
         if self.cfg.policy == Policy::Force {
             self.pool.sfence();
         }
         let mut end = LogRecord::end(self.next_lsn(), tx);
-        self.append_for(tx, &mut end)?;
-        self.set_status(tx, TxStatus::Finished);
+        self.append_with(tx, Some(&handle), &mut end)?;
+        handle.lock().status = TxStatus::Finished;
         self.stats.committed.fetch_add(1, Ordering::Relaxed);
         if self.cfg.policy == Policy::Force {
-            self.clear_transaction(tx, true)?;
+            self.clear_with(tx, &handle, true)?;
         }
         Ok(())
     }
@@ -426,37 +560,46 @@ impl TransactionManager {
     /// record marks completion. Under the force policy the transaction's
     /// records are cleared afterwards, as after commit.
     pub fn rollback(&self, tx: TxId) -> Result<()> {
-        self.check_running(tx)?;
+        let handle = self.running_handle(tx)?;
         let mut rollback_marker = LogRecord::rollback(self.next_lsn(), tx);
-        self.append_for(tx, &mut rollback_marker)?;
-        self.set_status(tx, TxStatus::Aborted);
+        self.append_with(tx, Some(&handle), &mut rollback_marker)?;
+        handle.lock().status = TxStatus::Aborted;
 
-        // Collect the transaction's records. One-layer: a full backward scan
-        // of the log (the cost Figure 4 left measures); two-layer: follow the
-        // per-transaction chain through the AVL index.
-        let mut updates: Vec<LogRecord> = match &self.backend {
-            Backend::One(log) => log
-                .scan_transaction(tx)?
-                .into_iter()
-                .map(|e| e.record)
-                .collect(),
+        // Collect the transaction's UPDATE records, oldest first. One-layer:
+        // read them back through the slot registry (only the transaction's
+        // own records — runtime rollback no longer pays the full-log-scan
+        // cost that Figure 4 left measures for post-crash recovery);
+        // two-layer: follow the per-transaction chain through the AVL index.
+        let updates: Vec<LogRecord> = match &self.backend {
+            Backend::One(_) => {
+                let own: Vec<SlotRef> = handle
+                    .lock()
+                    .slots
+                    .iter()
+                    .filter(|r| r.rtype == RecordType::Update)
+                    .copied()
+                    .collect();
+                own.iter()
+                    .map(|r| LogRecord::read_from(&self.pool, r.addr))
+                    .collect::<Result<_>>()?
+            }
             Backend::Two(index) => index
                 .records_of(tx)?
                 .into_iter()
                 .map(|(_, r)| r)
                 .rev()
+                .filter(|r| r.rtype == RecordType::Update)
                 .collect(),
         };
-        updates.retain(|r| r.rtype == RecordType::Update);
         for rec in updates.iter().rev() {
-            self.undo_one(tx, rec)?;
+            self.undo_with(tx, Some(&handle), rec)?;
         }
         let mut end = LogRecord::end(self.next_lsn(), tx);
-        self.append_for(tx, &mut end)?;
-        self.set_status(tx, TxStatus::Finished);
+        self.append_with(tx, Some(&handle), &mut end)?;
+        handle.lock().status = TxStatus::Finished;
         self.stats.rolled_back.fetch_add(1, Ordering::Relaxed);
         if self.cfg.policy == Policy::Force {
-            self.clear_transaction(tx, true)?;
+            self.clear_with(tx, &handle, true)?;
         }
         Ok(())
     }
@@ -483,33 +626,63 @@ impl TransactionManager {
     // Internals shared with recovery / checkpointing
     // ------------------------------------------------------------------
 
-    pub(crate) fn check_running(&self, tx: TxId) -> Result<()> {
-        match self.table.lock().get(&tx) {
-            None => Err(RewindError::UnknownTransaction(tx)),
-            Some(e) if e.status == TxStatus::Running => Ok(()),
-            Some(_) => Err(RewindError::InvalidTransactionState {
+    /// Fetches the shared handle of `tx` with a single table-lock round-trip.
+    pub(crate) fn handle(&self, tx: TxId) -> Option<TxHandle> {
+        self.table.lock().get(&tx).cloned()
+    }
+
+    /// Fetches the handle of `tx`, failing unless the transaction is running.
+    /// This is the one guarded table access an operation performs; everything
+    /// afterwards works on the per-transaction state.
+    pub(crate) fn running_handle(&self, tx: TxId) -> Result<TxHandle> {
+        let handle = self.handle(tx).ok_or(RewindError::UnknownTransaction(tx))?;
+        if handle.lock().status == TxStatus::Running {
+            Ok(handle)
+        } else {
+            Err(RewindError::InvalidTransactionState {
                 txid: tx,
                 reason: "transaction is no longer running",
-            }),
+            })
         }
     }
 
     pub(crate) fn set_status(&self, tx: TxId, status: TxStatus) {
-        if let Some(e) = self.table.lock().get_mut(&tx) {
-            e.status = status;
+        if let Some(handle) = self.handle(tx) {
+            handle.lock().status = status;
         }
     }
 
-    /// Appends a record on behalf of `tx` through whichever backend is
-    /// configured, maintaining the two-layer back-chain and transaction
-    /// table.
+    /// Appends a record on behalf of `tx`, looking the transaction's handle
+    /// up first. Callers that already hold the handle use
+    /// [`TransactionManager::append_with`] directly.
     pub(crate) fn append_for(&self, tx: TxId, rec: &mut LogRecord) -> Result<PAddr> {
+        let handle = self.handle(tx);
+        self.append_with(tx, handle.as_ref(), rec)
+    }
+
+    /// Appends a record on behalf of `tx` through whichever backend is
+    /// configured, maintaining the per-transaction slot registry (one-layer)
+    /// or the back-chain (two-layer).
+    pub(crate) fn append_with(
+        &self,
+        tx: TxId,
+        handle: Option<&TxHandle>,
+        rec: &mut LogRecord,
+    ) -> Result<PAddr> {
         self.stats.records_logged.fetch_add(1, Ordering::Relaxed);
         self.records_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
         match &self.backend {
             Backend::One(log) => {
-                let (addr, _slot) = log.append(rec)?;
+                let (addr, slot) = log.append(rec)?;
+                if let Some(h) = handle {
+                    h.lock().slots.push(SlotRef {
+                        slot,
+                        addr,
+                        rtype: rec.rtype,
+                        lsn: rec.lsn,
+                    });
+                }
                 Ok(addr)
             }
             Backend::Two(index) => {
@@ -520,18 +693,27 @@ impl TransactionManager {
                 rec.write_to_nt(&self.pool, addr);
                 self.pool.sfence();
                 index.insert_record(tx, addr)?;
-                if let Some(e) = self.table.lock().get_mut(&tx) {
-                    e.last_record = addr;
-                }
                 Ok(addr)
             }
         }
     }
 
+    /// Undoes a single UPDATE record, looking the transaction's handle up
+    /// first (used by recovery, which works from transaction ids).
+    pub(crate) fn undo_one(&self, tx: TxId, rec: &LogRecord) -> Result<()> {
+        let handle = self.handle(tx);
+        self.undo_with(tx, handle.as_ref(), rec)
+    }
+
     /// Undoes a single UPDATE record: writes a CLR and restores the old
     /// value, forcing it to NVM under the force policy (the undo must be
     /// persistent so the log can be cleared afterwards).
-    pub(crate) fn undo_one(&self, tx: TxId, rec: &LogRecord) -> Result<()> {
+    pub(crate) fn undo_with(
+        &self,
+        tx: TxId,
+        handle: Option<&TxHandle>,
+        rec: &LogRecord,
+    ) -> Result<()> {
         let mut clr = LogRecord::clr(self.next_lsn(), tx, rec.addr, rec.old, rec.prev);
         // For the one-layer log there is no per-transaction chain; the CLR's
         // undo_next instead records the LSN of the compensated record so a
@@ -539,7 +721,7 @@ impl TransactionManager {
         if matches!(self.backend, Backend::One(_)) {
             clr.undo_next = PAddr::new(rec.lsn);
         }
-        self.append_for(tx, &mut clr)?;
+        self.append_with(tx, handle, &mut clr)?;
         match self.cfg.policy {
             Policy::Force => {
                 if let Backend::One(log) = &self.backend {
@@ -557,6 +739,69 @@ impl TransactionManager {
     /// removing the END record last so an interrupted clearing restarts
     /// identically (Section 4.6).
     pub(crate) fn clear_transaction(&self, tx: TxId, process_deletes: bool) -> Result<()> {
+        match self.handle(tx) {
+            Some(handle) => self.clear_with(tx, &handle, process_deletes),
+            // No volatile entry (only possible for orphans of an earlier
+            // attach): fall back to discovering the records by scan. Normal
+            // commit/rollback never reaches this.
+            None => self.clear_by_scan(tx, process_deletes),
+        }
+    }
+
+    /// Clears `tx`'s records by consuming its slot registry — O(the
+    /// transaction's own record count), no log scan.
+    pub(crate) fn clear_with(
+        &self,
+        tx: TxId,
+        handle: &TxHandle,
+        process_deletes: bool,
+    ) -> Result<()> {
+        match &self.backend {
+            Backend::One(log) => {
+                let slots = std::mem::take(&mut handle.lock().slots);
+                self.clear_registered_slots(log, handle, slots, process_deletes)?;
+            }
+            Backend::Two(_) => return self.clear_by_scan(tx, process_deletes),
+        }
+        self.table.lock().remove(&tx);
+        Ok(())
+    }
+
+    /// Clears an already-drained batch of registered slots, END records last.
+    /// On a mid-batch error the unprocessed tail is pushed back into the
+    /// registry, so a retry (or a later checkpoint) resumes where this
+    /// attempt stopped instead of orphaning records in the log.
+    pub(crate) fn clear_registered_slots(
+        &self,
+        log: &RecoverableLog,
+        handle: &TxHandle,
+        slots: Vec<SlotRef>,
+        process_deletes: bool,
+    ) -> Result<()> {
+        let (mut work, ends): (Vec<SlotRef>, Vec<SlotRef>) =
+            slots.into_iter().partition(|r| r.rtype != RecordType::End);
+        work.extend(ends);
+        for (i, r) in work.iter().enumerate() {
+            let step = (|| {
+                if process_deletes && r.rtype == RecordType::Delete {
+                    let rec = LogRecord::read_from(&self.pool, r.addr)?;
+                    self.pool.free(rec.addr, rec.old as usize)?;
+                }
+                log.clear_slot(r.slot)
+            })();
+            if let Err(e) = step {
+                handle.lock().slots.extend_from_slice(&work[i..]);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Registry-less clearing: the one-layer branch performs the full log
+    /// scan (legitimate only for orphans without volatile state); the
+    /// two-layer branch walks the transaction's chain through the AVL index,
+    /// which is already O(own records).
+    fn clear_by_scan(&self, tx: TxId, process_deletes: bool) -> Result<()> {
         match &self.backend {
             Backend::One(log) => {
                 let entries = log.scan_transaction(tx)?;
@@ -577,15 +822,14 @@ impl TransactionManager {
             }
             Backend::Two(index) => {
                 let records = index.records_of(tx)?;
-                for (addr, rec) in &records {
+                for (_, rec) in &records {
                     if process_deletes && rec.rtype == RecordType::Delete {
                         self.pool.free(rec.addr, rec.old as usize)?;
                     }
-                    // Record memory is owned by the manager in the two-layer
-                    // configuration; release it once the index entry is gone.
-                    let _ = addr;
                 }
                 index.remove_txn(tx)?;
+                // Record memory is owned by the manager in the two-layer
+                // configuration; release it once the index entries are gone.
                 for (addr, _) in records {
                     self.pool.free(addr, RECORD_SIZE)?;
                 }

@@ -5,7 +5,7 @@ use crate::config::ShardConfig;
 use crate::group::{GroupCommitSnapshot, WriteOp};
 use crate::shard::{Shard, ShardTx};
 use rewind_core::{RecoveryReport, Result, TmStatsSnapshot};
-use rewind_nvm::{NvmPool, StatsSnapshot};
+use rewind_nvm::{AllocStats, NvmPool, StatsSnapshot};
 use rewind_pds::Value;
 use std::sync::Arc;
 
@@ -245,6 +245,7 @@ impl ShardedStore {
             agg.group = agg.group.merge(&s.group);
             agg.tm = agg.tm.merge(&s.tm);
             agg.nvm = agg.nvm.merge(&s.nvm);
+            agg.alloc = agg.alloc.merge(&s.alloc);
             if let Some(r) = s.last_recovery {
                 agg.last_recovery = Some(match agg.last_recovery {
                     None => r,
@@ -266,6 +267,7 @@ impl ShardedStore {
                 group: s.group_stats(),
                 tm: s.tm_stats(),
                 nvm: s.pool().stats(),
+                alloc: s.pool().alloc_stats(),
                 last_recovery: s.last_recovery(),
             })
             .collect()
@@ -285,6 +287,8 @@ pub struct ShardSnapshot {
     pub tm: TmStatsSnapshot,
     /// NVM substrate counters of the shard's pool.
     pub nvm: StatsSnapshot,
+    /// Allocator counters of the shard's pool (slab/freelist churn).
+    pub alloc: AllocStats,
     /// Report of the shard's most recent recovery pass, if any.
     pub last_recovery: Option<RecoveryReport>,
 }
@@ -302,6 +306,9 @@ pub struct ShardStats {
     pub tm: TmStatsSnapshot,
     /// Summed NVM substrate counters.
     pub nvm: StatsSnapshot,
+    /// Summed allocator counters (the `frontier` component reads as the
+    /// aggregate bump-allocated footprint across shards).
+    pub alloc: AllocStats,
     /// Merged recovery reports of the most recent [`ShardedStore::recover`].
     pub last_recovery: Option<RecoveryReport>,
 }
@@ -453,6 +460,7 @@ mod tests {
         assert!(stats.group.groups_committed <= 100);
         assert!(stats.tm.committed >= stats.group.groups_committed);
         assert!(stats.nvm.nvm_writes > 0);
+        assert!(stats.alloc.allocated_bytes > 0, "allocator stats plumbed");
         let per = store.per_shard_stats();
         assert_eq!(per.len(), 4);
         assert_eq!(per.iter().map(|s| s.entries).sum::<u64>(), 100);
