@@ -1,0 +1,4 @@
+//! Cross-shard 2PC cost vs participant count (must grow linearly, not worse).
+fn main() {
+    rewind_bench::cross_shard(rewind_bench::scale_from_env());
+}

@@ -1,0 +1,125 @@
+//! CI perf-regression gate.
+//!
+//! Reads the checked-in thresholds (`ci/perf-thresholds.json`, a flat
+//! `"metric": max_value` object) and the `BENCH_*.json` sidecars the
+//! benchmark runs emitted, then fails (exit code 1) if any gated metric is
+//! missing or exceeds its threshold. Both files are flat `"key": number`
+//! collections with unique keys, so a dependency-free scanner is enough —
+//! no JSON crate exists in this offline workspace.
+//!
+//! Usage: `perf_gate [thresholds-file] [bench-json-dir]`
+//! (defaults: `ci/perf-thresholds.json`, `.`)
+
+use std::process::ExitCode;
+
+/// Extracts every `"key": number` pair from `text`. Nested structure is
+/// irrelevant because gated keys are globally unique by construction.
+fn scan_pairs(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(end) = text[i + 1..].find('"').map(|e| i + 1 + e) else {
+            break;
+        };
+        let key = &text[i + 1..end];
+        let mut j = end + 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b':' {
+            i = end + 1;
+            continue;
+        }
+        j += 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < bytes.len() && matches!(bytes[j], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+        {
+            j += 1;
+        }
+        if let Ok(v) = text[start..j].parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+        i = j.max(end + 1);
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let thresholds_path = args
+        .next()
+        .unwrap_or_else(|| "ci/perf-thresholds.json".to_string());
+    let bench_dir = args.next().unwrap_or_else(|| ".".to_string());
+
+    let thresholds_text = match std::fs::read_to_string(&thresholds_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {thresholds_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let thresholds = scan_pairs(&thresholds_text);
+    if thresholds.is_empty() {
+        eprintln!("perf_gate: {thresholds_path} defines no thresholds");
+        return ExitCode::FAILURE;
+    }
+
+    // Collect every measured metric from the BENCH_*.json sidecars.
+    let mut measured: Vec<(String, f64, String)> = Vec::new();
+    let entries = match std::fs::read_dir(&bench_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read dir {bench_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        if let Ok(text) = std::fs::read_to_string(entry.path()) {
+            for (k, v) in scan_pairs(&text) {
+                measured.push((k, v, name.clone()));
+            }
+        }
+    }
+
+    let mut failed = false;
+    println!("{:<40} {:>12} {:>12}  verdict", "metric", "measured", "max");
+    for (key, max) in &thresholds {
+        // First match wins; gated keys are unique across benches.
+        match measured.iter().find(|(k, _, _)| k == key) {
+            None => {
+                println!(
+                    "{key:<40} {:>12} {max:>12.3}  MISSING (no bench emitted it)",
+                    "-"
+                );
+                failed = true;
+            }
+            Some((_, v, file)) => {
+                let ok = v <= max;
+                println!(
+                    "{key:<40} {v:>12.3} {max:>12.3}  {} ({file})",
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+    if failed {
+        eprintln!("perf_gate: FAILED — at least one metric regressed past its threshold");
+        ExitCode::FAILURE
+    } else {
+        println!("perf_gate: all gated metrics within thresholds");
+        ExitCode::SUCCESS
+    }
+}

@@ -66,3 +66,86 @@ pub fn row(fields: &[String]) {
 pub fn f(v: f64) -> String {
     format!("{v:.3}")
 }
+
+/// Machine-readable sidecar for a benchmark: collects the same rows the CSV
+/// output prints plus a flat `summary` object of headline metrics, and
+/// writes them as `BENCH_<name>.json` — the artifact the CI perf-regression
+/// gate (`perf_gate`) checks against `ci/perf-thresholds.json`.
+///
+/// The output directory comes from `REWIND_BENCH_JSON_DIR` (default: the
+/// working directory). The format is deliberately flat so the gate needs no
+/// JSON dependency: every metric is a unique `"key": number` pair.
+#[derive(Debug, Default)]
+pub struct BenchJson {
+    name: String,
+    rows: Vec<Vec<(String, f64)>>,
+    summary: Vec<(String, f64)>,
+}
+
+impl BenchJson {
+    /// Starts a sidecar for the benchmark `name`.
+    pub fn new(name: &str) -> BenchJson {
+        BenchJson {
+            name: name.to_string(),
+            ..BenchJson::default()
+        }
+    }
+
+    /// Records one data row as `(column, value)` pairs.
+    pub fn row(&mut self, fields: &[(&str, f64)]) {
+        self.rows
+            .push(fields.iter().map(|(k, v)| (k.to_string(), *v)).collect());
+    }
+
+    /// Records a headline metric (these are what thresholds gate on).
+    pub fn summary(&mut self, key: &str, value: f64) {
+        self.summary.push((key.to_string(), value));
+    }
+
+    fn render(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.6}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.name));
+        out.push_str("  \"summary\": {");
+        let entries: Vec<String> = self
+            .summary
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {}", num(*v)))
+            .collect();
+        out.push_str(&entries.join(", "));
+        out.push_str("},\n  \"rows\": [\n");
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = row
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {}", num(*v)))
+                    .collect();
+                format!("    {{{}}}", fields.join(", "))
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json`. Emission failures only warn: the bench's
+    /// primary output is the CSV on stdout.
+    pub fn write(&self) {
+        let dir = std::env::var("REWIND_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        if let Err(e) = std::fs::write(&path, self.render()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

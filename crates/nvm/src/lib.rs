@@ -73,4 +73,4 @@ pub use cost::{CostModel, NvmStats, StatsSnapshot};
 pub use crash::{CrashInjector, CrashMode, CrashPoint};
 pub use error::{NvmError, Result};
 pub use paddr::{PAddr, CACHELINE, WORD};
-pub use pool::{NvmPool, PoolConfig, ROOT_SIZE};
+pub use pool::{NvmPool, PoolConfig, ROOT_SIZE, USER_ROOT_OFFSET};

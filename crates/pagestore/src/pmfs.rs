@@ -67,7 +67,7 @@ impl Pmfs {
     }
 
     /// Writes `buf` at `offset`. The write goes through the cache (it is made
-    /// durable by [`Pmfs::sync`]), mirroring a `write()` system call into the
+    /// durable by [`Pmfs::sync_range`]), mirroring a `write()` system call into the
     /// page cache of a file system.
     pub fn write_at(&self, offset: usize, buf: &[u8]) {
         assert!(

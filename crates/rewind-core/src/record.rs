@@ -30,6 +30,12 @@ pub enum RecordType {
     /// unfinished transaction, so that a crash during recovery resumes the
     /// rollback instead of restarting it).
     Rollback,
+    /// Marks a transaction as *prepared* in a two-phase commit: all of its
+    /// updates are durably logged and the transaction may neither commit nor
+    /// roll back until the coordinator's decision is known. The record
+    /// carries the coordinator's global transaction id so recovery can match
+    /// an in-doubt local transaction to a persisted commit decision.
+    Prepare,
 }
 
 impl RecordType {
@@ -41,6 +47,7 @@ impl RecordType {
             RecordType::Delete => 4,
             RecordType::Checkpoint => 5,
             RecordType::Rollback => 6,
+            RecordType::Prepare => 7,
         }
     }
 
@@ -52,6 +59,7 @@ impl RecordType {
             4 => RecordType::Delete,
             5 => RecordType::Checkpoint,
             6 => RecordType::Rollback,
+            7 => RecordType::Prepare,
             other => {
                 return Err(RewindError::CorruptLog(format!(
                     "unknown record type {other}"
@@ -162,6 +170,27 @@ impl LogRecord {
         }
     }
 
+    /// Creates a PREPARE record for `txid`, carrying the coordinator's
+    /// global transaction id (stored in the `old` field).
+    pub fn prepare(lsn: u64, txid: u64, gtid: u64) -> Self {
+        LogRecord {
+            lsn,
+            txid,
+            rtype: RecordType::Prepare,
+            addr: PAddr::NULL,
+            old: gtid,
+            new: 0,
+            undo_next: PAddr::NULL,
+            prev: PAddr::NULL,
+        }
+    }
+
+    /// The coordinator's global transaction id carried by a PREPARE record.
+    pub fn gtid(&self) -> u64 {
+        debug_assert_eq!(self.rtype, RecordType::Prepare);
+        self.old
+    }
+
     /// Creates a ROLLBACK marker for `txid`.
     pub fn rollback(lsn: u64, txid: u64) -> Self {
         LogRecord {
@@ -244,6 +273,7 @@ mod tests {
             RecordType::Delete,
             RecordType::Checkpoint,
             RecordType::Rollback,
+            RecordType::Prepare,
         ] {
             assert_eq!(RecordType::from_u64(t.to_u64()).unwrap(), t);
         }
@@ -271,6 +301,12 @@ mod tests {
 
         assert_eq!(LogRecord::checkpoint(5).txid, 0);
         assert_eq!(LogRecord::rollback(6, 7).rtype, RecordType::Rollback);
+
+        let p = LogRecord::prepare(7, 9, 0xfeed);
+        assert_eq!(p.rtype, RecordType::Prepare);
+        assert_eq!(p.gtid(), 0xfeed);
+        assert!(!p.is_undoable());
+        assert!(!p.finishes_transaction());
     }
 
     #[test]

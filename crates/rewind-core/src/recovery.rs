@@ -11,10 +11,12 @@
 //! 2. **Redo** (no-force policy only) — a forward scan re-applies every
 //!    logged write (updates *and* compensations), repeating history so that a
 //!    crash during an earlier rollback loses nothing.
-//! 3. **Undo** — every transaction without an END record is rolled back. The
-//!    one-layer configuration uses the single backward scan of the paper's
-//!    Algorithm 2 (with the `undoMap` used to skip records that an earlier,
-//!    interrupted recovery had already compensated); the two-layer
+//! 3. **Undo** — every transaction without an END record is rolled back,
+//!    *except* transactions holding a durable PREPARE record: those are in
+//!    doubt and must wait for the two-phase-commit coordinator's decision.
+//!    The one-layer configuration uses the single backward scan of the
+//!    paper's Algorithm 2 (with the `undoMap` used to skip records that an
+//!    earlier, interrupted recovery had already compensated); the two-layer
 //!    configuration walks each unfinished transaction's record chain through
 //!    the AVL index.
 //!
@@ -34,6 +36,12 @@ use std::sync::atomic::Ordering;
 pub struct RecoveryReport {
     /// Transactions found already finished (committed or fully rolled back).
     pub finished: u64,
+    /// Transactions found *in doubt*: prepared for a two-phase commit with
+    /// no decision applied. Recovery neither commits nor rolls these back —
+    /// they stay in the transaction table (see
+    /// [`TransactionManager::in_doubt`]) until a coordinator resolves them
+    /// with `commit_prepared` / `rollback_prepared`.
+    pub in_doubt: u64,
     /// Transactions that had to be rolled back by recovery.
     pub rolled_back: u64,
     /// Physical writes re-applied during the redo phase.
@@ -52,6 +60,7 @@ impl RecoveryReport {
     pub fn merge(&self, other: &RecoveryReport) -> RecoveryReport {
         RecoveryReport {
             finished: self.finished + other.finished,
+            in_doubt: self.in_doubt + other.in_doubt,
             rolled_back: self.rolled_back + other.rolled_back,
             redone: self.redone + other.redone,
             undone: self.undone + other.undone,
@@ -98,6 +107,7 @@ impl TransactionManager {
         }
         *self.ckpt_slots.lock() = analysis.markers;
         report.finished = table.values().filter(|s| **s == TxStatus::Finished).count() as u64;
+        report.in_doubt = table.values().filter(|s| **s == TxStatus::Prepared).count() as u64;
 
         // Phase 2: redo (no-force only) — repeat history.
         if self.cfg.policy == Policy::NoForce {
@@ -112,10 +122,12 @@ impl TransactionManager {
             }
         }
 
-        // Phase 3: undo all unfinished transactions.
+        // Phase 3: undo all unfinished transactions — except prepared ones,
+        // which made a durable promise to hold still until the coordinator's
+        // decision arrives.
         let losers: Vec<u64> = table
             .iter()
-            .filter(|(_, s)| **s != TxStatus::Finished)
+            .filter(|(_, s)| !matches!(**s, TxStatus::Finished | TxStatus::Prepared))
             .map(|(t, _)| *t)
             .collect();
         report.rolled_back = losers.len() as u64;
@@ -144,11 +156,15 @@ impl TransactionManager {
         }
 
         // Phase 4: post-recovery log clearing. Under the force policy every
-        // transaction is now complete, so the whole log can be dropped in one
-        // step (much cheaper than record-by-record removal).
+        // transaction is now complete — unless in-doubt prepared
+        // transactions survive, whose records must stay in the log until the
+        // coordinator's decision arrives. With no in-doubt work the whole
+        // log is dropped in one step (much cheaper than record-by-record
+        // removal); otherwise finished transactions are cleared one by one
+        // through their rebuilt slot registries.
         if self.cfg.policy == Policy::Force {
             match &self.backend {
-                Backend::One(log) => {
+                Backend::One(log) if report.in_doubt == 0 => {
                     // Process deferred de-allocations of committed work first.
                     for (_, _, rec) in &records {
                         if rec.rtype == RecordType::Delete
@@ -160,24 +176,53 @@ impl TransactionManager {
                     log.clear_all()?;
                     self.persist_root();
                 }
+                Backend::One(_) => {
+                    // Clear every transaction the *live* table now holds as
+                    // Finished — the analysis-time snapshot is stale here:
+                    // the losers this very pass rolled back reached Finished
+                    // only after it was taken, and skipping them would leak
+                    // their records into the log forever (Force has no
+                    // checkpoint clearing to catch them later).
+                    // clear_transaction processes each transaction's DELETE
+                    // records itself.
+                    let candidates: Vec<(u64, crate::txn::TxHandle)> = self
+                        .table
+                        .lock()
+                        .iter()
+                        .map(|(t, h)| (*t, std::sync::Arc::clone(h)))
+                        .collect();
+                    for (txid, handle) in candidates {
+                        if handle.lock().status == TxStatus::Finished {
+                            self.clear_transaction(txid, true)?;
+                        }
+                    }
+                }
                 Backend::Two(index) => {
                     for txid in index.txids() {
+                        if table.get(&txid) == Some(&TxStatus::Prepared) {
+                            continue;
+                        }
                         self.clear_transaction(txid, true)?;
                     }
                     self.persist_root();
                 }
             }
-            report.log_cleared = true;
+            report.log_cleared = report.in_doubt == 0;
         }
 
         // Recovery leaves no running transactions behind. Under the force
-        // policy the log was dropped wholesale, so the volatile table and
-        // the cached checkpoint-marker slots go with it; the two-layer index
-        // rediscovers finished transactions itself. Under one-layer no-force
-        // every entry is now Finished and keeps its rebuilt slot registry so
-        // the next checkpoint can clear its records without rescanning.
+        // policy finished transactions are gone from the log, so their
+        // volatile table entries and the cached checkpoint-marker slots go
+        // with them; the two-layer index rediscovers finished transactions
+        // itself. Prepared (in-doubt) entries always stay — their rebuilt
+        // slot registries are what `commit_prepared` / `rollback_prepared`
+        // consume when the coordinator's decision arrives. Under one-layer
+        // no-force every other entry is now Finished and keeps its registry
+        // so the next checkpoint can clear its records without rescanning.
         if self.cfg.policy == Policy::Force || matches!(self.backend, Backend::Two(_)) {
-            self.table.lock().clear();
+            self.table
+                .lock()
+                .retain(|_, h| h.lock().status == TxStatus::Prepared);
             self.ckpt_slots.lock().clear();
         }
         *self.last_recovery.lock() = Some(report);
@@ -209,7 +254,7 @@ impl TransactionManager {
                 Some(s) => *s,
                 None => continue,
             };
-            if status == TxStatus::Finished {
+            if matches!(status, TxStatus::Finished | TxStatus::Prepared) {
                 continue;
             }
             if status == TxStatus::Running && rollback_written.insert(rec.txid) {

@@ -54,6 +54,11 @@ pub enum TxStatus {
     Running,
     /// A rollback started (a ROLLBACK record exists) but has not completed.
     Aborted,
+    /// Prepared in a two-phase commit (a PREPARE record exists, no END): the
+    /// transaction is *in doubt* — it may neither commit nor roll back until
+    /// the coordinator's decision is known. Recovery leaves such
+    /// transactions untouched; see [`TransactionManager::in_doubt`].
+    Prepared,
     /// Committed or fully rolled back (an END record exists).
     Finished,
 }
@@ -160,6 +165,12 @@ pub(crate) fn analyze_records(records: &[(RecordLocation, PAddr, LogRecord)]) ->
             RecordType::Rollback if *status != TxStatus::Finished => {
                 *status = TxStatus::Aborted;
             }
+            // PREPARE only upgrades a still-running transaction: a later
+            // ROLLBACK (coordinator decided abort) or END wins regardless of
+            // the order the records are visited in.
+            RecordType::Prepare if *status == TxStatus::Running => {
+                *status = TxStatus::Prepared;
+            }
             _ => {}
         }
         if let RecordLocation::Slot(slot) = loc {
@@ -179,6 +190,7 @@ pub(crate) fn analyze_records(records: &[(RecordLocation, PAddr, LogRecord)]) ->
 pub struct TmStats {
     pub(crate) begun: AtomicU64,
     pub(crate) committed: AtomicU64,
+    pub(crate) prepared: AtomicU64,
     pub(crate) rolled_back: AtomicU64,
     pub(crate) records_logged: AtomicU64,
     pub(crate) checkpoints: AtomicU64,
@@ -192,6 +204,8 @@ pub struct TmStatsSnapshot {
     pub begun: u64,
     /// Transactions committed.
     pub committed: u64,
+    /// Transactions prepared for a two-phase commit.
+    pub prepared: u64,
     /// Transactions rolled back (explicitly or by recovery).
     pub rolled_back: u64,
     /// Log records appended.
@@ -209,6 +223,7 @@ impl TmStatsSnapshot {
         TmStatsSnapshot {
             begun: self.begun + other.begun,
             committed: self.committed + other.committed,
+            prepared: self.prepared + other.prepared,
             rolled_back: self.rolled_back + other.rolled_back,
             records_logged: self.records_logged + other.records_logged,
             checkpoints: self.checkpoints + other.checkpoints,
@@ -376,9 +391,10 @@ impl TransactionManager {
     /// scan registers any *finished* transactions still in the log (e.g. a
     /// commit that raced the clean shutdown's checkpoint) and any leftover
     /// CHECKPOINT markers, so the next checkpoint can clear them from the
-    /// registries; transactions without an END stay unregistered, exactly as
-    /// the scan-based checkpoint (which only cleared ENDed transactions)
-    /// treated them.
+    /// registries; it also re-registers *prepared* (in-doubt) transactions so
+    /// a coordinator can still resolve them after a clean restart. Running
+    /// transactions stay unregistered, exactly as the scan-based checkpoint
+    /// (which only cleared ENDed transactions) treated them.
     fn bump_counters_past_log(&self) -> Result<()> {
         let records = self.all_records(false)?;
         let mut analysis = analyze_records(&records);
@@ -389,7 +405,7 @@ impl TransactionManager {
             let statuses = std::mem::take(&mut analysis.statuses);
             let mut table = self.table.lock();
             for (txid, status) in statuses {
-                if status == TxStatus::Finished {
+                if status == TxStatus::Finished || status == TxStatus::Prepared {
                     table.insert(txid, analysis.take_entry(txid, status));
                 }
             }
@@ -425,6 +441,7 @@ impl TransactionManager {
         TmStatsSnapshot {
             begun: self.stats.begun.load(Ordering::Relaxed),
             committed: self.stats.committed.load(Ordering::Relaxed),
+            prepared: self.stats.prepared.load(Ordering::Relaxed),
             rolled_back: self.stats.rolled_back.load(Ordering::Relaxed),
             records_logged: self.stats.records_logged.load(Ordering::Relaxed),
             checkpoints: self.stats.checkpoints.load(Ordering::Relaxed),
@@ -545,14 +562,109 @@ impl TransactionManager {
         if self.cfg.policy == Policy::Force {
             self.pool.sfence();
         }
+        self.commit_with(tx, &handle)
+    }
+
+    /// The shared commit tail (END record, status flip, force-policy
+    /// clearing), reached from a Running transaction
+    /// ([`TransactionManager::commit`], which fences its user data first) or
+    /// a Prepared one ([`TransactionManager::commit_prepared`], whose
+    /// prepare already fenced).
+    fn commit_with(&self, tx: TxId, handle: &TxHandle) -> Result<()> {
         let mut end = LogRecord::end(self.next_lsn(), tx);
-        self.append_with(tx, Some(&handle), &mut end)?;
+        self.append_with(tx, Some(handle), &mut end)?;
         handle.lock().status = TxStatus::Finished;
         self.stats.committed.fetch_add(1, Ordering::Relaxed);
         if self.cfg.policy == Policy::Force {
-            self.clear_with(tx, &handle, true)?;
+            self.clear_with(tx, handle, true)?;
         }
         Ok(())
+    }
+
+    /// Prepares transaction `tx` for a two-phase commit on behalf of a
+    /// coordinator identified by the global transaction id `gtid`.
+    ///
+    /// On return the transaction's log records — including the PREPARE
+    /// record carrying `gtid` — are durable, so the transaction survives a
+    /// crash *in doubt*: recovery will neither commit nor roll it back (see
+    /// [`TransactionManager::in_doubt`]). The only legal continuations are
+    /// [`TransactionManager::commit_prepared`] and
+    /// [`TransactionManager::rollback_prepared`].
+    pub fn prepare(&self, tx: TxId, gtid: u64) -> Result<()> {
+        let handle = self.running_handle(tx)?;
+        if self.cfg.policy == Policy::Force {
+            // Force policy: the user data written so far must be durable
+            // before the promise is made, like the pre-commit fence.
+            self.pool.sfence();
+        }
+        let mut rec = LogRecord::prepare(self.next_lsn(), tx, gtid);
+        self.append_with(tx, Some(&handle), &mut rec)?;
+        // The promise is only as durable as the log: push out any
+        // batch-buffered records and fence. After this point redo can
+        // reconstruct every update of the transaction from the log alone.
+        if let Backend::One(log) = &self.backend {
+            log.flush_pending()?;
+        }
+        self.pool.sfence();
+        handle.lock().status = TxStatus::Prepared;
+        self.stats.prepared.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Commits a transaction previously prepared with
+    /// [`TransactionManager::prepare`] (the coordinator decided commit).
+    pub fn commit_prepared(&self, tx: TxId) -> Result<()> {
+        let handle = self.prepared_handle(tx)?;
+        self.commit_with(tx, &handle)
+    }
+
+    /// Rolls back a transaction previously prepared with
+    /// [`TransactionManager::prepare`] (the coordinator decided abort, or the
+    /// recovery resolution presumed it).
+    pub fn rollback_prepared(&self, tx: TxId) -> Result<()> {
+        let handle = self.prepared_handle(tx)?;
+        self.rollback_with(tx, &handle)
+    }
+
+    /// Every in-doubt transaction this manager knows of, as
+    /// `(local transaction id, coordinator gtid)` pairs in ascending local
+    /// id order. A transaction is in doubt when a PREPARE record exists but
+    /// no decision was applied — after a crash these are exactly the
+    /// transactions recovery refused to roll back.
+    pub fn in_doubt(&self) -> Result<Vec<(TxId, u64)>> {
+        let candidates: Vec<(TxId, TxHandle)> = self
+            .table
+            .lock()
+            .iter()
+            .map(|(t, h)| (*t, Arc::clone(h)))
+            .collect();
+        let mut out = Vec::new();
+        for (txid, handle) in candidates {
+            let slots: Vec<SlotRef> = {
+                let e = handle.lock();
+                if e.status != TxStatus::Prepared {
+                    continue;
+                }
+                e.slots.clone()
+            };
+            let gtid = match &self.backend {
+                Backend::One(_) => slots
+                    .iter()
+                    .find(|r| r.rtype == RecordType::Prepare)
+                    .map(|r| LogRecord::read_from(&self.pool, r.addr).map(|rec| rec.gtid()))
+                    .transpose()?,
+                Backend::Two(index) => index
+                    .records_of(txid)?
+                    .iter()
+                    .find(|(_, r)| r.rtype == RecordType::Prepare)
+                    .map(|(_, r)| r.gtid()),
+            };
+            if let Some(gtid) = gtid {
+                out.push((txid, gtid));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
     }
 
     /// Rolls transaction `tx` back: every logged update is undone (newest
@@ -561,8 +673,15 @@ impl TransactionManager {
     /// records are cleared afterwards, as after commit.
     pub fn rollback(&self, tx: TxId) -> Result<()> {
         let handle = self.running_handle(tx)?;
+        self.rollback_with(tx, &handle)
+    }
+
+    /// The shared rollback body, reached from a Running transaction
+    /// ([`TransactionManager::rollback`]) or a Prepared one
+    /// ([`TransactionManager::rollback_prepared`]).
+    fn rollback_with(&self, tx: TxId, handle: &TxHandle) -> Result<()> {
         let mut rollback_marker = LogRecord::rollback(self.next_lsn(), tx);
-        self.append_with(tx, Some(&handle), &mut rollback_marker)?;
+        self.append_with(tx, Some(handle), &mut rollback_marker)?;
         handle.lock().status = TxStatus::Aborted;
 
         // Collect the transaction's UPDATE records, oldest first. One-layer:
@@ -592,14 +711,14 @@ impl TransactionManager {
                 .collect(),
         };
         for rec in updates.iter().rev() {
-            self.undo_with(tx, Some(&handle), rec)?;
+            self.undo_with(tx, Some(handle), rec)?;
         }
         let mut end = LogRecord::end(self.next_lsn(), tx);
-        self.append_with(tx, Some(&handle), &mut end)?;
+        self.append_with(tx, Some(handle), &mut end)?;
         handle.lock().status = TxStatus::Finished;
         self.stats.rolled_back.fetch_add(1, Ordering::Relaxed);
         if self.cfg.policy == Policy::Force {
-            self.clear_with(tx, &handle, true)?;
+            self.clear_with(tx, handle, true)?;
         }
         Ok(())
     }
@@ -642,6 +761,21 @@ impl TransactionManager {
             Err(RewindError::InvalidTransactionState {
                 txid: tx,
                 reason: "transaction is no longer running",
+            })
+        }
+    }
+
+    /// Fetches the handle of `tx`, failing unless the transaction is in the
+    /// Prepared (in-doubt) state — the guard for the decision-application
+    /// half of the two-phase commit protocol.
+    pub(crate) fn prepared_handle(&self, tx: TxId) -> Result<TxHandle> {
+        let handle = self.handle(tx).ok_or(RewindError::UnknownTransaction(tx))?;
+        if handle.lock().status == TxStatus::Prepared {
+            Ok(handle)
+        } else {
+            Err(RewindError::InvalidTransactionState {
+                txid: tx,
+                reason: "transaction is not prepared",
             })
         }
     }

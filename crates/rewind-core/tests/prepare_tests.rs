@@ -1,0 +1,283 @@
+//! Two-phase-commit participant tests: the Prepared (in-doubt) state must
+//! survive crashes un-resolved — recovery neither commits nor rolls a
+//! prepared transaction back until the coordinator's decision is applied
+//! through `commit_prepared` / `rollback_prepared`.
+
+use rewind_core::{LogLayers, LogStructure, Policy, RewindConfig, RewindError, TransactionManager};
+use rewind_nvm::{NvmPool, PAddr, PoolConfig};
+use std::sync::Arc;
+
+/// All twelve configuration combinations.
+fn all_configs() -> Vec<RewindConfig> {
+    let mut out = Vec::new();
+    for layers in [LogLayers::OneLayer, LogLayers::TwoLayer] {
+        for policy in [Policy::NoForce, Policy::Force] {
+            for structure in [
+                LogStructure::Simple,
+                LogStructure::Optimized,
+                LogStructure::Batch,
+            ] {
+                out.push(
+                    RewindConfig {
+                        structure,
+                        ..RewindConfig::batch()
+                    }
+                    .layers(layers)
+                    .policy(policy)
+                    .bucket_size(16)
+                    .group_size(4),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn pool() -> Arc<NvmPool> {
+    NvmPool::new(PoolConfig::small())
+}
+
+/// Allocates `n` persistent words initialised (durably) to zero.
+fn alloc_words(pool: &Arc<NvmPool>, n: u64) -> PAddr {
+    let a = pool.alloc((n * 8) as usize).unwrap();
+    for i in 0..n {
+        pool.write_u64_nt(a.word(i), 0);
+    }
+    pool.sfence();
+    a
+}
+
+#[test]
+fn prepare_then_commit_and_rollback_without_crash() {
+    for cfg in all_configs() {
+        let pool = pool();
+        let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+        let a = alloc_words(&pool, 4);
+
+        // Commit direction.
+        let tx = tm.begin();
+        tm.write_u64(tx, a.word(0), 11).unwrap();
+        tm.prepare(tx, 900).unwrap();
+        assert_eq!(tm.in_doubt().unwrap(), vec![(tx, 900)], "{cfg:?}");
+        tm.commit_prepared(tx).unwrap();
+        assert_eq!(pool.read_u64(a.word(0)), 11, "{cfg:?}");
+        assert!(tm.in_doubt().unwrap().is_empty());
+
+        // Abort direction.
+        let tx = tm.begin();
+        tm.write_u64(tx, a.word(0), 22).unwrap();
+        tm.prepare(tx, 901).unwrap();
+        tm.rollback_prepared(tx).unwrap();
+        assert_eq!(pool.read_u64(a.word(0)), 11, "{cfg:?}");
+        assert!(tm.in_doubt().unwrap().is_empty());
+
+        let s = tm.stats();
+        assert_eq!(s.prepared, 2);
+        assert_eq!(s.rolled_back, 1);
+    }
+}
+
+#[test]
+fn prepared_state_gates_the_normal_api() {
+    let pool = pool();
+    let tm = TransactionManager::create(Arc::clone(&pool), RewindConfig::batch()).unwrap();
+    let a = alloc_words(&pool, 2);
+    let tx = tm.begin();
+    tm.write_u64(tx, a, 1).unwrap();
+
+    // Not prepared yet: the decision API refuses.
+    assert!(matches!(
+        tm.commit_prepared(tx),
+        Err(RewindError::InvalidTransactionState { .. })
+    ));
+    assert!(matches!(
+        tm.rollback_prepared(tx),
+        Err(RewindError::InvalidTransactionState { .. })
+    ));
+
+    tm.prepare(tx, 7).unwrap();
+    // Prepared: the ordinary single-phase API refuses (the promise holds).
+    assert!(matches!(
+        tm.commit(tx),
+        Err(RewindError::InvalidTransactionState { .. })
+    ));
+    assert!(matches!(
+        tm.rollback(tx),
+        Err(RewindError::InvalidTransactionState { .. })
+    ));
+    assert!(matches!(
+        tm.write_u64(tx, a, 2),
+        Err(RewindError::InvalidTransactionState { .. })
+    ));
+    assert!(matches!(
+        tm.prepare(tx, 8),
+        Err(RewindError::InvalidTransactionState { .. })
+    ));
+    tm.commit_prepared(tx).unwrap();
+}
+
+#[test]
+fn prepared_transaction_survives_power_cycle_undecided() {
+    // The satellite acceptance test: a prepared-but-undecided transaction
+    // must survive a power cycle with recovery neither committing nor
+    // rolling it back, in every configuration; the decision is then applied
+    // after recovery and must stick.
+    for cfg in all_configs() {
+        for decide_commit in [true, false] {
+            let pool = pool();
+            let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+            let a = alloc_words(&pool, 4);
+
+            // A committed bystander value that must survive everything.
+            tm.run(|tx| tx.write_u64(a.word(1), 500)).unwrap();
+
+            let tx = tm.begin();
+            tm.write_u64(tx, a.word(0), 77).unwrap();
+            tm.prepare(tx, 4242).unwrap();
+
+            pool.power_cycle();
+            let tm = TransactionManager::open(Arc::clone(&pool), cfg).unwrap();
+            let report = tm.last_recovery().unwrap();
+            assert_eq!(report.in_doubt, 1, "{cfg:?}");
+            assert_eq!(report.rolled_back, 0, "{cfg:?} must not roll back in-doubt");
+            assert!(
+                !report.log_cleared,
+                "{cfg:?}: the log still holds the in-doubt records"
+            );
+            assert_eq!(tm.in_doubt().unwrap(), vec![(tx, 4242)], "{cfg:?}");
+            // Redo (no-force) / the force-policy write-through keep the
+            // prepared update visible while the transaction is in doubt.
+            assert_eq!(pool.read_u64(a.word(0)), 77, "{cfg:?}");
+            assert_eq!(pool.read_u64(a.word(1)), 500, "{cfg:?}");
+
+            if decide_commit {
+                tm.commit_prepared(tx).unwrap();
+                assert_eq!(pool.read_u64(a.word(0)), 77, "{cfg:?}");
+            } else {
+                tm.rollback_prepared(tx).unwrap();
+                assert_eq!(pool.read_u64(a.word(0)), 0, "{cfg:?}");
+            }
+            assert!(tm.in_doubt().unwrap().is_empty());
+
+            // The decision is durable: one more crash changes nothing.
+            pool.power_cycle();
+            let tm = TransactionManager::open(Arc::clone(&pool), cfg).unwrap();
+            assert_eq!(tm.last_recovery().unwrap().in_doubt, 0, "{cfg:?}");
+            let expect = if decide_commit { 77 } else { 0 };
+            assert_eq!(pool.read_u64(a.word(0)), expect, "{cfg:?}");
+            assert_eq!(pool.read_u64(a.word(1)), 500, "{cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn recovery_with_in_doubt_work_still_clears_recovered_losers() {
+    // Force policy, one-layer: recovery cannot drop the whole log while an
+    // in-doubt transaction holds records in it, so it clears finished
+    // transactions one by one — *including* the losers this very pass
+    // rolled back (they reach Finished only during recovery; filtering on
+    // the analysis-time snapshot would leak their records forever, since
+    // Force has no checkpoint clearing to catch them later).
+    for cfg in [
+        RewindConfig::batch().policy(Policy::Force),
+        RewindConfig::optimized().policy(Policy::Force),
+    ] {
+        let pool = pool();
+        let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+        let a = alloc_words(&pool, 4);
+
+        // One prepared (in-doubt) transaction and one still-running loser.
+        let p = tm.begin();
+        tm.write_u64(p, a.word(0), 7).unwrap();
+        tm.prepare(p, 55).unwrap();
+        let loser = tm.begin();
+        tm.write_u64(loser, a.word(1), 9).unwrap();
+
+        pool.power_cycle();
+        let tm = TransactionManager::open(Arc::clone(&pool), cfg).unwrap();
+        let report = tm.last_recovery().unwrap();
+        assert_eq!(report.in_doubt, 1, "{cfg:?}");
+        assert_eq!(report.rolled_back, 1, "{cfg:?}");
+        assert_eq!(pool.read_u64(a.word(1)), 0, "{cfg:?}: loser undone");
+
+        // Resolving the in-doubt transaction must leave an empty log: the
+        // loser's records were cleared by recovery, the prepared ones by
+        // the decision.
+        tm.commit_prepared(p).unwrap();
+        assert_eq!(tm.log_len(), 0, "{cfg:?}: no leaked records");
+        assert_eq!(pool.read_u64(a.word(0)), 7, "{cfg:?}");
+    }
+}
+
+#[test]
+fn in_doubt_survives_repeated_power_cycles() {
+    for cfg in [
+        RewindConfig::batch(),
+        RewindConfig::batch().policy(Policy::Force),
+    ] {
+        let pool = pool();
+        let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+        let a = alloc_words(&pool, 2);
+        let tx = tm.begin();
+        tm.write_u64(tx, a, 9).unwrap();
+        tm.prepare(tx, 31).unwrap();
+
+        // Two consecutive crashes before any decision: still in doubt.
+        let mut tm = tm;
+        for cycle in 0..2 {
+            pool.power_cycle();
+            tm = TransactionManager::open(Arc::clone(&pool), cfg).unwrap();
+            assert_eq!(
+                tm.in_doubt().unwrap(),
+                vec![(tx, 31)],
+                "{cfg:?} cycle {cycle}"
+            );
+            assert_eq!(pool.read_u64(a), 9);
+        }
+        tm.rollback_prepared(tx).unwrap();
+        assert_eq!(pool.read_u64(a), 0);
+    }
+}
+
+#[test]
+fn checkpoint_leaves_in_doubt_records_alone() {
+    let cfg = RewindConfig::batch(); // no-force: checkpoints clear the log
+    let pool = pool();
+    let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+    let a = alloc_words(&pool, 4);
+    let tx = tm.begin();
+    tm.write_u64(tx, a.word(0), 3).unwrap();
+    tm.prepare(tx, 77).unwrap();
+    let before = tm.log_len();
+    tm.run(|t| t.write_u64(a.word(1), 4)).unwrap();
+    tm.checkpoint().unwrap();
+    // The finished transaction's records are gone; the in-doubt ones stay.
+    assert!(tm.log_len() <= before);
+    assert_eq!(tm.in_doubt().unwrap(), vec![(tx, 77)]);
+    pool.power_cycle();
+    let tm = TransactionManager::open(Arc::clone(&pool), cfg).unwrap();
+    assert_eq!(tm.in_doubt().unwrap(), vec![(tx, 77)]);
+    tm.commit_prepared(tx).unwrap();
+    assert_eq!(pool.read_u64(a.word(0)), 3);
+    assert_eq!(pool.read_u64(a.word(1)), 4);
+}
+
+#[test]
+fn clean_shutdown_preserves_in_doubt_transactions() {
+    let cfg = RewindConfig::batch();
+    let pool = pool();
+    let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+    let a = alloc_words(&pool, 2);
+    let tx = tm.begin();
+    tm.write_u64(tx, a, 5).unwrap();
+    tm.prepare(tx, 12).unwrap();
+    tm.shutdown().unwrap();
+    pool.power_cycle();
+    // Clean attach: no recovery pass, but the in-doubt transaction is
+    // re-registered from the log scan and can still be resolved.
+    let tm = TransactionManager::open(Arc::clone(&pool), cfg).unwrap();
+    assert!(tm.last_recovery().is_none(), "clean attach skips recovery");
+    assert_eq!(tm.in_doubt().unwrap(), vec![(tx, 12)]);
+    tm.commit_prepared(tx).unwrap();
+    assert_eq!(pool.read_u64(a), 5);
+}

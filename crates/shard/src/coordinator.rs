@@ -1,0 +1,383 @@
+//! Cross-shard atomic transactions: a two-phase-commit coordinator over the
+//! per-shard REWIND transaction managers.
+//!
+//! A [`ShardedStore::transact`](crate::ShardedStore::transact) closure may
+//! touch keys on any shard. Each operation is routed to the owning shard,
+//! which joins the transaction as a *participant*: a running REWIND
+//! transaction plus the shard lock, held until the outcome is settled (that
+//! lock-holding is what isolates the cross-shard transaction from group
+//! commits and single-shard transactions riding on the same shards). When
+//! the closure returns `Ok`, the coordinator drives the classic
+//! presumed-abort two-phase commit:
+//!
+//! 1. **Prepare** — every participant appends a durable PREPARE record
+//!    carrying the coordinator's global transaction id (gtid) and flushes
+//!    its log. From here on the participant survives a crash *in doubt*:
+//!    its shard's recovery neither commits nor rolls it back.
+//! 2. **Decide** — the coordinator durably appends a commit decision for
+//!    the gtid to the [`DecisionLog`], a small persistent table in shard 0's
+//!    pool. This single persist event is the transaction's commit point.
+//! 3. **Commit** — every participant writes its END record and clears its
+//!    log records. Once all participants finished, the decision entry is
+//!    retired.
+//!
+//! A crash anywhere in this protocol leaves each shard either finished,
+//! running (rolled back by its own recovery) or prepared.
+//! [`ShardedStore::recover`](crate::ShardedStore::recover) resolves the
+//! prepared ones after every shard is back: an in-doubt transaction whose
+//! gtid has a persisted commit decision is committed, every other one is
+//! rolled back (*presumed abort* — the decision record is written before
+//! any participant may commit, so a missing decision proves no participant
+//! committed).
+//!
+//! Concurrency: cross-shard transactions serialize against each other on a
+//! store-level mutex. They acquire shard locks incrementally as the closure
+//! touches shards, and only the coordinator ever holds more than one shard
+//! lock at a time — with coordinators serialized, no lock cycle can form
+//! with the group-commit leaders (which hold exactly one shard lock and
+//! never wait for a second). Lock-ordered concurrent coordinators for
+//! declared write-sets are a ROADMAP item.
+
+use crate::shard::Participant;
+use crate::store::ShardedStore;
+use parking_lot::{Mutex, MutexGuard};
+use rewind_core::{Result, RewindError};
+use rewind_nvm::{NvmPool, PAddr};
+use rewind_pds::Value;
+use std::sync::Arc;
+
+/// Durable coordinator state in shard 0's user-root region, after the words
+/// owned by the transaction manager (0–4) and the shard header (16–19):
+/// `magic, entry-array address, next gtid`. The magic goes in last on create
+/// so a torn root is never taken for a valid one.
+const DECISION_MAGIC: u64 = 0x5245_5744_4543_4944; // "REWDECID"
+const DW_MAGIC: u64 = 24;
+const DW_ENTRIES: u64 = 25;
+const DW_NEXT_GTID: u64 = 26;
+
+/// Entries the decision table holds. Coordinators are serialized, so the
+/// table only accumulates entries across crashes that interrupt phase 2 —
+/// recovery retires them; 128 is generous headroom.
+const DECISION_CAPACITY: u64 = 128;
+/// Words per entry: `gtid, decision`. An entry is live iff its gtid word is
+/// non-zero, which is why the gtid is written last.
+const ENTRY_WORDS: u64 = 2;
+const DECIDE_COMMIT: u64 = 1;
+
+/// The persistent commit-decision table of the two-phase-commit coordinator,
+/// stored in shard 0's pool. Appending a commit decision here is the
+/// atomic commit point of a cross-shard transaction.
+#[derive(Debug)]
+pub(crate) struct DecisionLog {
+    pool: Arc<NvmPool>,
+    entries: PAddr,
+}
+
+impl DecisionLog {
+    /// Formats a fresh decision table in `pool` (shard 0's pool).
+    pub(crate) fn create(pool: Arc<NvmPool>) -> Result<DecisionLog> {
+        let entries = pool.alloc((DECISION_CAPACITY * ENTRY_WORDS * 8) as usize)?;
+        for w in 0..DECISION_CAPACITY * ENTRY_WORDS {
+            pool.write_u64_nt(entries.word(w), 0);
+        }
+        let root = pool.user_root();
+        pool.write_u64_nt(root.word(DW_ENTRIES), entries.offset());
+        pool.write_u64_nt(root.word(DW_NEXT_GTID), 1);
+        pool.sfence();
+        pool.write_u64_nt(root.word(DW_MAGIC), DECISION_MAGIC);
+        pool.sfence();
+        Ok(DecisionLog { pool, entries })
+    }
+
+    fn entry(&self, i: u64) -> PAddr {
+        self.entries.word(i * ENTRY_WORDS)
+    }
+
+    /// Durably allocates the next global transaction id. Ids are monotonic
+    /// across power cycles (the counter word is persisted before use), so a
+    /// stale decision entry can never be mistaken for a new transaction's.
+    pub(crate) fn allocate_gtid(&self) -> Result<u64> {
+        let root = self.pool.user_root();
+        let gtid = self.pool.read_u64(root.word(DW_NEXT_GTID)).max(1);
+        self.pool.write_u64_nt(root.word(DW_NEXT_GTID), gtid + 1);
+        self.pool.sfence();
+        self.ack()?;
+        Ok(gtid)
+    }
+
+    /// Durably records the commit decision for `gtid` — the commit point.
+    /// The decision word goes in before the gtid word, so a torn entry is
+    /// never live.
+    ///
+    /// The return value is the truth about the commit point, not a guess:
+    /// the entry is read back from the *persistent* image, because exactly
+    /// one atomic event (the gtid word reaching NVM) decides the
+    /// transaction. A pool that dies on the trailing fence may still have
+    /// persisted that word — recovery would then find the decision and
+    /// commit every in-doubt participant, so the coordinator must commit
+    /// the live ones too, not abort them. `Ok` means the decision is on the
+    /// medium; `Err` means it provably is not (presumed abort everywhere).
+    pub(crate) fn record_commit(&self, gtid: u64) -> Result<()> {
+        let slot = (0..DECISION_CAPACITY)
+            .find(|i| self.pool.read_u64(self.entry(*i)) == 0)
+            .ok_or(RewindError::Offline("decision log (table full)"))?;
+        let e = self.entry(slot);
+        self.pool.write_u64_nt(e.word(1), DECIDE_COMMIT);
+        self.pool.sfence();
+        self.pool.write_u64_nt(e, gtid);
+        self.pool.sfence();
+        let durable = self.pool.read_u64_persistent(e) == gtid
+            && self.pool.read_u64_persistent(e.word(1)) == DECIDE_COMMIT;
+        if durable {
+            Ok(())
+        } else {
+            Err(RewindError::Offline("decision log (pool failed)"))
+        }
+    }
+
+    /// Whether a commit decision for `gtid` was persisted. Anything else is
+    /// presumed aborted.
+    pub(crate) fn decided_commit(&self, gtid: u64) -> bool {
+        (0..DECISION_CAPACITY).any(|i| {
+            let e = self.entry(i);
+            self.pool.read_u64(e) == gtid && self.pool.read_u64(e.word(1)) == DECIDE_COMMIT
+        })
+    }
+
+    /// Retires the decision entry for `gtid` (all participants finished; no
+    /// in-doubt transaction can ask for it anymore).
+    pub(crate) fn forget(&self, gtid: u64) {
+        for i in 0..DECISION_CAPACITY {
+            let e = self.entry(i);
+            if self.pool.read_u64(e) == gtid {
+                self.pool.write_u64_nt(e, 0);
+            }
+        }
+        self.pool.sfence();
+    }
+
+    /// Retires every decision entry — called after recovery resolved all
+    /// in-doubt transactions, when no one can consult the table anymore.
+    pub(crate) fn clear(&self) {
+        for i in 0..DECISION_CAPACITY {
+            self.pool.write_u64_nt(self.entry(i), 0);
+        }
+        self.pool.sfence();
+    }
+
+    /// The missing acknowledgement of the crash model: the simulated pool
+    /// reports a died-mid-write device by freezing (dropping writes while
+    /// the code keeps running), where real hardware would simply never
+    /// answer. A frozen pool right after a fence means the preceding writes
+    /// never became durable.
+    fn ack(&self) -> Result<()> {
+        if self.pool.crash_injector().is_frozen() {
+            Err(RewindError::Offline("decision log (pool failed)"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The store-level two-phase-commit coordinator: the cross-shard
+/// serialization lock plus the persistent decision table.
+#[derive(Debug)]
+pub(crate) struct Coordinator {
+    serial: Mutex<()>,
+    decisions: DecisionLog,
+}
+
+impl Coordinator {
+    /// Creates the coordinator for a fresh store, formatting its decision
+    /// table in `pool0` (shard 0's pool).
+    pub(crate) fn create(pool0: Arc<NvmPool>) -> Result<Coordinator> {
+        Ok(Coordinator {
+            serial: Mutex::new(()),
+            decisions: DecisionLog::create(pool0)?,
+        })
+    }
+
+    /// Serializes cross-shard work (transactions, in-doubt resolution)
+    /// against each other.
+    pub(crate) fn serialize(&self) -> MutexGuard<'_, ()> {
+        self.serial.lock()
+    }
+
+    pub(crate) fn decisions(&self) -> &DecisionLog {
+        &self.decisions
+    }
+
+    /// Runs one cross-shard transaction end to end.
+    pub(crate) fn run<T>(
+        &self,
+        store: &ShardedStore,
+        f: impl FnOnce(&mut StoreTx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        let _serial = self.serialize();
+        let mut tx = StoreTx {
+            store,
+            parts: (0..store.shard_count()).map(|_| None).collect(),
+        };
+        match f(&mut tx) {
+            Ok(v) => {
+                tx.finish_commit(&self.decisions)?;
+                Ok(v)
+            }
+            Err(e) => {
+                tx.abort_all()?;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Handle passed to [`ShardedStore::transact`](crate::ShardedStore::transact)
+/// closures: typed operations against *any* key of the store inside one
+/// atomic cross-shard transaction. Shards join lazily as their keys are
+/// touched; each joined shard stays locked until the transaction settles, so
+/// route every access through this handle — calling the store's own methods
+/// from inside the closure would deadlock on a shard the transaction
+/// already holds.
+#[derive(Debug)]
+pub struct StoreTx<'a> {
+    store: &'a ShardedStore,
+    /// Lazily joined participants, indexed by shard.
+    parts: Vec<Option<Participant<'a>>>,
+}
+
+impl<'a> StoreTx<'a> {
+    fn participant(&mut self, key: u64) -> Result<&mut Participant<'a>> {
+        let idx = self.store.shard_of(key);
+        if self.parts[idx].is_none() {
+            self.parts[idx] = Some(self.store.shard(idx).join()?);
+        }
+        Ok(self.parts[idx].as_mut().expect("participant just joined"))
+    }
+
+    /// Reads `key` (sees the transaction's own uncommitted writes). Joins
+    /// the owning shard: even pure reads are isolated until commit.
+    pub fn get(&mut self, key: u64) -> Result<Option<Value>> {
+        Ok(self.participant(key)?.get(key))
+    }
+
+    /// Inserts or overwrites `key` within the transaction.
+    pub fn put(&mut self, key: u64, value: Value) -> Result<()> {
+        self.participant(key)?.put(key, value)
+    }
+
+    /// Removes `key` within the transaction; reports whether it was present.
+    pub fn delete(&mut self, key: u64) -> Result<bool> {
+        self.participant(key)?.delete(key)
+    }
+
+    /// Number of shards the transaction has touched so far.
+    pub fn participants(&self) -> usize {
+        self.parts.iter().flatten().count()
+    }
+
+    /// The shard index owning `key` (does not join the shard).
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.store.shard_of(key)
+    }
+
+    /// Aborts the transaction by returning an error for the closure to
+    /// propagate; every participant rolls back.
+    pub fn abort<T>(&self, reason: &str) -> Result<T> {
+        Err(RewindError::Aborted(reason.to_string()))
+    }
+
+    /// Commits the transaction: one-phase on a single participant,
+    /// two-phase commit across several.
+    fn finish_commit(&mut self, decisions: &DecisionLog) -> Result<()> {
+        let parts: Vec<Participant<'a>> = self.parts.drain(..).flatten().collect();
+        match parts.len() {
+            0 => Ok(()),
+            1 => parts[0].commit_plain(),
+            _ => Self::two_phase(decisions, &parts),
+        }
+    }
+
+    fn two_phase(decisions: &DecisionLog, parts: &[Participant<'a>]) -> Result<()> {
+        // Every exit below the joins must settle the participants — a bare
+        // `?` here would drop them with their uncommitted tree writes still
+        // visible (and their Running transactions leaked in the per-shard
+        // tables).
+        let gtid = match decisions.allocate_gtid() {
+            Ok(gtid) => gtid,
+            Err(e) => {
+                for q in parts {
+                    let _ = q.abort();
+                }
+                return Err(e);
+            }
+        };
+
+        // Phase 1: prepare every participant. Any failure aborts the whole
+        // transaction — already-prepared participants roll back through the
+        // prepared path, the rest through a plain rollback. A participant
+        // whose pool died keeps its durable PREPARE record; the missing
+        // decision entry makes recovery presume abort, matching the live
+        // rollbacks here.
+        for p in parts {
+            if let Err(e) = p.prepare(gtid) {
+                for q in parts {
+                    let _ = q.abort();
+                }
+                return Err(e);
+            }
+        }
+
+        // The commit point: persist the decision. If the decision pool
+        // failed, no participant has committed and none ever will — roll
+        // everyone back (presumed abort covers any participant that is
+        // beyond reach).
+        if let Err(e) = decisions.record_commit(gtid) {
+            for q in parts {
+                let _ = q.abort();
+            }
+            return Err(e);
+        }
+
+        // Phase 2: commit every participant. The decision is durable, so
+        // nothing past this point can un-commit the transaction — an error
+        // is still surfaced (same ambiguous-commit caveat as a failed
+        // group-commit acknowledgement), and recovery finishes the job for
+        // any participant left in doubt. The decision entry is retired only
+        // once *every* participant durably acknowledged its END record: a
+        // participant whose pool died mid-commit holds a durable PREPARE
+        // and nothing else, and resolution must still find the commit
+        // decision to drive it forward.
+        let mut all_acked = true;
+        let mut first_err = None;
+        for p in parts {
+            match p.commit_prepared() {
+                Ok(acked) => all_acked &= acked,
+                Err(e) => {
+                    all_acked = false;
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if all_acked {
+            decisions.forget(gtid);
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The closure failed: roll every participant back.
+    fn abort_all(&mut self) -> Result<()> {
+        let mut first_err = None;
+        for p in self.parts.drain(..).flatten() {
+            if let Err(e) = p.abort() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! The REWIND runtime (Chatzistergiou, Cintra & Viglas, PVLDB 8(5), 2015)
 //! gives a *single* NVM pool a recoverable log and transaction manager. This
 //! crate scales that design out: a [`ShardedStore`] hash-partitions keys
-//! across N independent shards, each owning its **own** [`NvmPool`],
+//! across N independent shards, each owning its **own**
+//! [`NvmPool`](rewind_nvm::NvmPool),
 //! [`TransactionManager`](rewind_core::TransactionManager) and persistent
 //! B+-tree. Because nothing is shared between shards, they commit,
 //! checkpoint, crash and recover with zero cross-shard contention — the same
@@ -20,6 +21,16 @@
 //! group of *user requests*. A group is atomic: it commits as a whole, and a
 //! crash in the middle rolls the whole group back.
 //!
+//! Transactions spanning shards go through a **two-phase-commit
+//! coordinator** (the `coordinator` module): each touched shard joins as a
+//! participant holding its shard lock and a running REWIND transaction;
+//! commit prepares every participant durably, persists a commit decision in
+//! shard 0's pool, and only then commits the participants. A crash at any
+//! point leaves the transaction recoverable to all-or-nothing: shard
+//! recovery refuses to roll back prepared ("in-doubt") participants, and
+//! [`ShardedStore::recover`] resolves them against the persisted decision —
+//! commit if the decision record survived, presumed abort otherwise.
+//!
 //! ```
 //! use rewind_shard::{ShardConfig, ShardedStore};
 //!
@@ -27,7 +38,7 @@
 //! store.put(7, [1, 2, 3, 4]).unwrap();
 //! assert_eq!(store.get(7).unwrap(), Some([1, 2, 3, 4]));
 //!
-//! // Multi-op transactions are supported within a single shard.
+//! // Multi-op transactions within a single shard...
 //! let sibling = store.sibling_key(100, 1); // same shard as key 100
 //! store
 //!     .transact_on(100, |tx| {
@@ -37,21 +48,36 @@
 //!     })
 //!     .unwrap();
 //!
-//! // Simulated power failure across every shard, then whole-store recovery.
+//! // ... and atomic transactions across arbitrary shards (2PC under the
+//! // hood once more than one shard is touched).
+//! store
+//!     .transact(|tx| {
+//!         tx.put(1, [1, 1, 1, 1])?;
+//!         tx.put(2, [2, 2, 2, 2])?;
+//!         tx.put(3, [3, 3, 3, 3])?;
+//!         Ok(())
+//!     })
+//!     .unwrap();
+//!
+//! // Simulated power failure across every shard, then whole-store recovery
+//! // (which also resolves any in-doubt cross-shard transactions).
 //! store.power_cycle();
 //! store.recover().unwrap();
 //! assert_eq!(store.get(7).unwrap(), Some([1, 2, 3, 4]));
+//! assert_eq!(store.get(2).unwrap(), Some([2, 2, 2, 2]));
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod config;
+mod coordinator;
 mod group;
 mod shard;
 mod store;
 
 pub use config::ShardConfig;
+pub use coordinator::StoreTx;
 pub use group::GroupCommitSnapshot;
 pub use shard::ShardTx;
 pub use store::{ShardSnapshot, ShardStats, ShardedStore};

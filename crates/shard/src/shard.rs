@@ -3,10 +3,11 @@
 
 use crate::config::ShardConfig;
 use crate::group::{GroupCommitStats, GroupQueue, OpSlot, Pending, WriteOp};
-use parking_lot::{Condvar, Mutex};
-use rewind_core::{RecoveryReport, Result, RewindError, TransactionManager};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use rewind_core::{RecoveryReport, Result, RewindError, TransactionManager, TxId};
 use rewind_nvm::{NvmPool, PAddr, PoolConfig};
 use rewind_pds::{Backing, PBTree, TxToken, Value};
+use std::cell::Cell;
 use std::sync::Arc;
 
 /// Durable shard root, stored in the pool's user-root region *after* the
@@ -316,6 +317,145 @@ impl Shard {
                 inner.tm.rollback(tx)?;
                 Err(e)
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-shard (two-phase-commit) participation
+    // ------------------------------------------------------------------
+
+    /// Opens this shard's side of a cross-shard transaction: a REWIND
+    /// transaction plus the shard lock, held until the coordinator settles
+    /// the outcome. While a [`Participant`] is alive, group commits and
+    /// single-shard transactions on this shard wait — that is what makes the
+    /// participant's reads and writes isolated.
+    pub(crate) fn join(&self) -> Result<Participant<'_>> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        let tx = inner.tm.begin();
+        Ok(Participant {
+            shard_id: self.id,
+            pool: &self.pool,
+            inner,
+            tx,
+            prepared: Cell::new(false),
+        })
+    }
+
+    /// In-doubt (prepared, undecided) transactions on this shard, as
+    /// `(local txid, coordinator gtid)` pairs.
+    pub(crate) fn in_doubt(&self) -> Result<Vec<(TxId, u64)>> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        inner.tm.in_doubt()
+    }
+
+    /// Applies the coordinator's decision to an in-doubt transaction.
+    /// Returns whether a *commit* decision was durably acknowledged — the
+    /// same ack [`Participant::commit_prepared`] reports: if this shard's
+    /// pool died mid-resolution the END record may be lost, and the
+    /// coordinator must keep the decision entry for the next recovery
+    /// instead of retiring it. Abort decisions need no ack (a transaction
+    /// still prepared after an unacknowledged rollback is presumed aborted
+    /// again next time, no entry required).
+    pub(crate) fn resolve_prepared(&self, tx: TxId, commit: bool) -> Result<bool> {
+        let inner = self.inner.lock();
+        self.check_open(&inner)?;
+        if commit {
+            inner.tm.commit_prepared(tx)?;
+            Ok(!self.pool.crash_injector().is_frozen())
+        } else {
+            inner.tm.rollback_prepared(tx)?;
+            Ok(true)
+        }
+    }
+}
+
+/// One shard's side of an open cross-shard transaction: a running REWIND
+/// transaction plus the shard lock, both held until the two-phase-commit
+/// coordinator settles the outcome.
+pub(crate) struct Participant<'a> {
+    shard_id: usize,
+    pool: &'a Arc<NvmPool>,
+    inner: MutexGuard<'a, ShardInner>,
+    tx: TxId,
+    /// Whether `prepare` got far enough that the abort path must go through
+    /// `rollback_prepared` rather than a plain rollback.
+    prepared: Cell<bool>,
+}
+
+impl std::fmt::Debug for Participant<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Participant")
+            .field("shard_id", &self.shard_id)
+            .field("tx", &self.tx)
+            .field("prepared", &self.prepared.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Participant<'_> {
+    /// Reads `key` inside the transaction (sees the transaction's own
+    /// uncommitted writes; reads are not logged).
+    pub(crate) fn get(&self, key: u64) -> Option<Value> {
+        self.inner.tree.lookup(key)
+    }
+
+    /// Inserts or overwrites `key` inside the transaction.
+    pub(crate) fn put(&mut self, key: u64, value: Value) -> Result<()> {
+        self.inner
+            .tree
+            .insert_in(Some(TxToken(self.tx)), key, value)
+    }
+
+    /// Removes `key` inside the transaction; reports whether it was present.
+    pub(crate) fn delete(&mut self, key: u64) -> Result<bool> {
+        self.inner.tree.delete_in(Some(TxToken(self.tx)), key)
+    }
+
+    /// Phase 1: durably prepares this participant on behalf of coordinator
+    /// transaction `gtid`.
+    ///
+    /// A real participant acknowledges the prepare only once its log is
+    /// durable — a machine that died mid-prepare simply never answers, and
+    /// the coordinator aborts. The simulated pool models such a death by
+    /// *freezing* (dropping writes while the code keeps running), so the
+    /// post-fence frozen check below is exactly that missing
+    /// acknowledgement: a frozen pool means the promise never reached NVM
+    /// and the coordinator must treat the participant as failed.
+    pub(crate) fn prepare(&self, gtid: u64) -> Result<()> {
+        self.inner.tm.prepare(self.tx, gtid)?;
+        self.prepared.set(true);
+        if self.pool.crash_injector().is_frozen() {
+            return Err(RewindError::Offline("shard (pool failed during prepare)"));
+        }
+        Ok(())
+    }
+
+    /// Single-participant fast path: an ordinary one-phase commit (no
+    /// prepare, no decision record — atomicity within one shard is already
+    /// REWIND's job).
+    pub(crate) fn commit_plain(&self) -> Result<()> {
+        self.inner.tm.commit(self.tx)
+    }
+
+    /// Phase 2, commit direction. Returns whether the participant durably
+    /// *acknowledged* the commit: a pool that froze (died) along the way
+    /// may have dropped the END record, leaving the participant in doubt —
+    /// the coordinator must then keep the decision entry alive for
+    /// recovery-time resolution instead of retiring it.
+    pub(crate) fn commit_prepared(&self) -> Result<bool> {
+        self.inner.tm.commit_prepared(self.tx)?;
+        Ok(!self.pool.crash_injector().is_frozen())
+    }
+
+    /// Rolls the participant back through whichever path its state requires
+    /// (plain rollback while running, `rollback_prepared` once prepared).
+    pub(crate) fn abort(&self) -> Result<()> {
+        if self.prepared.get() {
+            self.inner.tm.rollback_prepared(self.tx)
+        } else {
+            self.inner.tm.rollback(self.tx)
         }
     }
 }

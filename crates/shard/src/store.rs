@@ -2,11 +2,14 @@
 //! aggregated statistics.
 
 use crate::config::ShardConfig;
+use crate::coordinator::{Coordinator, StoreTx};
 use crate::group::{GroupCommitSnapshot, WriteOp};
 use crate::shard::{Shard, ShardTx};
 use rewind_core::{RecoveryReport, Result, TmStatsSnapshot};
 use rewind_nvm::{AllocStats, NvmPool, StatsSnapshot};
 use rewind_pds::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// SplitMix64 finalizer: a full-avalanche mix so that adjacent keys spread
@@ -34,6 +37,9 @@ pub(crate) fn shard_of_key(key: u64, shards: usize) -> usize {
 pub struct ShardedStore {
     shards: Vec<Shard>,
     cfg: ShardConfig,
+    /// The cross-shard two-phase-commit coordinator (serialization lock +
+    /// the persistent decision table in shard 0's pool).
+    coord: Coordinator,
 }
 
 impl ShardedStore {
@@ -50,7 +56,8 @@ impl ShardedStore {
             .into_iter()
             .map(|slot| slot.expect("shard creation thread completed"))
             .collect::<Result<Vec<_>>>()?;
-        Ok(ShardedStore { shards, cfg })
+        let coord = Coordinator::create(Arc::clone(shards[0].pool()))?;
+        Ok(ShardedStore { shards, cfg, coord })
     }
 
     /// The configuration the store was created with.
@@ -95,6 +102,11 @@ impl ShardedStore {
         self.shards[idx].pool()
     }
 
+    /// The shard at `idx` (coordinator internals).
+    pub(crate) fn shard(&self, idx: usize) -> &Shard {
+        &self.shards[idx]
+    }
+
     // ------------------------------------------------------------------
     // Reads
     // ------------------------------------------------------------------
@@ -111,13 +123,42 @@ impl ShardedStore {
 
     /// Returns up to `limit` pairs with keys in `[low, high]`, in ascending
     /// key order, merged across all shards.
+    ///
+    /// Each shard contributes at most `limit` candidates (hash partitioning
+    /// means any shard could own the `limit` smallest keys), but the k-way
+    /// merge below stops as soon as `limit` results are produced instead of
+    /// sorting and truncating the full `shards × limit` candidate set.
+    /// Pushing the cap further down with per-shard cursors is a ROADMAP
+    /// item.
     pub fn scan(&self, low: u64, high: u64, limit: usize) -> Result<Vec<(u64, Value)>> {
-        let mut out = Vec::new();
-        for shard in &self.shards {
-            out.extend(shard.range(low, high, limit)?);
+        if limit == 0 {
+            return Ok(Vec::new());
         }
-        out.sort_unstable_by_key(|(k, _)| *k);
-        out.truncate(limit);
+        let mut runs: Vec<Vec<(u64, Value)>> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            runs.push(shard.range(low, high, limit)?);
+        }
+        // Each run is already in ascending key order: merge with a heap of
+        // (next key, run index) cursors, stopping at `limit`.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(runs.len());
+        let mut cursors = vec![0usize; runs.len()];
+        for (r, run) in runs.iter().enumerate() {
+            if let Some((k, _)) = run.first() {
+                heap.push(Reverse((*k, r)));
+            }
+        }
+        let mut out = Vec::with_capacity(limit.min(64));
+        while let Some(Reverse((key, r))) = heap.pop() {
+            let pos = cursors[r];
+            out.push((key, runs[r][pos].1));
+            if out.len() == limit {
+                break;
+            }
+            cursors[r] += 1;
+            if let Some((k, _)) = runs[r].get(cursors[r]) {
+                heap.push(Reverse((*k, r)));
+            }
+        }
         Ok(out)
     }
 
@@ -164,14 +205,37 @@ impl ShardedStore {
     /// Runs `f` as one REWIND transaction on the shard owning `key`:
     /// commits on `Ok`, rolls back on `Err`. Every key the closure touches
     /// must hash to the same shard (checked; see
-    /// [`ShardedStore::sibling_key`]). Cross-shard transactions are a
-    /// ROADMAP item, not supported here.
+    /// [`ShardedStore::sibling_key`]). For transactions spanning shards use
+    /// [`ShardedStore::transact`].
     pub fn transact_on<T>(
         &self,
         key: u64,
         f: impl FnOnce(&mut ShardTx<'_>) -> Result<T>,
     ) -> Result<T> {
         self.shards[self.shard_of(key)].transact(self.shards.len(), f)
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-shard transactions
+    // ------------------------------------------------------------------
+
+    /// Runs `f` as one atomic transaction that may touch keys on *any*
+    /// shard: commits on `Ok`, rolls back on `Err`. Each operation is
+    /// routed to the owning shard; when more than one shard was touched the
+    /// commit runs the two-phase protocol described in the crate docs
+    /// (prepare on every participant, a persisted commit decision on
+    /// shard 0, then commit everywhere), so the transaction is atomic even
+    /// across a power failure at any point — recovery resolves in-doubt
+    /// participants from the decision table.
+    ///
+    /// Touched shards stay locked until the transaction settles:
+    /// cross-shard transactions serialize against each other, and group
+    /// commits on participant shards wait for the outcome. Use the
+    /// [`StoreTx`] handle for every access inside the closure — calling the
+    /// store's own methods there would self-deadlock on a shard the
+    /// transaction already holds.
+    pub fn transact<T>(&self, f: impl FnOnce(&mut StoreTx<'_>) -> Result<T>) -> Result<T> {
+        self.coord.run(self, f)
     }
 
     // ------------------------------------------------------------------
@@ -189,8 +253,15 @@ impl ShardedStore {
     /// Reopens every shard, running REWIND recovery wherever the shard's
     /// pool was not shut down cleanly. The per-shard analysis/redo/undo
     /// passes run in parallel — shards share nothing, so whole-store
-    /// recovery takes the time of the slowest shard, not the sum. Returns
-    /// the merged recovery report.
+    /// recovery takes the time of the slowest shard, not the sum.
+    ///
+    /// Once every shard is back, in-doubt cross-shard transactions (prepared
+    /// for a two-phase commit, crash before the outcome reached the shard)
+    /// are resolved against the persistent decision table on shard 0: a
+    /// persisted commit decision commits them, anything else rolls them back
+    /// (presumed abort). Returns the merged recovery report; its `in_doubt`
+    /// count is what the per-shard analysis passes found, all of which are
+    /// resolved by the time this returns.
     pub fn recover(&self) -> Result<RecoveryReport> {
         let mut outcomes: Vec<Option<Result<Option<RecoveryReport>>>> =
             (0..self.shards.len()).map(|_| None).collect();
@@ -207,6 +278,23 @@ impl ShardedStore {
                     Some(m) => m.merge(&report),
                 });
             }
+        }
+        // Coordinator-side resolution of in-doubt transactions, serialized
+        // with new cross-shard transactions.
+        let _serial = self.coord.serialize();
+        let mut all_acked = true;
+        for shard in &self.shards {
+            for (txid, gtid) in shard.in_doubt()? {
+                let commit = self.coord.decisions().decided_commit(gtid);
+                all_acked &= shard.resolve_prepared(txid, commit)?;
+            }
+        }
+        // Retire the decisions only once every commit-direction resolution
+        // was durably acknowledged: a shard whose pool died mid-resolution
+        // is still in doubt and must find its commit decision at the next
+        // recovery (the live phase 2 applies the same rule).
+        if all_acked {
+            self.coord.decisions().clear();
         }
         Ok(merged.unwrap_or_default())
     }
@@ -406,6 +494,96 @@ mod tests {
         let err = store.transact_on(key, |tx| tx.put(foreign, val(0)));
         assert!(matches!(err, Err(RewindError::Aborted(_))));
         assert_eq!(store.get(foreign).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_merge_stops_at_limit() {
+        let store = small(4);
+        for k in 0..64u64 {
+            store.put(k, val(k)).unwrap();
+        }
+        // Results arrive in global key order regardless of which shard owns
+        // which key, and the merge never over-produces.
+        for limit in [1usize, 3, 7, 40, 64, 100] {
+            let r = store.scan(0, u64::MAX, limit).unwrap();
+            let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+            let expect: Vec<u64> = (0..limit.min(64) as u64).collect();
+            assert_eq!(keys, expect, "limit {limit}");
+        }
+        assert!(store.scan(0, u64::MAX, 0).unwrap().is_empty());
+        // Bounded ranges still respect the bounds.
+        let r = store.scan(10, 20, 5).unwrap();
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn cross_shard_transact_commits_atomically() {
+        let store = small(4);
+        // One key per shard.
+        let keys: Vec<u64> = (0..4)
+            .map(|s| (0..200).find(|k| store.shard_of(*k) == s).unwrap())
+            .collect();
+        let touched = store
+            .transact(|tx| {
+                for (i, &k) in keys.iter().enumerate() {
+                    tx.put(k, val(i as u64))?;
+                }
+                Ok(tx.participants())
+            })
+            .unwrap();
+        assert_eq!(touched, 4, "one participant per shard");
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(store.get(k).unwrap(), Some(val(i as u64)));
+        }
+
+        // Reads inside the transaction see its own writes.
+        store
+            .transact(|tx| {
+                tx.put(keys[0], val(77))?;
+                assert_eq!(tx.get(keys[0])?, Some(val(77)));
+                assert_eq!(tx.get(keys[1])?, Some(val(1)));
+                tx.delete(keys[1])?;
+                assert_eq!(tx.get(keys[1])?, None);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(store.get(keys[0]).unwrap(), Some(val(77)));
+        assert_eq!(store.get(keys[1]).unwrap(), None);
+        assert!(store.stats().tm.prepared >= 4, "2PC actually ran");
+    }
+
+    #[test]
+    fn cross_shard_transact_aborts_atomically() {
+        let store = small(4);
+        let a = 1u64;
+        let b = (0..100)
+            .find(|k| store.shard_of(*k) != store.shard_of(a))
+            .unwrap();
+        store.put(a, val(1)).unwrap();
+        store.put(b, val(2)).unwrap();
+        let err = store.transact(|tx| {
+            tx.put(a, val(10))?;
+            tx.delete(b)?;
+            tx.abort::<()>("change of heart")
+        });
+        assert!(matches!(err, Err(RewindError::Aborted(_))));
+        assert_eq!(store.get(a).unwrap(), Some(val(1)));
+        assert_eq!(store.get(b).unwrap(), Some(val(2)));
+        // The store keeps working: the aborted transaction released every
+        // shard lock.
+        store.put(a, val(3)).unwrap();
+        assert_eq!(store.get(a).unwrap(), Some(val(3)));
+    }
+
+    #[test]
+    fn single_shard_transact_uses_fast_path() {
+        let store = small(4);
+        let k = 9u64;
+        store.transact(|tx| tx.put(k, val(9))).unwrap();
+        assert_eq!(store.get(k).unwrap(), Some(val(9)));
+        // One participant: no prepare, plain commit.
+        assert_eq!(store.stats().tm.prepared, 0);
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Crash matrix for cross-shard (two-phase-commit) transactions.
+//!
+//! The acceptance property: a `ShardedStore::transact` spanning several
+//! shards is atomic under crash injection — after `power_cycle` + `recover`,
+//! either *every* participant shard reflects the transaction or *none*
+//! does, at every injected crash point. The matrix sweeps the crash point
+//! over the persist events of each participant pool in turn (which covers
+//! crashes before/during prepare, between prepares and decision, and
+//! between the phase-2 commits), including shard 0's pool, which doubles as
+//! the host of the coordinator's commit-decision table.
+//!
+//! `REWIND_CRASH_SEED` (used by the CI crash-stress job) perturbs the sweep
+//! offsets and the torn-word seeds so repeated runs walk different crash
+//! points.
+
+use rewind::core::{Policy, RewindConfig};
+use rewind::prelude::*;
+use std::sync::Arc;
+
+/// Seed from the environment (CI sweeps it); 0 when unset.
+fn crash_seed() -> u64 {
+    std::env::var("REWIND_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Force-policy config: a returned commit is durable, which lets the
+/// oracle reason exactly about what must survive a crash.
+fn force_cfg() -> RewindConfig {
+    RewindConfig::batch().policy(Policy::Force)
+}
+
+fn mk_store(shards: usize) -> ShardedStore {
+    ShardedStore::create(
+        ShardConfig::new(shards)
+            .shard_capacity(8 << 20)
+            .rewind(force_cfg()),
+    )
+    .unwrap()
+}
+
+/// One key per shard, so a transaction over these keys has every shard as a
+/// participant.
+fn one_key_per_shard(store: &ShardedStore) -> Vec<u64> {
+    (0..store.shard_count())
+        .map(|s| {
+            (0..10_000u64)
+                .find(|k| store.shard_of(*k) == s)
+                .expect("a key for every shard")
+        })
+        .collect()
+}
+
+fn old_val(k: u64) -> Value {
+    [k, k * 3, !k, k ^ 0x5555]
+}
+
+fn new_val(k: u64) -> Value {
+    [k + 1_000_000, k * 7, !(k * 2), k ^ 0xaaaa]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    AllOld,
+    AllNew,
+}
+
+/// Creates a store, commits base values, arms a crash after `crash_at`
+/// persist events on `victim`'s pool, runs one cross-shard transaction over
+/// one key per shard, crashes the whole store and recovers. Returns the
+/// atomicity verdict and the number of in-doubt transactions recovery found.
+fn probe(shards: usize, victim: usize, crash_at: u64) -> (Outcome, u64) {
+    let store = mk_store(shards);
+    let keys = one_key_per_shard(&store);
+    for &k in &keys {
+        store.put(k, old_val(k)).unwrap();
+    }
+
+    store
+        .shard_pool(victim)
+        .crash_injector()
+        .arm_after(crash_at);
+    // The transaction may report an error on crash paths (the coordinator
+    // aborts when a pool dies mid-protocol); atomicity is judged from the
+    // recovered state, not the return value.
+    let _ = store.transact(|tx| {
+        for &k in &keys {
+            tx.put(k, new_val(k))?;
+        }
+        Ok(())
+    });
+
+    store.power_cycle();
+    let report = store.recover().unwrap();
+
+    let got: Vec<Option<Value>> = keys.iter().map(|&k| store.get(k).unwrap()).collect();
+    let all_old = keys.iter().zip(&got).all(|(&k, v)| *v == Some(old_val(k)));
+    let all_new = keys.iter().zip(&got).all(|(&k, v)| *v == Some(new_val(k)));
+    assert!(
+        all_old || all_new,
+        "victim {victim} crash_at {crash_at}: partial cross-shard transaction \
+         visible after recovery: {got:?} (in_doubt {})",
+        report.in_doubt
+    );
+
+    // The store must keep working after resolution.
+    let probe_key = 77_777 + crash_at;
+    store.put(probe_key, old_val(probe_key)).unwrap();
+    assert_eq!(store.get(probe_key).unwrap(), Some(old_val(probe_key)));
+
+    (
+        if all_new {
+            Outcome::AllNew
+        } else {
+            Outcome::AllOld
+        },
+        report.in_doubt,
+    )
+}
+
+/// Persist events each pool sees during the cross-shard transaction alone
+/// (store creation and base puts excluded), measured on an un-armed twin
+/// store. Store setup and the sequential transaction are deterministic, so
+/// the counts transfer to the armed runs.
+fn transact_event_deltas(shards: usize) -> Vec<u64> {
+    let store = mk_store(shards);
+    let keys = one_key_per_shard(&store);
+    for &k in &keys {
+        store.put(k, old_val(k)).unwrap();
+    }
+    let before: Vec<u64> = (0..shards)
+        .map(|s| store.shard_pool(s).crash_injector().observed_events())
+        .collect();
+    store
+        .transact(|tx| {
+            for &k in &keys {
+                tx.put(k, new_val(k))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    (0..shards)
+        .map(|s| store.shard_pool(s).crash_injector().observed_events() - before[s])
+        .collect()
+}
+
+#[test]
+fn crash_matrix_every_shard_every_band() {
+    // Sweep the crash point across each participant pool's event window —
+    // ~12 points per victim, offset by the CI seed so repeated runs cover
+    // different points. Both outcomes must show up across the matrix: early
+    // crash points abort, late (or no-op) crash points commit.
+    let shards = 4;
+    let deltas = transact_event_deltas(shards);
+    let seed = crash_seed();
+    let mut seen_old = false;
+    let mut seen_new = false;
+    for (victim, delta) in deltas.iter().enumerate() {
+        let window = (*delta).max(1);
+        let step = (window / 10).max(1);
+        let mut crash_at = 1 + seed % step;
+        while crash_at <= window + step {
+            let (outcome, _) = probe(shards, victim, crash_at);
+            seen_old |= outcome == Outcome::AllOld;
+            seen_new |= outcome == Outcome::AllNew;
+            crash_at += step;
+        }
+    }
+    assert!(seen_old, "no crash point aborted the transaction");
+    assert!(seen_new, "no crash point let the transaction commit");
+}
+
+#[test]
+fn in_doubt_participants_resolve_from_the_decision_record() {
+    // Walk the crash point backwards from the end of the victim pool's
+    // window until recovery reports an in-doubt transaction: a crash after
+    // the victim's PREPARE became durable but before its END did. The
+    // decision table (shard 0's pool, never armed here) then says commit,
+    // so resolution must drive the in-doubt participant forward — all-new.
+    let shards = 2;
+    let victim = 1;
+    let window = transact_event_deltas(shards)[victim];
+    let mut crash_at = window;
+    let mut in_doubt_commit = false;
+    for _ in 0..80 {
+        if crash_at == 0 {
+            break;
+        }
+        let (outcome, in_doubt) = probe(shards, victim, crash_at);
+        if in_doubt > 0 {
+            assert_eq!(
+                outcome,
+                Outcome::AllNew,
+                "in-doubt with a persisted commit decision must commit"
+            );
+            in_doubt_commit = true;
+            break;
+        }
+        crash_at -= 1;
+    }
+    assert!(
+        in_doubt_commit,
+        "no crash point left the victim in doubt (window {window})"
+    );
+}
+
+#[test]
+fn decision_host_crash_presumes_abort() {
+    // Arming shard 0's pool kills the decision table: wherever the crash
+    // lands before the decision record is durable, recovery must find no
+    // decision and roll every prepared participant back. The probe already
+    // asserts all-or-nothing; this sweep pins the direction for the early
+    // band (crash before the transaction's first event on pool 0 cannot
+    // abort anything, so only assert when the injector actually fired
+    // early enough to matter — the matrix above covers the rest).
+    let shards = 4;
+    let window = transact_event_deltas(shards)[0].max(1);
+    let seed = crash_seed();
+    let step = (window / 8).max(1);
+    let mut crash_at = 1 + seed % step;
+    let mut seen_abort = false;
+    while crash_at <= window {
+        let (outcome, _) = probe(shards, 0, crash_at);
+        seen_abort |= outcome == Outcome::AllOld;
+        crash_at += step;
+    }
+    assert!(
+        seen_abort,
+        "crashing the decision host never aborted (window {window})"
+    );
+}
+
+#[test]
+fn torn_word_crashes_keep_cross_shard_atomicity() {
+    // TornWords persists a pseudo-random subset of in-flight words on every
+    // pool; combined with a mid-transaction freeze of one participant the
+    // recovered state must still be all-or-nothing.
+    let seed = crash_seed();
+    for torn in [seed * 31 + 1, seed * 17 + 7, seed + 42] {
+        let store = ShardedStore::create(
+            ShardConfig::new(4)
+                .shard_capacity(8 << 20)
+                .rewind(force_cfg())
+                .crash_mode(CrashMode::TornWords(torn)),
+        )
+        .unwrap();
+        let keys = one_key_per_shard(&store);
+        for &k in &keys {
+            store.put(k, old_val(k)).unwrap();
+        }
+        store
+            .shard_pool(2)
+            .crash_injector()
+            .arm_after(40 + seed % 23);
+        let _ = store.transact(|tx| {
+            for &k in &keys {
+                tx.put(k, new_val(k))?;
+            }
+            Ok(())
+        });
+        store.power_cycle();
+        store.recover().unwrap();
+        let got: Vec<Option<Value>> = keys.iter().map(|&k| store.get(k).unwrap()).collect();
+        let all_old = keys.iter().zip(&got).all(|(&k, v)| *v == Some(old_val(k)));
+        let all_new = keys.iter().zip(&got).all(|(&k, v)| *v == Some(new_val(k)));
+        assert!(
+            all_old || all_new,
+            "torn seed {torn}: partial transaction after recovery: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn decision_sticks_across_repeated_crashes() {
+    // Resolve an in-doubt transaction, then crash again: the applied
+    // decision must survive — recovery finds nothing left in doubt and the
+    // data does not move.
+    let shards = 2;
+    let victim = 1;
+    let window = transact_event_deltas(shards)[victim];
+    let mut crash_at = window;
+    for _ in 0..80 {
+        if crash_at == 0 {
+            break;
+        }
+        let store = mk_store(shards);
+        let keys = one_key_per_shard(&store);
+        for &k in &keys {
+            store.put(k, old_val(k)).unwrap();
+        }
+        store
+            .shard_pool(victim)
+            .crash_injector()
+            .arm_after(crash_at);
+        let _ = store.transact(|tx| {
+            for &k in &keys {
+                tx.put(k, new_val(k))?;
+            }
+            Ok(())
+        });
+        store.power_cycle();
+        let report = store.recover().unwrap();
+        if report.in_doubt == 0 {
+            crash_at -= 1;
+            continue;
+        }
+        let settled: Vec<Option<Value>> = keys.iter().map(|&k| store.get(k).unwrap()).collect();
+        // Second, uninjected crash after the resolution.
+        store.power_cycle();
+        let report2 = store.recover().unwrap();
+        assert_eq!(report2.in_doubt, 0, "the decision was applied durably");
+        let again: Vec<Option<Value>> = keys.iter().map(|&k| store.get(k).unwrap()).collect();
+        assert_eq!(settled, again, "resolved state moved across a crash");
+        return;
+    }
+    panic!("no crash point left the victim in doubt (window {window})");
+}
+
+#[test]
+fn gtid_allocation_failure_rolls_every_participant_back() {
+    // The decision host (shard 0) dies before the transaction even reaches
+    // the prepare phase: gtid allocation fails. Every joined participant —
+    // none of them on shard 0 — must be rolled back immediately, not
+    // dropped with its uncommitted tree writes still visible as a dirty
+    // read that would silently vanish at the next power cycle.
+    let store = mk_store(4);
+    let a = (0..10_000u64).find(|k| store.shard_of(*k) == 1).unwrap();
+    let b = (0..10_000u64).find(|k| store.shard_of(*k) == 2).unwrap();
+    store.put(a, old_val(a)).unwrap();
+    store.put(b, old_val(b)).unwrap();
+
+    store.shard_pool(0).crash_injector().arm_after(0);
+    let err = store.transact(|tx| {
+        tx.put(a, new_val(a))?;
+        tx.put(b, new_val(b))?;
+        Ok(())
+    });
+    assert!(err.is_err(), "a dead decision host must fail the commit");
+    // No dirty read: the aborted writes are not visible on the (healthy)
+    // participant shards.
+    assert_eq!(store.get(a).unwrap(), Some(old_val(a)));
+    assert_eq!(store.get(b).unwrap(), Some(old_val(b)));
+    // The participants' transactions were settled, not leaked as Running.
+    let stats = store.stats();
+    assert_eq!(stats.tm.rolled_back, 2, "both participants rolled back");
+    // And the state is durable through a crash.
+    store.power_cycle();
+    store.recover().unwrap();
+    assert_eq!(store.get(a).unwrap(), Some(old_val(a)));
+    assert_eq!(store.get(b).unwrap(), Some(old_val(b)));
+}
+
+#[test]
+fn pool_failure_during_resolution_keeps_the_decision() {
+    // A shard whose pool dies *during recovery-time resolution* silently
+    // drops its END record, so it is still in doubt afterwards; the
+    // coordinator must keep the commit-decision entry alive (not retire
+    // it), or the next recovery would presume abort and split the
+    // transaction. Find an in-doubt crash point, then freeze the victim's
+    // pool again for the whole resolving recovery and verify a further
+    // recovery still drives it to commit.
+    let shards = 2;
+    let victim = 1;
+    let window = transact_event_deltas(shards)[victim];
+    let mut crash_at = window;
+    for _ in 0..80 {
+        if crash_at == 0 {
+            break;
+        }
+        // Recreate the in-doubt state (same construction as `probe`).
+        let store = mk_store(shards);
+        let keys = one_key_per_shard(&store);
+        for &k in &keys {
+            store.put(k, old_val(k)).unwrap();
+        }
+        store
+            .shard_pool(victim)
+            .crash_injector()
+            .arm_after(crash_at);
+        let _ = store.transact(|tx| {
+            for &k in &keys {
+                tx.put(k, new_val(k))?;
+            }
+            Ok(())
+        });
+        store.power_cycle();
+        // Freeze the victim's pool immediately: the whole resolving
+        // recovery (reopen + commit_prepared) runs against a dead device.
+        store.shard_pool(victim).crash_injector().arm_after(1);
+        let report = store.recover().unwrap();
+        if report.in_doubt == 0 {
+            crash_at -= 1;
+            continue;
+        }
+        // The resolution could not have been durably acknowledged; after
+        // one more crash the transaction must still complete to all-new.
+        store.power_cycle();
+        let report2 = store.recover().unwrap();
+        assert!(
+            report2.in_doubt >= 1,
+            "victim still in doubt after the dead-pool resolution"
+        );
+        for &k in &keys {
+            assert_eq!(
+                store.get(k).unwrap(),
+                Some(new_val(k)),
+                "commit decision must survive an unacknowledged resolution"
+            );
+        }
+        return;
+    }
+    panic!("no crash point left the victim in doubt (window {window})");
+}
+
+#[test]
+fn cross_shard_txns_coexist_with_group_committed_puts() {
+    // The 2PC coordinator and the per-shard group-commit pipelines share
+    // the shard locks; hammer both concurrently and verify every committed
+    // write, with no deadlock (the test finishing is the liveness half).
+    let store = Arc::new(mk_store(4));
+    let keys = one_key_per_shard(&store);
+    let writers = 4;
+    let per_writer = 150u64;
+    let txns = 25u64;
+    std::thread::scope(|s| {
+        for t in 0..writers {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                let base = 1_000_000 + t as u64 * 100_000;
+                for i in 0..per_writer {
+                    store.put(base + i, old_val(base + i)).unwrap();
+                }
+            });
+        }
+        let store2 = Arc::clone(&store);
+        let keys2 = keys.clone();
+        s.spawn(move || {
+            for round in 0..txns {
+                store2
+                    .transact(|tx| {
+                        for &k in &keys2 {
+                            tx.put(k, [round, round + 1, round + 2, round + 3])?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        });
+    });
+    for t in 0..writers {
+        let base = 1_000_000 + t as u64 * 100_000;
+        for i in 0..per_writer {
+            assert_eq!(store.get(base + i).unwrap(), Some(old_val(base + i)));
+        }
+    }
+    let last = txns - 1;
+    for &k in &keys {
+        assert_eq!(
+            store.get(k).unwrap(),
+            Some([last, last + 1, last + 2, last + 3]),
+            "cross-shard writes all-or-nothing and in order"
+        );
+    }
+    let stats = store.stats();
+    assert!(stats.tm.prepared >= 4 * txns, "2PC ran for every round");
+    assert!(stats.group.ops_committed >= writers as u64 * per_writer);
+}

@@ -11,6 +11,15 @@ fn val(seed: u64) -> Value {
     [seed, seed.wrapping_mul(31), seed ^ 0xdead_beef, !seed]
 }
 
+/// Sweep seed from the environment (the CI crash-stress job iterates it so
+/// the crash points and torn-word patterns differ run to run); 0 when unset.
+fn crash_seed() -> u64 {
+    std::env::var("REWIND_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Force-policy config: a returned commit is durable, which lets the oracles
 /// below reason exactly about what must survive a crash.
 fn force_cfg() -> RewindConfig {
@@ -23,8 +32,10 @@ fn crash_mid_group_commit_on_one_shard_recovers_whole_store() {
     // group-committed writes landing on one shard, while the other shards
     // keep committing. After whole-store recovery: every committed group
     // survives, the interrupted group rolled back entirely, and every other
-    // shard is intact.
-    for crash_at in (5..=400u64).step_by(35) {
+    // shard is intact. The environment seed shifts the sweep so repeated CI
+    // runs walk different crash points.
+    let start = 5 + crash_seed() % 35;
+    for crash_at in (start..=400u64).step_by(35) {
         let store = ShardedStore::create(
             ShardConfig::new(4)
                 .shard_capacity(16 << 20)
@@ -242,7 +253,9 @@ fn group_commit_batches_concurrent_writers() {
 fn torn_word_crashes_do_not_corrupt_committed_shards() {
     // TornWords persists a pseudo-random subset of in-flight words on every
     // shard pool; committed data must still recover intact on all shards.
-    for seed in [1u64, 7, 42] {
+    // The environment seed varies the torn patterns run to run.
+    let s = crash_seed();
+    for seed in [1 + s * 31, 7 + s * 13, 42 + s] {
         let store = ShardedStore::create(
             ShardConfig::new(4)
                 .shard_capacity(16 << 20)
