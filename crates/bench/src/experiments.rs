@@ -982,6 +982,95 @@ pub fn cross_shard(scale: f64) {
             json.summary("nvm_writes_per_txn_at_parts_4", writes);
         }
     }
+
+    // Disjoint-shard coordinator concurrency sweep: `coords` threads, each
+    // running two-participant transactions over its own private shard pair
+    // of a 16-shard store, so no two coordinators ever touch the same lock.
+    // The pools emulate a 100 µs fence by *sleeping* (not spinning), so
+    // concurrent coordinators overlap their durability waits regardless of
+    // the machine's core count — wall-clock throughput then directly
+    // measures protocol overlap: lock-ordered coordinators scale with the
+    // thread count, while a store-level serialization (the pre-lock-ordering
+    // design, and the regression this guards against) pins every thread
+    // behind one fence stream and holds throughput flat. The gated summary
+    // metric is the *serial fraction* at 4 coordinators — throughput(1
+    // coordinator) / throughput(4 coordinators) — which reads ~0.25 when
+    // coordinators overlap and ~1.0 when they serialize; the CI threshold
+    // (`serial_fraction_at_coords_4` in ci/perf-thresholds.json) fails the
+    // gate above 0.5, i.e. whenever 4 disjoint coordinators deliver less
+    // than 2x the serialized baseline.
+    let iters = scaled(40, scale, 10);
+    header(
+        "Cross-shard 2PC: disjoint-shard coordinator concurrency \
+         (16 shards, 2 participants/txn, 100us sleep-emulated fences)",
+        &[
+            "coordinators",
+            "wall_us_per_txn",
+            "txns_per_s",
+            "speedup_vs_1",
+        ],
+    );
+    let mut base_tps: Option<f64> = None;
+    for coords in [1usize, 2, 4, 8] {
+        let store = Arc::new(
+            ShardedStore::create(
+                ShardConfig::new(16)
+                    .shard_capacity(16 << 20)
+                    .rewind(RewindConfig::batch().policy(Policy::Force))
+                    .cost(
+                        CostModel::paper()
+                            .with_fence_latency_ns(100_000)
+                            .with_sleep_emulation(),
+                    ),
+            )
+            .expect("create sharded store"),
+        );
+        // Coordinator c owns shards {2c, 2c+1}: one key on each.
+        let keys: Vec<[u64; 2]> = (0..coords)
+            .map(|c| {
+                let a = (0..200_000u64)
+                    .find(|k| store.shard_of(*k) == 2 * c)
+                    .expect("a key for the even shard");
+                let b = (0..200_000u64)
+                    .find(|k| store.shard_of(*k) == 2 * c + 1)
+                    .expect("a key for the odd shard");
+                [a, b]
+            })
+            .collect();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for pair in &keys {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..iters {
+                        store
+                            .transact_keys(pair, |tx| {
+                                for &k in pair {
+                                    tx.put(k, value_from_seed(i))?;
+                                }
+                                Ok(())
+                            })
+                            .expect("disjoint cross-shard transaction");
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let txns = (coords as u64 * iters) as f64;
+        let tps = txns / wall;
+        let base = *base_tps.get_or_insert(tps);
+        let speedup = tps / base;
+        row(&[coords.to_string(), f(wall * 1e6 / txns), f(tps), f(speedup)]);
+        json.row(&[
+            ("coordinators", coords as f64),
+            ("wall_us_per_txn", wall * 1e6 / txns),
+            ("txns_per_s", tps),
+            ("speedup_vs_1", speedup),
+        ]);
+        if coords == 4 {
+            json.summary("serial_fraction_at_coords_4", base / tps);
+        }
+    }
     json.write();
 }
 

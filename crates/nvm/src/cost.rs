@@ -37,7 +37,20 @@ pub struct CostModel {
     /// measurements include it (the paper's emulation strategy). If `false`,
     /// latency is only accounted in [`NvmStats`].
     pub emulate_latency: bool,
+    /// If `true` (and `emulate_latency` is on), latencies of at least
+    /// [`SLEEP_EMULATION_FLOOR_NS`] park the thread (`thread::sleep`)
+    /// instead of spinning. Sleeping waiters overlap even when the machine
+    /// has fewer hardware threads than workers, which is what lets
+    /// wall-clock concurrency measurements (e.g. the disjoint-coordinator
+    /// sweep of the `cross_shard` bench) observe genuine protocol overlap
+    /// rather than core-count artifacts. Latencies below the floor still
+    /// spin — `thread::sleep` cannot hit sub-10 µs targets accurately.
+    pub sleep_emulation: bool,
 }
+
+/// Minimum latency the sleep-emulation mode parks the thread for; shorter
+/// waits spin (see [`CostModel::sleep_emulation`]).
+pub const SLEEP_EMULATION_FLOOR_NS: u64 = 10_000;
 
 impl CostModel {
     /// The paper's configuration: 150 ns writes, 100 ns fences, no read
@@ -49,6 +62,7 @@ impl CostModel {
             flush_latency_ns: 40,
             read_latency_ns: 0,
             emulate_latency: false,
+            sleep_emulation: false,
         }
     }
 
@@ -60,6 +74,7 @@ impl CostModel {
             flush_latency_ns: 0,
             read_latency_ns: 0,
             emulate_latency: false,
+            sleep_emulation: false,
         }
     }
 
@@ -79,6 +94,32 @@ impl CostModel {
     pub const fn with_emulation(mut self, emulate: bool) -> Self {
         self.emulate_latency = emulate;
         self
+    }
+
+    /// Returns a copy with sleep-based emulation switched on (implies
+    /// emulation): charged latencies of at least
+    /// [`SLEEP_EMULATION_FLOOR_NS`] park the thread so concurrent waiters
+    /// overlap regardless of the machine's core count.
+    pub const fn with_sleep_emulation(mut self) -> Self {
+        self.emulate_latency = true;
+        self.sleep_emulation = true;
+        self
+    }
+
+    /// Emulates `ns` nanoseconds of device latency according to this model:
+    /// a no-op unless [`CostModel::emulate_latency`] is set; a spin loop by
+    /// default; with [`CostModel::sleep_emulation`], waits of at least
+    /// [`SLEEP_EMULATION_FLOOR_NS`] park the thread instead.
+    #[inline]
+    pub fn emulate_wait(&self, ns: u64) {
+        if !self.emulate_latency || ns == 0 {
+            return;
+        }
+        if self.sleep_emulation && ns >= SLEEP_EMULATION_FLOOR_NS {
+            std::thread::sleep(Duration::from_nanos(ns));
+        } else {
+            busy_wait_ns(ns);
+        }
     }
 }
 
@@ -343,6 +384,26 @@ mod tests {
         busy_wait_ns(10_000);
         assert!(start.elapsed() >= Duration::from_nanos(5_000));
         busy_wait_ns(0); // must not hang or panic
+    }
+
+    #[test]
+    fn sleep_emulation_waits_and_defaults_stay_off() {
+        assert!(!CostModel::paper().sleep_emulation);
+        let m = CostModel::paper().with_sleep_emulation();
+        assert!(m.emulate_latency && m.sleep_emulation);
+        // Above the floor: the wait happens (parked, not spinning — but the
+        // observable contract is just the elapsed time).
+        let start = Instant::now();
+        m.emulate_wait(SLEEP_EMULATION_FLOOR_NS);
+        assert!(start.elapsed() >= Duration::from_nanos(SLEEP_EMULATION_FLOOR_NS / 2));
+        // Below the floor it spins; zero must not hang or panic.
+        m.emulate_wait(100);
+        m.emulate_wait(0);
+        // Without emulation the call is a no-op however large the latency.
+        let off = CostModel::paper();
+        let start = Instant::now();
+        off.emulate_wait(1_000_000_000);
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

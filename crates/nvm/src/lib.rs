@@ -69,7 +69,7 @@ mod paddr;
 mod pool;
 
 pub use alloc::{AllocStats, NvmAllocator};
-pub use cost::{CostModel, NvmStats, StatsSnapshot};
+pub use cost::{CostModel, NvmStats, StatsSnapshot, SLEEP_EMULATION_FLOOR_NS};
 pub use crash::{CrashInjector, CrashMode, CrashPoint};
 pub use error::{NvmError, Result};
 pub use paddr::{PAddr, CACHELINE, WORD};

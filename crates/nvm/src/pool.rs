@@ -13,7 +13,7 @@
 //! atomic with respect to failure.
 
 use crate::alloc::NvmAllocator;
-use crate::cost::{busy_wait_ns, CostModel, NvmStats, StatsSnapshot};
+use crate::cost::{CostModel, NvmStats, StatsSnapshot};
 use crate::crash::{CrashInjector, CrashMode};
 use crate::paddr::{PAddr, CACHELINE, WORD};
 use crate::{AllocStats, NvmError, Result};
@@ -173,9 +173,7 @@ impl NvmPool {
     /// updates in the microbenchmarks) to the simulated-time accumulator.
     pub fn charge_compute_ns(&self, ns: u64) {
         self.stats.charge_external_ns(ns);
-        if self.cfg.cost.emulate_latency {
-            busy_wait_ns(ns);
-        }
+        self.cfg.cost.emulate_wait(ns);
     }
 
     /// The crash injector associated with this pool.
@@ -256,9 +254,7 @@ impl NvmPool {
         if last != line {
             self.stats.record_nvm_write();
             self.stats.charge_ns(self.cfg.cost.write_latency_ns);
-            if self.cfg.cost.emulate_latency {
-                busy_wait_ns(self.cfg.cost.write_latency_ns);
-            }
+            self.cfg.cost.emulate_wait(self.cfg.cost.write_latency_ns);
         }
     }
 
@@ -280,9 +276,7 @@ impl NvmPool {
         self.stats.record_read();
         if self.cfg.cost.read_latency_ns > 0 {
             self.stats.charge_ns(self.cfg.cost.read_latency_ns);
-            if self.cfg.cost.emulate_latency {
-                busy_wait_ns(self.cfg.cost.read_latency_ns);
-            }
+            self.cfg.cost.emulate_wait(self.cfg.cost.read_latency_ns);
         }
         self.volatile[self.word_index(addr)].load(Ordering::Acquire)
     }
@@ -391,9 +385,7 @@ impl NvmPool {
     pub fn clflush(&self, addr: PAddr) {
         self.stats.record_flush();
         self.stats.charge_ns(self.cfg.cost.flush_latency_ns);
-        if self.cfg.cost.emulate_latency {
-            busy_wait_ns(self.cfg.cost.flush_latency_ns);
-        }
+        self.cfg.cost.emulate_wait(self.cfg.cost.flush_latency_ns);
         let line = addr.cacheline();
         let interrupted = self.crash.on_persist_event();
         if interrupted {
@@ -426,9 +418,7 @@ impl NvmPool {
     pub fn sfence(&self) {
         self.stats.record_fence();
         self.stats.charge_ns(self.cfg.cost.fence_latency_ns);
-        if self.cfg.cost.emulate_latency {
-            busy_wait_ns(self.cfg.cost.fence_latency_ns);
-        }
+        self.cfg.cost.emulate_wait(self.cfg.cost.fence_latency_ns);
         self.crash.on_persist_event();
         // A fence ends any same-line write-combining window.
         self.last_persist_line.store(u64::MAX, Ordering::Relaxed);

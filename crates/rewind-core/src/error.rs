@@ -7,7 +7,12 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, RewindError>;
 
 /// Errors raised by the REWIND log and transaction runtime.
+///
+/// Marked `#[non_exhaustive]`: variants exist that are protocol-internal
+/// (e.g. [`RewindError::LockOrderRestart`]), and new ones may appear —
+/// always match with a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RewindError {
     /// An error bubbled up from the NVM substrate (allocation failure, bad
     /// address, ...).
@@ -36,6 +41,15 @@ pub enum RewindError {
     /// The store (or one of its shards) is powered off; it must be recovered
     /// before it accepts new work.
     Offline(&'static str),
+    /// Internal control-flow marker of the lock-ordered cross-shard
+    /// coordinator: the transaction touched the contained shard (contended,
+    /// below the lock frontier) after a higher-numbered shard was already
+    /// locked, so the attempt must be rolled back and re-run with the grown
+    /// lock set. The coordinator also tracks the restart on the transaction
+    /// handle itself, so a closure that swallows this error cannot commit a
+    /// partial transaction — but propagating it unchanged lets the doomed
+    /// attempt stop early instead of running to its end.
+    LockOrderRestart(usize),
 }
 
 impl fmt::Display for RewindError {
@@ -51,6 +65,11 @@ impl fmt::Display for RewindError {
             RewindError::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
             RewindError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
             RewindError::Offline(what) => write!(f, "{what} is offline; recover it first"),
+            RewindError::LockOrderRestart(shard) => write!(
+                f,
+                "cross-shard lock-order restart (shard {shard}); \
+                 propagate this error out of the transact closure"
+            ),
         }
     }
 }

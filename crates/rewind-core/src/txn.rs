@@ -192,6 +192,7 @@ pub struct TmStats {
     pub(crate) committed: AtomicU64,
     pub(crate) prepared: AtomicU64,
     pub(crate) rolled_back: AtomicU64,
+    pub(crate) read_only_finished: AtomicU64,
     pub(crate) records_logged: AtomicU64,
     pub(crate) checkpoints: AtomicU64,
     pub(crate) recoveries: AtomicU64,
@@ -208,6 +209,10 @@ pub struct TmStatsSnapshot {
     pub prepared: u64,
     /// Transactions rolled back (explicitly or by recovery).
     pub rolled_back: u64,
+    /// Transactions retired through the record-less read-only path
+    /// ([`TransactionManager::finish_read_only`]) — no END record, no log
+    /// traffic.
+    pub read_only_finished: u64,
     /// Log records appended.
     pub records_logged: u64,
     /// Checkpoints taken.
@@ -225,6 +230,7 @@ impl TmStatsSnapshot {
             committed: self.committed + other.committed,
             prepared: self.prepared + other.prepared,
             rolled_back: self.rolled_back + other.rolled_back,
+            read_only_finished: self.read_only_finished + other.read_only_finished,
             records_logged: self.records_logged + other.records_logged,
             checkpoints: self.checkpoints + other.checkpoints,
             recoveries: self.recoveries + other.recoveries,
@@ -443,6 +449,7 @@ impl TransactionManager {
             committed: self.stats.committed.load(Ordering::Relaxed),
             prepared: self.stats.prepared.load(Ordering::Relaxed),
             rolled_back: self.stats.rolled_back.load(Ordering::Relaxed),
+            read_only_finished: self.stats.read_only_finished.load(Ordering::Relaxed),
             records_logged: self.stats.records_logged.load(Ordering::Relaxed),
             checkpoints: self.stats.checkpoints.load(Ordering::Relaxed),
             recoveries: self.stats.recoveries.load(Ordering::Relaxed),
@@ -624,6 +631,35 @@ impl TransactionManager {
     pub fn rollback_prepared(&self, tx: TxId) -> Result<()> {
         let handle = self.prepared_handle(tx)?;
         self.rollback_with(tx, &handle)
+    }
+
+    /// Finishes a transaction that never logged a record — the read-only
+    /// participant path of a two-phase commit. The transaction's volatile
+    /// table entry is simply retired: no PREPARE, no END record, no fence,
+    /// no log traffic at all, which is why a read-only participant can never
+    /// be found in doubt by recovery (there is nothing on the medium to find).
+    ///
+    /// Errors with [`RewindError::InvalidTransactionState`] if the
+    /// transaction did log something (callers must then commit or roll back
+    /// normally) or is not running.
+    pub fn finish_read_only(&self, tx: TxId) -> Result<()> {
+        let handle = self.running_handle(tx)?;
+        let empty = match &self.backend {
+            Backend::One(_) => handle.lock().slots.is_empty(),
+            Backend::Two(index) => index.records_of(tx)?.is_empty(),
+        };
+        if !empty {
+            return Err(RewindError::InvalidTransactionState {
+                txid: tx,
+                reason: "transaction logged records; read-only finish needs an empty log",
+            });
+        }
+        handle.lock().status = TxStatus::Finished;
+        self.table.lock().remove(&tx);
+        self.stats
+            .read_only_finished
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Every in-doubt transaction this manager knows of, as

@@ -520,3 +520,54 @@ fn two_layer_rollback_touches_fewer_records_than_one_layer_scan() {
         assert_eq!(p.read_u64(data.word(i)), i, "other transactions untouched");
     }
 }
+
+#[test]
+fn read_only_finish_writes_nothing_in_every_configuration() {
+    for cfg in all_configs() {
+        let pool = pool();
+        let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+        let addr = alloc_words(&pool, 4);
+        tm.run(|tx| tx.write_u64(addr, 7)).unwrap();
+
+        let records_before = tm.stats().records_logged;
+        let tx = tm.begin();
+        let _ = pool.read_u64(addr); // a "read" — reads are never logged
+        tm.finish_read_only(tx).unwrap();
+
+        let stats = tm.stats();
+        assert_eq!(stats.read_only_finished, 1, "{cfg:?}");
+        assert_eq!(
+            stats.records_logged, records_before,
+            "{cfg:?}: read-only finish must log nothing (no END, no fence)"
+        );
+        // The transaction is gone: any further use is rejected.
+        assert!(matches!(
+            tm.commit(tx),
+            Err(RewindError::UnknownTransaction(_))
+        ));
+        // The manager keeps working.
+        tm.run(|tx| tx.write_u64(addr, 8)).unwrap();
+        assert_eq!(pool.read_u64(addr), 8);
+    }
+}
+
+#[test]
+fn read_only_finish_rejects_transactions_with_records() {
+    for cfg in all_configs() {
+        let pool = pool();
+        let tm = TransactionManager::create(Arc::clone(&pool), cfg).unwrap();
+        let addr = alloc_words(&pool, 4);
+        let tx = tm.begin();
+        tm.write_u64(tx, addr, 5).unwrap();
+        assert!(
+            matches!(
+                tm.finish_read_only(tx),
+                Err(RewindError::InvalidTransactionState { .. })
+            ),
+            "{cfg:?}: a writer must not take the read-only path"
+        );
+        // The rejection left the transaction usable: normal rollback works.
+        tm.rollback(tx).unwrap();
+        assert_eq!(pool.read_u64(addr), 0, "{cfg:?}");
+    }
+}

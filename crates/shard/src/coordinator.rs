@@ -1,5 +1,5 @@
-//! Cross-shard atomic transactions: a two-phase-commit coordinator over the
-//! per-shard REWIND transaction managers.
+//! Cross-shard atomic transactions: concurrent two-phase-commit
+//! coordinators over the per-shard REWIND transaction managers.
 //!
 //! A [`ShardedStore::transact`](crate::ShardedStore::transact) closure may
 //! touch keys on any shard. Each operation is routed to the owning shard,
@@ -8,18 +8,23 @@
 //! lock-holding is what isolates the cross-shard transaction from group
 //! commits and single-shard transactions riding on the same shards). When
 //! the closure returns `Ok`, the coordinator drives the classic
-//! presumed-abort two-phase commit:
+//! presumed-abort two-phase commit over the participants that *wrote*:
 //!
-//! 1. **Prepare** — every participant appends a durable PREPARE record
-//!    carrying the coordinator's global transaction id (gtid) and flushes
-//!    its log. From here on the participant survives a crash *in doubt*:
-//!    its shard's recovery neither commits nor rolls it back.
+//! 1. **Prepare** — every writing participant appends a durable PREPARE
+//!    record carrying the coordinator's global transaction id (gtid) and
+//!    flushes its log. From here on the participant survives a crash *in
+//!    doubt*: its shard's recovery neither commits nor rolls it back.
+//!    Read-only participants skip this phase entirely — they log nothing,
+//!    so there is nothing for a crash to leave in doubt.
 //! 2. **Decide** — the coordinator durably appends a commit decision for
 //!    the gtid to the [`DecisionLog`], a small persistent table in shard 0's
 //!    pool. This single persist event is the transaction's commit point.
-//! 3. **Commit** — every participant writes its END record and clears its
-//!    log records. Once all participants finished, the decision entry is
-//!    retired.
+//!    Read-only participants are released here: their locks protected the
+//!    reads up to the moment the outcome became final (strict two-phase
+//!    locking), and holding them through phase 2 would buy nothing.
+//! 3. **Commit** — every writing participant writes its END record and
+//!    clears its log records. Once all of them finished, the decision entry
+//!    is retired.
 //!
 //! A crash anywhere in this protocol leaves each shard either finished,
 //! running (rolled back by its own recovery) or prepared.
@@ -30,17 +35,39 @@
 //! any participant may commit, so a missing decision proves no participant
 //! committed).
 //!
-//! Concurrency: cross-shard transactions serialize against each other on a
-//! store-level mutex. They acquire shard locks incrementally as the closure
-//! touches shards, and only the coordinator ever holds more than one shard
-//! lock at a time — with coordinators serialized, no lock cycle can form
-//! with the group-commit leaders (which hold exactly one shard lock and
-//! never wait for a second). Lock-ordered concurrent coordinators for
-//! declared write-sets are a ROADMAP item.
+//! # Concurrency: lock-ordered coordinators
+//!
+//! Coordinators run **concurrently**: transactions on disjoint shard sets
+//! never touch the same lock, and overlapping ones serialize on their first
+//! common shard. Deadlock is avoided by total lock ordering — a coordinator
+//! only ever *blocks* on a shard whose id is greater than every shard it
+//! already holds. Keys declared up front
+//! ([`ShardedStore::transact_keys`](crate::ShardedStore::transact_keys))
+//! have their shards locked in ascending id order before the closure runs;
+//! shards discovered lazily join in-place when they extend the held set
+//! upward. A discovery *below* the highest held id first attempts a
+//! non-blocking `try_join` — taking a free lock out of order cannot
+//! deadlock, since a cycle needs a wait-for edge — and only a *contended*
+//! out-of-order discovery aborts the attempt with an internal restart
+//! marker ([`RewindError::LockOrderRestart`]): the coordinator rolls
+//! everything back and re-runs the closure with the grown lock set, now
+//! acquired in order from the start. The restart is tracked on the
+//! transaction handle as well as in the error, so a closure that swallows
+//! the marker still restarts rather than committing a partial intent. The
+//! lock set only grows, so the retry loop terminates; after
+//! [`ORDERED_RESTARTS`] restarts the coordinator stops betting on
+//! convergence and falls back to the serial path: an exclusive store gate
+//! plus *every* shard locked in ascending order, under which no restart is
+//! possible. Group-commit leaders hold exactly one shard lock and never
+//! wait for a second, so they cannot participate in a cycle either.
+//!
+//! The restart re-runs the user closure (which is why `transact` takes
+//! `FnMut`); writes from abandoned attempts are rolled back before the
+//! re-run, so the closure only ever observes clean state.
 
 use crate::shard::Participant;
 use crate::store::ShardedStore;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rewind_core::{Result, RewindError};
 use rewind_nvm::{NvmPool, PAddr};
 use rewind_pds::Value;
@@ -55,22 +82,44 @@ const DW_MAGIC: u64 = 24;
 const DW_ENTRIES: u64 = 25;
 const DW_NEXT_GTID: u64 = 26;
 
-/// Entries the decision table holds. Coordinators are serialized, so the
-/// table only accumulates entries across crashes that interrupt phase 2 —
-/// recovery retires them; 128 is generous headroom.
+/// Entries the decision table holds. Live entries are bounded by the number
+/// of coordinators in flight at once plus whatever a crash interrupted
+/// during phase 2 (recovery retires those); 128 is generous headroom for
+/// both.
 const DECISION_CAPACITY: u64 = 128;
 /// Words per entry: `gtid, decision`. An entry is live iff its gtid word is
 /// non-zero, which is why the gtid is written last.
 const ENTRY_WORDS: u64 = 2;
 const DECIDE_COMMIT: u64 = 1;
 
+/// Out-of-order lock discoveries tolerated before a transaction gives up on
+/// ordered re-acquisition and takes the exclusive serial path. Each restart
+/// grows the known lock set by at least one shard, so convergence is
+/// guaranteed eventually — but a closure that keeps discovering shards
+/// below its held frontier re-runs (and rolls back) every time, and after a
+/// few of those the all-shards fallback is cheaper than another bet.
+const ORDERED_RESTARTS: usize = 3;
+
 /// The persistent commit-decision table of the two-phase-commit coordinator,
 /// stored in shard 0's pool. Appending a commit decision here is the
 /// atomic commit point of a cross-shard transaction.
+///
+/// Concurrent coordinators share this table: the volatile `mutate` latch
+/// serializes gtid allocation and entry writes (slot choice + the two-word
+/// entry write must not interleave), while the persistent format is what
+/// makes each *entry* individually crash-atomic — the decision word goes in
+/// before the gtid word, so a torn entry is never live. Readers
+/// ([`DecisionLog::decided_commit`]) only run during recovery resolution,
+/// under the store's exclusive gate.
 #[derive(Debug)]
 pub(crate) struct DecisionLog {
     pool: Arc<NvmPool>,
     entries: PAddr,
+    /// Serializes gtid allocation and entry mutation between concurrent
+    /// coordinators. Word-sized pool accesses are individually atomic; this
+    /// latch makes the read-modify-write sequences (counter bump, find-slot
+    /// + write) atomic as units.
+    mutate: Mutex<()>,
 }
 
 impl DecisionLog {
@@ -86,7 +135,11 @@ impl DecisionLog {
         pool.sfence();
         pool.write_u64_nt(root.word(DW_MAGIC), DECISION_MAGIC);
         pool.sfence();
-        Ok(DecisionLog { pool, entries })
+        Ok(DecisionLog {
+            pool,
+            entries,
+            mutate: Mutex::new(()),
+        })
     }
 
     fn entry(&self, i: u64) -> PAddr {
@@ -97,6 +150,7 @@ impl DecisionLog {
     /// across power cycles (the counter word is persisted before use), so a
     /// stale decision entry can never be mistaken for a new transaction's.
     pub(crate) fn allocate_gtid(&self) -> Result<u64> {
+        let _latch = self.mutate.lock();
         let root = self.pool.user_root();
         let gtid = self.pool.read_u64(root.word(DW_NEXT_GTID)).max(1);
         self.pool.write_u64_nt(root.word(DW_NEXT_GTID), gtid + 1);
@@ -118,6 +172,7 @@ impl DecisionLog {
     /// the live ones too, not abort them. `Ok` means the decision is on the
     /// medium; `Err` means it provably is not (presumed abort everywhere).
     pub(crate) fn record_commit(&self, gtid: u64) -> Result<()> {
+        let _latch = self.mutate.lock();
         let slot = (0..DECISION_CAPACITY)
             .find(|i| self.pool.read_u64(self.entry(*i)) == 0)
             .ok_or(RewindError::Offline("decision log (table full)"))?;
@@ -147,18 +202,24 @@ impl DecisionLog {
     /// Retires the decision entry for `gtid` (all participants finished; no
     /// in-doubt transaction can ask for it anymore).
     pub(crate) fn forget(&self, gtid: u64) {
+        let _latch = self.mutate.lock();
+        // Gtids are unique: stop at the first (only) match — the latch is a
+        // global critical section on the concurrent commit path, so the
+        // scan tail would be pure waste.
         for i in 0..DECISION_CAPACITY {
             let e = self.entry(i);
             if self.pool.read_u64(e) == gtid {
                 self.pool.write_u64_nt(e, 0);
+                self.pool.sfence();
+                break;
             }
         }
-        self.pool.sfence();
     }
 
     /// Retires every decision entry — called after recovery resolved all
     /// in-doubt transactions, when no one can consult the table anymore.
     pub(crate) fn clear(&self) {
+        let _latch = self.mutate.lock();
         for i in 0..DECISION_CAPACITY {
             self.pool.write_u64_nt(self.entry(i), 0);
         }
@@ -179,11 +240,13 @@ impl DecisionLog {
     }
 }
 
-/// The store-level two-phase-commit coordinator: the cross-shard
-/// serialization lock plus the persistent decision table.
+/// The store-level two-phase-commit coordinator: the persistent decision
+/// table plus the gate that arbitrates between concurrent lock-ordered
+/// transactions (shared side) and the exclusive store-wide passes — the
+/// serial fallback and recovery-time in-doubt resolution (exclusive side).
 #[derive(Debug)]
 pub(crate) struct Coordinator {
-    serial: Mutex<()>,
+    gate: RwLock<()>,
     decisions: DecisionLog,
 }
 
@@ -192,40 +255,108 @@ impl Coordinator {
     /// table in `pool0` (shard 0's pool).
     pub(crate) fn create(pool0: Arc<NvmPool>) -> Result<Coordinator> {
         Ok(Coordinator {
-            serial: Mutex::new(()),
+            gate: RwLock::new(()),
             decisions: DecisionLog::create(pool0)?,
         })
     }
 
-    /// Serializes cross-shard work (transactions, in-doubt resolution)
-    /// against each other.
-    pub(crate) fn serialize(&self) -> MutexGuard<'_, ()> {
-        self.serial.lock()
+    /// The shared side of the gate: held by every lock-ordered coordinator
+    /// for the duration of its attempt.
+    fn shared(&self) -> RwLockReadGuard<'_, ()> {
+        self.gate.read()
+    }
+
+    /// The exclusive side of the gate: the serial transaction fallback and
+    /// recovery-time in-doubt resolution, which must not overlap any
+    /// lock-ordered coordinator.
+    pub(crate) fn exclusive(&self) -> RwLockWriteGuard<'_, ()> {
+        self.gate.write()
     }
 
     pub(crate) fn decisions(&self) -> &DecisionLog {
         &self.decisions
     }
 
-    /// Runs one cross-shard transaction end to end.
+    /// Runs one cross-shard transaction end to end: lock-ordered attempts
+    /// with restarts while the discovered lock set grows, then the serial
+    /// all-shards fallback. `declared` keys have their shards locked up
+    /// front (in ascending id order), so a closure that stays inside its
+    /// declared write-set never restarts.
     pub(crate) fn run<T>(
         &self,
         store: &ShardedStore,
-        f: impl FnOnce(&mut StoreTx<'_>) -> Result<T>,
+        declared: &[u64],
+        mut f: impl FnMut(&mut StoreTx<'_>) -> Result<T>,
     ) -> Result<T> {
-        let _serial = self.serialize();
-        let mut tx = StoreTx {
-            store,
-            parts: (0..store.shard_count()).map(|_| None).collect(),
-        };
-        match f(&mut tx) {
+        let shards = store.shard_count();
+        let mut needed = vec![false; shards];
+        for &key in declared {
+            needed[store.shard_of(key)] = true;
+        }
+        for _ in 0..=ORDERED_RESTARTS {
+            let _shared = self.shared();
+            let mut tx = StoreTx::new(store, true);
+            let outcome = tx.pre_join(&needed).and_then(|()| f(&mut tx));
+            // The restart signal is tracked on the transaction itself, not
+            // just in the returned error: a closure that swallows or remaps
+            // the marker must still restart — the access that raised it was
+            // never performed, so committing this attempt would silently
+            // drop part of the transaction's intent.
+            if let Some(idx) = tx.restart {
+                needed[idx] = true;
+                // Carry over every shard the attempt had already joined,
+                // not just the contended one: the retry then pre-locks the
+                // whole known set in order, so one logical conflict cannot
+                // burn several restart-budget slots re-discovering shards
+                // one at a time. (Pre-locked shards the closure ends up not
+                // touching are released through the read-only path.)
+                tx.note_joined(&mut needed);
+                tx.abort_all()?;
+                continue;
+            }
+            match outcome {
+                Ok(v) => {
+                    tx.finish_commit(&self.decisions)?;
+                    return Ok(v);
+                }
+                // A marker without the flag can only be fabricated by the
+                // closure; honoring it as a restart keeps the error's
+                // contract ("the coordinator re-runs") either way.
+                Err(RewindError::LockOrderRestart(idx)) => {
+                    needed[idx.min(shards - 1)] = true;
+                    tx.note_joined(&mut needed);
+                    tx.abort_all()?;
+                }
+                Err(e) => {
+                    tx.abort_all()?;
+                    return Err(e);
+                }
+            }
+        }
+        // Serial fallback: exclusive access and every shard locked in
+        // ascending order — no discovery can be out of order, so exactly one
+        // more run settles the transaction.
+        let _exclusive = self.exclusive();
+        let mut tx = StoreTx::new(store, false);
+        let all = vec![true; shards];
+        match tx.pre_join(&all).and_then(|()| f(&mut tx)) {
             Ok(v) => {
                 tx.finish_commit(&self.decisions)?;
                 Ok(v)
             }
             Err(e) => {
                 tx.abort_all()?;
-                Err(e)
+                // Every shard is held here, so no access can raise the
+                // restart marker; one reaching this arm was echoed by the
+                // closure from an earlier attempt. Don't leak the internal
+                // variant through the public API — the transaction did
+                // abort, say so.
+                Err(match e {
+                    RewindError::LockOrderRestart(_) => RewindError::Aborted(
+                        "closure returned a stale lock-order restart marker".to_string(),
+                    ),
+                    e => e,
+                })
             }
         }
     }
@@ -237,19 +368,85 @@ impl Coordinator {
 /// touched; each joined shard stays locked until the transaction settles, so
 /// route every access through this handle — calling the store's own methods
 /// from inside the closure would deadlock on a shard the transaction
-/// already holds.
+/// already holds. Propagate errors from these methods unchanged: the
+/// lock-ordered coordinator signals its internal restart through them.
 #[derive(Debug)]
 pub struct StoreTx<'a> {
     store: &'a ShardedStore,
-    /// Lazily joined participants, indexed by shard.
+    /// Joined participants, indexed by shard.
     parts: Vec<Option<Participant<'a>>>,
+    /// Whether this attempt runs under the ordered-acquisition discipline
+    /// (out-of-order discoveries restart) or holds every shard already (the
+    /// serial fallback, where no discovery can be out of order).
+    ordered: bool,
+    /// Shard whose out-of-order, *contended* discovery poisoned this
+    /// attempt. Checked by the coordinator after the closure returns, so a
+    /// closure that swallows the [`RewindError::LockOrderRestart`] marker
+    /// still restarts instead of committing a partial intent.
+    restart: Option<usize>,
 }
 
 impl<'a> StoreTx<'a> {
+    fn new(store: &'a ShardedStore, ordered: bool) -> StoreTx<'a> {
+        StoreTx {
+            store,
+            parts: (0..store.shard_count()).map(|_| None).collect(),
+            ordered,
+            restart: None,
+        }
+    }
+
+    /// Joins every flagged shard in ascending id order before the closure
+    /// runs. On a join failure (e.g. an offline shard) the participants
+    /// joined so far stay in `parts`; the coordinator settles them through
+    /// the same `abort_all` every failed attempt goes through.
+    fn pre_join(&mut self, needed: &[bool]) -> Result<()> {
+        for (idx, wanted) in needed.iter().enumerate() {
+            if !wanted || self.parts[idx].is_some() {
+                continue;
+            }
+            self.parts[idx] = Some(self.store.shard(idx).join()?);
+        }
+        Ok(())
+    }
+
+    /// Flags every shard this attempt has joined in `needed` (restart
+    /// bookkeeping: the retry pre-locks the whole known set in order).
+    fn note_joined(&self, needed: &mut [bool]) {
+        for (idx, p) in self.parts.iter().enumerate() {
+            if p.is_some() {
+                needed[idx] = true;
+            }
+        }
+    }
+
     fn participant(&mut self, key: u64) -> Result<&mut Participant<'a>> {
+        // A poisoned attempt is doomed: every further access fails fast
+        // instead of taking more locks and logging writes that are
+        // guaranteed to roll back — this is what bounds a closure that
+        // swallows the marker and keeps going.
+        if let Some(poisoned) = self.restart {
+            return Err(RewindError::LockOrderRestart(poisoned));
+        }
         let idx = self.store.shard_of(key);
         if self.parts[idx].is_none() {
-            self.parts[idx] = Some(self.store.shard(idx).join()?);
+            if self.ordered && self.parts[idx + 1..].iter().any(Option::is_some) {
+                // Below the lock frontier. Acquiring a *free* lock out of
+                // order is still deadlock-safe (a cycle needs a wait-for
+                // edge, and try_join never waits), so only a contended
+                // discovery pays the restart: mark the attempt poisoned and
+                // raise the marker — blocking here could deadlock against a
+                // coordinator acquiring in order.
+                match self.store.shard(idx).try_join()? {
+                    Some(p) => self.parts[idx] = Some(p),
+                    None => {
+                        self.restart = Some(idx);
+                        return Err(RewindError::LockOrderRestart(idx));
+                    }
+                }
+            } else {
+                self.parts[idx] = Some(self.store.shard(idx).join()?);
+            }
         }
         Ok(self.parts[idx].as_mut().expect("participant just joined"))
     }
@@ -270,7 +467,9 @@ impl<'a> StoreTx<'a> {
         self.participant(key)?.delete(key)
     }
 
-    /// Number of shards the transaction has touched so far.
+    /// Number of shards the transaction holds so far (including shards
+    /// pre-locked for a declared write-set that the closure has not touched
+    /// yet).
     pub fn participants(&self) -> usize {
         self.parts.iter().flatten().count()
     }
@@ -286,43 +485,72 @@ impl<'a> StoreTx<'a> {
         Err(RewindError::Aborted(reason.to_string()))
     }
 
-    /// Commits the transaction: one-phase on a single participant,
-    /// two-phase commit across several.
+    /// Commits the transaction. Participants that never wrote are released
+    /// through the record-less read-only path; writers take one-phase
+    /// commit when alone and the full two-phase protocol otherwise.
     fn finish_commit(&mut self, decisions: &DecisionLog) -> Result<()> {
-        let parts: Vec<Participant<'a>> = self.parts.drain(..).flatten().collect();
-        match parts.len() {
-            0 => Ok(()),
-            1 => parts[0].commit_plain(),
-            _ => Self::two_phase(decisions, &parts),
+        let (writers, readers): (Vec<Participant<'a>>, Vec<Participant<'a>>) =
+            self.parts.drain(..).flatten().partition(Participant::wrote);
+        match writers.len() {
+            0 => Self::release(readers),
+            1 => {
+                // One-phase fast path: REWIND's own commit is the atomicity
+                // story; the readers' locks are held until it settles (the
+                // commit is the decision).
+                let outcome = writers[0].commit_plain();
+                let released = Self::release(readers);
+                outcome.and(released)
+            }
+            _ => Self::two_phase(decisions, &writers, readers),
         }
     }
 
-    fn two_phase(decisions: &DecisionLog, parts: &[Participant<'a>]) -> Result<()> {
-        // Every exit below the joins must settle the participants — a bare
-        // `?` here would drop them with their uncommitted tree writes still
-        // visible (and their Running transactions leaked in the per-shard
-        // tables).
+    /// Releases read-only participants (no records, no log traffic).
+    fn release(readers: Vec<Participant<'a>>) -> Result<()> {
+        let mut first_err = None;
+        for r in readers {
+            if let Err(e) = r.release_read_only() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn two_phase(
+        decisions: &DecisionLog,
+        writers: &[Participant<'a>],
+        readers: Vec<Participant<'a>>,
+    ) -> Result<()> {
+        // Every exit below must settle all participants — a bare `?` here
+        // would drop them with their uncommitted tree writes still visible
+        // (and their Running transactions leaked in the per-shard tables).
+        let abort_everything = |writers: &[Participant<'a>], readers: Vec<Participant<'a>>| {
+            for q in writers {
+                let _ = q.abort();
+            }
+            let _ = Self::release(readers);
+        };
         let gtid = match decisions.allocate_gtid() {
             Ok(gtid) => gtid,
             Err(e) => {
-                for q in parts {
-                    let _ = q.abort();
-                }
+                abort_everything(writers, readers);
                 return Err(e);
             }
         };
 
-        // Phase 1: prepare every participant. Any failure aborts the whole
+        // Phase 1: prepare every writer. Any failure aborts the whole
         // transaction — already-prepared participants roll back through the
         // prepared path, the rest through a plain rollback. A participant
         // whose pool died keeps its durable PREPARE record; the missing
         // decision entry makes recovery presume abort, matching the live
-        // rollbacks here.
-        for p in parts {
+        // rollbacks here. Read-only participants skip the phase: nothing to
+        // make durable, nothing to leave in doubt.
+        for p in writers {
             if let Err(e) = p.prepare(gtid) {
-                for q in parts {
-                    let _ = q.abort();
-                }
+                abort_everything(writers, readers);
                 return Err(e);
             }
         }
@@ -332,24 +560,28 @@ impl<'a> StoreTx<'a> {
         // everyone back (presumed abort covers any participant that is
         // beyond reach).
         if let Err(e) = decisions.record_commit(gtid) {
-            for q in parts {
-                let _ = q.abort();
-            }
+            abort_everything(writers, readers);
             return Err(e);
         }
 
-        // Phase 2: commit every participant. The decision is durable, so
+        // The outcome is final: release the read-only participants now.
+        // Their locks kept the values they read stable up to the commit
+        // point (strict two-phase locking); phase 2 below only replays a
+        // decision that can no longer change.
+        let readers_released = Self::release(readers);
+
+        // Phase 2: commit every writer. The decision is durable, so
         // nothing past this point can un-commit the transaction — an error
         // is still surfaced (same ambiguous-commit caveat as a failed
         // group-commit acknowledgement), and recovery finishes the job for
         // any participant left in doubt. The decision entry is retired only
-        // once *every* participant durably acknowledged its END record: a
+        // once *every* participant durably acked its END record: a
         // participant whose pool died mid-commit holds a durable PREPARE
         // and nothing else, and resolution must still find the commit
         // decision to drive it forward.
         let mut all_acked = true;
-        let mut first_err = None;
-        for p in parts {
+        let mut first_err = readers_released.err();
+        for p in writers {
             match p.commit_prepared() {
                 Ok(acked) => all_acked &= acked,
                 Err(e) => {
@@ -367,7 +599,9 @@ impl<'a> StoreTx<'a> {
         }
     }
 
-    /// The closure failed: roll every participant back.
+    /// The closure failed (or an attempt restarts): roll every participant
+    /// back. Participants that never wrote are released through the
+    /// record-less path.
     fn abort_all(&mut self) -> Result<()> {
         let mut first_err = None;
         for p in self.parts.drain(..).flatten() {

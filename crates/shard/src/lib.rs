@@ -24,12 +24,22 @@
 //! Transactions spanning shards go through a **two-phase-commit
 //! coordinator** (the `coordinator` module): each touched shard joins as a
 //! participant holding its shard lock and a running REWIND transaction;
-//! commit prepares every participant durably, persists a commit decision in
-//! shard 0's pool, and only then commits the participants. A crash at any
-//! point leaves the transaction recoverable to all-or-nothing: shard
-//! recovery refuses to roll back prepared ("in-doubt") participants, and
+//! commit prepares every *writing* participant durably, persists a commit
+//! decision in shard 0's pool, and only then commits the participants
+//! (read-only participants skip prepare — nothing logged, nothing to leave
+//! in doubt — and are released at decision time). A crash at any point
+//! leaves the transaction recoverable to all-or-nothing: shard recovery
+//! refuses to roll back prepared ("in-doubt") participants, and
 //! [`ShardedStore::recover`] resolves them against the persisted decision —
 //! commit if the decision record survived, presumed abort otherwise.
+//!
+//! Coordinators run **concurrently** under sorted-shard-id lock ordering:
+//! disjoint transactions overlap fully, overlapping ones serialize on their
+//! first common shard, and a lazily discovered shard below the held
+//! frontier restarts the transaction with the grown lock set (bounded
+//! restarts, then an exclusive all-shards serial fallback). Declare the
+//! key set via [`ShardedStore::transact_keys`] to pre-lock in order and
+//! never restart.
 //!
 //! ```
 //! use rewind_shard::{ShardConfig, ShardedStore};
@@ -55,6 +65,17 @@
 //!         tx.put(1, [1, 1, 1, 1])?;
 //!         tx.put(2, [2, 2, 2, 2])?;
 //!         tx.put(3, [3, 3, 3, 3])?;
+//!         Ok(())
+//!     })
+//!     .unwrap();
+//!
+//! // Declared write-sets pre-lock their shards in sorted id order:
+//! // coordinators on disjoint shards run fully in parallel, and a closure
+//! // that stays inside its declaration never restarts.
+//! store
+//!     .transact_keys(&[10, 20], |tx| {
+//!         tx.put(10, [4, 4, 4, 4])?;
+//!         tx.put(20, [5, 5, 5, 5])?;
 //!         Ok(())
 //!     })
 //!     .unwrap();

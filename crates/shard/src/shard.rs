@@ -330,7 +330,28 @@ impl Shard {
     /// single-shard transactions on this shard wait — that is what makes the
     /// participant's reads and writes isolated.
     pub(crate) fn join(&self) -> Result<Participant<'_>> {
-        let inner = self.inner.lock();
+        self.participant_from(self.inner.lock())
+    }
+
+    /// Non-blocking [`Shard::join`]: `None` when the shard lock is
+    /// currently held. The ordered coordinator uses this for shards
+    /// discovered *below* its lock frontier — acquiring a free lock out of
+    /// order cannot create a deadlock (a cycle needs a wait-for edge, and a
+    /// successful `try_lock` never waits); only blocking on a contended one
+    /// could, which is when the coordinator restarts instead.
+    pub(crate) fn try_join(&self) -> Result<Option<Participant<'_>>> {
+        match self.inner.try_lock() {
+            Some(inner) => self.participant_from(inner).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Opens a participant over an already-acquired shard lock (the one
+    /// construction site behind both `join` flavours).
+    fn participant_from<'a>(
+        &'a self,
+        inner: MutexGuard<'a, ShardInner>,
+    ) -> Result<Participant<'a>> {
         self.check_open(&inner)?;
         let tx = inner.tm.begin();
         Ok(Participant {
@@ -339,6 +360,7 @@ impl Shard {
             inner,
             tx,
             prepared: Cell::new(false),
+            wrote: Cell::new(false),
         })
     }
 
@@ -382,6 +404,10 @@ pub(crate) struct Participant<'a> {
     /// Whether `prepare` got far enough that the abort path must go through
     /// `rollback_prepared` rather than a plain rollback.
     prepared: Cell<bool>,
+    /// Whether the transaction performed any write on this shard. A
+    /// participant that only read takes the read-only path at settle time:
+    /// no PREPARE, no END, no log traffic — its lock was the isolation.
+    wrote: Cell<bool>,
 }
 
 impl std::fmt::Debug for Participant<'_> {
@@ -403,6 +429,7 @@ impl Participant<'_> {
 
     /// Inserts or overwrites `key` inside the transaction.
     pub(crate) fn put(&mut self, key: u64, value: Value) -> Result<()> {
+        self.wrote.set(true);
         self.inner
             .tree
             .insert_in(Some(TxToken(self.tx)), key, value)
@@ -410,7 +437,22 @@ impl Participant<'_> {
 
     /// Removes `key` inside the transaction; reports whether it was present.
     pub(crate) fn delete(&mut self, key: u64) -> Result<bool> {
+        self.wrote.set(true);
         self.inner.tree.delete_in(Some(TxToken(self.tx)), key)
+    }
+
+    /// Whether this participant wrote anything (the 2PC coordinator
+    /// prepares only writers; pure readers are released at decision time).
+    pub(crate) fn wrote(&self) -> bool {
+        self.wrote.get()
+    }
+
+    /// Retires a participant that never wrote: the record-less read-only
+    /// path — no PREPARE, no END record, nothing a recovery pass could ever
+    /// classify as in doubt. Releases the shard lock on return.
+    pub(crate) fn release_read_only(&self) -> Result<()> {
+        debug_assert!(!self.wrote.get() && !self.prepared.get());
+        self.inner.tm.finish_read_only(self.tx)
     }
 
     /// Phase 1: durably prepares this participant on behalf of coordinator
@@ -449,11 +491,14 @@ impl Participant<'_> {
         Ok(!self.pool.crash_injector().is_frozen())
     }
 
-    /// Rolls the participant back through whichever path its state requires
-    /// (plain rollback while running, `rollback_prepared` once prepared).
+    /// Rolls the participant back through whichever path its state requires:
+    /// `rollback_prepared` once prepared, a plain rollback while running
+    /// with writes, the record-less read-only release when it never wrote.
     pub(crate) fn abort(&self) -> Result<()> {
         if self.prepared.get() {
             self.inner.tm.rollback_prepared(self.tx)
+        } else if !self.wrote.get() {
+            self.inner.tm.finish_read_only(self.tx)
         } else {
             self.inner.tm.rollback(self.tx)
         }

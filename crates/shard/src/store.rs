@@ -37,8 +37,9 @@ pub(crate) fn shard_of_key(key: u64, shards: usize) -> usize {
 pub struct ShardedStore {
     shards: Vec<Shard>,
     cfg: ShardConfig,
-    /// The cross-shard two-phase-commit coordinator (serialization lock +
-    /// the persistent decision table in shard 0's pool).
+    /// The cross-shard two-phase-commit coordinator (the shared/exclusive
+    /// gate for lock-ordered concurrent transactions + the persistent
+    /// decision table in shard 0's pool).
     coord: Coordinator,
 }
 
@@ -221,21 +222,55 @@ impl ShardedStore {
 
     /// Runs `f` as one atomic transaction that may touch keys on *any*
     /// shard: commits on `Ok`, rolls back on `Err`. Each operation is
-    /// routed to the owning shard; when more than one shard was touched the
-    /// commit runs the two-phase protocol described in the crate docs
-    /// (prepare on every participant, a persisted commit decision on
-    /// shard 0, then commit everywhere), so the transaction is atomic even
-    /// across a power failure at any point — recovery resolves in-doubt
-    /// participants from the decision table.
+    /// routed to the owning shard; when more than one shard was *written*
+    /// the commit runs the two-phase protocol described in the crate docs
+    /// (prepare on every writing participant, a persisted commit decision
+    /// on shard 0, then commit everywhere), so the transaction is atomic
+    /// even across a power failure at any point — recovery resolves
+    /// in-doubt participants from the decision table. Participants that
+    /// only read skip the prepare phase entirely and are released the
+    /// moment the outcome is decided.
     ///
-    /// Touched shards stay locked until the transaction settles:
-    /// cross-shard transactions serialize against each other, and group
-    /// commits on participant shards wait for the outcome. Use the
-    /// [`StoreTx`] handle for every access inside the closure — calling the
-    /// store's own methods there would self-deadlock on a shard the
-    /// transaction already holds.
-    pub fn transact<T>(&self, f: impl FnOnce(&mut StoreTx<'_>) -> Result<T>) -> Result<T> {
-        self.coord.run(self, f)
+    /// Touched shards stay locked until the transaction settles; group
+    /// commits on participant shards wait for the outcome. Coordinators on
+    /// **disjoint** shard sets run fully in parallel; overlapping ones
+    /// serialize on their first common shard. Deadlock is avoided by
+    /// sorted-shard-id lock ordering: a shard discovered out of order
+    /// restarts the transaction with the grown lock set (which is why the
+    /// closure is `FnMut` — it may run more than once, against rolled-back
+    /// state each time), and after a few restarts the store falls back to
+    /// an exclusive serial pass. Transactions that know their keys up front
+    /// should declare them via [`ShardedStore::transact_keys`], which locks
+    /// in order from the start and never restarts.
+    ///
+    /// Use the [`StoreTx`] handle for every access inside the closure —
+    /// calling the store's own methods there would self-deadlock on a shard
+    /// the transaction already holds — and propagate its errors unchanged:
+    /// the restart marker travels through them, and although the
+    /// coordinator tracks the restart on the handle too (a swallowed marker
+    /// never commits a partial transaction), early propagation stops a
+    /// doomed attempt from running to its end.
+    pub fn transact<T>(&self, f: impl FnMut(&mut StoreTx<'_>) -> Result<T>) -> Result<T> {
+        self.coord.run(self, &[], f)
+    }
+
+    /// [`ShardedStore::transact`] with a declared key set: the shards owning
+    /// `keys` are locked up front in ascending shard-id order, so a closure
+    /// that stays inside the declared set runs exactly once — no
+    /// lock-order restarts, full parallelism against coordinators on
+    /// disjoint shards. Keys outside the declaration are still legal: they
+    /// join lazily and at worst restart the transaction like an undeclared
+    /// [`ShardedStore::transact`] would.
+    ///
+    /// Declared shards count as (read-only) participants even when the
+    /// closure never touches them; they are released at decision time
+    /// without writing anything.
+    pub fn transact_keys<T>(
+        &self,
+        keys: &[u64],
+        f: impl FnMut(&mut StoreTx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        self.coord.run(self, keys, f)
     }
 
     // ------------------------------------------------------------------
@@ -279,9 +314,9 @@ impl ShardedStore {
                 });
             }
         }
-        // Coordinator-side resolution of in-doubt transactions, serialized
-        // with new cross-shard transactions.
-        let _serial = self.coord.serialize();
+        // Coordinator-side resolution of in-doubt transactions, exclusive
+        // against new cross-shard transactions (which take the gate shared).
+        let _exclusive = self.coord.exclusive();
         let mut all_acked = true;
         for shard in &self.shards {
             for (txid, gtid) in shard.in_doubt()? {
@@ -584,6 +619,289 @@ mod tests {
         assert_eq!(store.get(k).unwrap(), Some(val(9)));
         // One participant: no prepare, plain commit.
         assert_eq!(store.stats().tm.prepared, 0);
+    }
+
+    #[test]
+    fn transact_keys_predeclares_participants() {
+        let store = small(4);
+        let keys: Vec<u64> = (0..3)
+            .map(|s| (0..200).find(|k| store.shard_of(*k) == s).unwrap())
+            .collect();
+        // All three declared shards are locked up front, even though the
+        // closure only writes two of them.
+        let held = store
+            .transact_keys(&keys, |tx| {
+                tx.put(keys[0], val(1))?;
+                tx.put(keys[1], val(2))?;
+                Ok(tx.participants())
+            })
+            .unwrap();
+        assert_eq!(held, 3, "declared shards are pre-locked");
+        assert_eq!(store.get(keys[0]).unwrap(), Some(val(1)));
+        assert_eq!(store.get(keys[1]).unwrap(), Some(val(2)));
+        // The untouched declared shard went through the read-only release:
+        // it was never prepared.
+        let stats = store.stats();
+        assert_eq!(stats.tm.prepared, 2, "only the writers prepared");
+        assert!(stats.tm.read_only_finished >= 1, "reader released");
+    }
+
+    #[test]
+    fn read_only_participants_skip_prepare() {
+        let store = small(4);
+        let keys: Vec<u64> = (0..4)
+            .map(|s| (0..200).find(|k| store.shard_of(*k) == s).unwrap())
+            .collect();
+        for &k in &keys {
+            store.put(k, val(k)).unwrap();
+        }
+        let base = store.stats().tm;
+        // Two readers, two writers: 2PC runs over the writers only.
+        store
+            .transact(|tx| {
+                assert_eq!(tx.get(keys[0])?, Some(val(keys[0])));
+                assert_eq!(tx.get(keys[1])?, Some(val(keys[1])));
+                tx.put(keys[2], val(77))?;
+                tx.put(keys[3], val(78))?;
+                Ok(())
+            })
+            .unwrap();
+        let d = store.stats().tm;
+        assert_eq!(d.prepared - base.prepared, 2, "readers never prepare");
+        assert_eq!(
+            d.read_only_finished - base.read_only_finished,
+            2,
+            "readers take the record-less path"
+        );
+        // A single writer among readers takes the one-phase fast path.
+        store
+            .transact(|tx| {
+                assert_eq!(tx.get(keys[0])?, Some(val(keys[0])));
+                assert_eq!(tx.get(keys[1])?, Some(val(keys[1])));
+                tx.put(keys[2], val(99))?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            store.stats().tm.prepared - base.prepared,
+            2,
+            "single writer + readers commits one-phase"
+        );
+        assert_eq!(store.get(keys[2]).unwrap(), Some(val(99)));
+    }
+
+    #[test]
+    fn uncontended_out_of_order_discovery_needs_no_restart() {
+        let store = small(8);
+        // One key per shard, accessed in strictly descending shard order.
+        // Every discovery lands below the lock frontier, but every lock is
+        // free: the non-blocking try-join takes each one without a restart
+        // (a successful try_lock creates no wait-for edge, so no deadlock
+        // risk), and the closure runs exactly once.
+        let keys: Vec<u64> = (0..8)
+            .rev()
+            .map(|s| (0..400).find(|k| store.shard_of(*k) == s).unwrap())
+            .collect();
+        let runs = std::cell::Cell::new(0u32);
+        store
+            .transact(|tx| {
+                runs.set(runs.get() + 1);
+                for (i, &k) in keys.iter().enumerate() {
+                    tx.put(k, val(i as u64))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(runs.get(), 1, "free locks join out of order, no restart");
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(store.get(k).unwrap(), Some(val(i as u64)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn contended_out_of_order_discovery_restarts_and_commits() {
+        let store = Arc::new(small(4));
+        let lo = (0..200).find(|k| store.shard_of(*k) == 0).unwrap();
+        let hi = (0..200).find(|k| store.shard_of(*k) == 3).unwrap();
+        let runs = std::sync::atomic::AtomicU32::new(0);
+        let (armed_tx, armed_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            // A single-shard transaction camps on shard 0's lock until the
+            // coordinator has *observed* the contention — a handshake, not
+            // a sleep, so the restart is deterministic on any scheduler.
+            {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    store
+                        .transact_on(lo, |tx| {
+                            tx.put(lo, val(99))?;
+                            armed_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                            Ok(())
+                        })
+                        .unwrap();
+                });
+            }
+            armed_rx.recv().unwrap();
+            // Touch the high shard first: shard 0 is then discovered below
+            // the frontier *while held*, so the attempt restarts and the
+            // retry pre-locks shard 0 in order (blocking until the camper,
+            // released at the moment the contention was seen, commits).
+            store
+                .transact(|tx| {
+                    runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    tx.put(hi, val(1))?;
+                    let r = tx.put(lo, val(2));
+                    if r.is_err() {
+                        // First attempt: contention observed — let the
+                        // camper go so the retry can take the lock.
+                        release_tx.send(()).ok();
+                    }
+                    r?;
+                    Ok(())
+                })
+                .unwrap();
+        });
+        assert!(
+            runs.load(std::sync::atomic::Ordering::Relaxed) >= 2,
+            "a contended out-of-order discovery must restart"
+        );
+        assert_eq!(store.get(hi).unwrap(), Some(val(1)));
+        assert_eq!(store.get(lo).unwrap(), Some(val(2)), "transfer beat camper");
+        // The restart rolled the first attempt back before re-running: no
+        // duplicate effects, and the store keeps working.
+        store.put(lo, val(3)).unwrap();
+        assert_eq!(store.get(lo).unwrap(), Some(val(3)));
+    }
+
+    #[test]
+    fn swallowed_restart_marker_still_restarts() {
+        let store = Arc::new(small(4));
+        let lo = (0..200).find(|k| store.shard_of(*k) == 0).unwrap();
+        let hi = (0..200).find(|k| store.shard_of(*k) == 3).unwrap();
+        store.put(lo, val(7)).unwrap();
+        let runs = std::sync::atomic::AtomicU32::new(0);
+        let (armed_tx, armed_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    store
+                        .transact_on(lo, |tx| {
+                            tx.put(lo, val(7))?;
+                            armed_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                            Ok(())
+                        })
+                        .unwrap();
+                });
+            }
+            armed_rx.recv().unwrap();
+            // A buggy closure that *ignores* the error from the contended
+            // out-of-order access and returns Ok anyway. Committing that
+            // attempt would silently drop the `lo` write; the restart flag
+            // on the transaction must force the re-run regardless.
+            store
+                .transact(|tx| {
+                    runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    tx.put(hi, val(1))?;
+                    let r = tx.put(lo, val(2));
+                    if r.is_err() {
+                        release_tx.send(()).ok();
+                    }
+                    // Swallowed marker: the closure returns Ok regardless.
+                    Ok(())
+                })
+                .unwrap();
+        });
+        assert!(
+            runs.load(std::sync::atomic::Ordering::Relaxed) >= 2,
+            "swallowed marker must still restart"
+        );
+        assert_eq!(store.get(hi).unwrap(), Some(val(1)));
+        assert_eq!(
+            store.get(lo).unwrap(),
+            Some(val(2)),
+            "the swallowed write must not be silently dropped"
+        );
+    }
+
+    #[test]
+    fn exhausted_restart_budget_takes_serial_fallback() {
+        let store = small(8);
+        let k = 11u64;
+        // Force the restart path deterministically: the closure returns the
+        // restart marker itself for the first 1 + ORDERED_RESTARTS (= 4)
+        // ordered attempts (the coordinator honors a closure-fabricated
+        // marker as a restart), then behaves on the serial-fallback run —
+        // which must hold every shard and commit.
+        let runs = std::cell::Cell::new(0u32);
+        let held_in_fallback = std::cell::Cell::new(0usize);
+        store
+            .transact(|tx| {
+                runs.set(runs.get() + 1);
+                if runs.get() <= 4 {
+                    return Err(RewindError::LockOrderRestart(runs.get() as usize));
+                }
+                held_in_fallback.set(tx.participants());
+                tx.put(k, val(5))?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(runs.get(), 5, "restart budget exhausted, then fallback");
+        assert_eq!(
+            held_in_fallback.get(),
+            8,
+            "the serial fallback holds every shard"
+        );
+        assert_eq!(store.get(k).unwrap(), Some(val(5)));
+        // The store keeps working after the exclusive pass.
+        store.put(k, val(6)).unwrap();
+        assert_eq!(store.get(k).unwrap(), Some(val(6)));
+        // A closure that keeps echoing the marker even in the fallback gets
+        // a public Aborted error — the internal variant never leaks out of
+        // `transact`.
+        let err = store.transact(|_tx| -> Result<()> { Err(RewindError::LockOrderRestart(1)) });
+        assert!(matches!(err, Err(RewindError::Aborted(_))));
+    }
+
+    #[test]
+    fn disjoint_coordinators_commit_concurrently() {
+        // Liveness + isolation smoke for the lock-ordered path: four
+        // threads, each transacting over its own pair of shards of an
+        // 8-shard store, must all finish (deadlock-free) with every write
+        // intact.
+        let store = Arc::new(small(8));
+        std::thread::scope(|s| {
+            for c in 0..4usize {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let a = (0..400).find(|k| store.shard_of(*k) == 2 * c).unwrap();
+                    let b = (0..400).find(|k| store.shard_of(*k) == 2 * c + 1).unwrap();
+                    for i in 0..20u64 {
+                        store
+                            .transact_keys(&[a, b], |tx| {
+                                tx.put(a, val(i))?;
+                                tx.put(b, val(i + 1000))?;
+                                Ok(())
+                            })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        for c in 0..4usize {
+            let a = (0..400).find(|k| store.shard_of(*k) == 2 * c).unwrap();
+            let b = (0..400).find(|k| store.shard_of(*k) == 2 * c + 1).unwrap();
+            assert_eq!(store.get(a).unwrap(), Some(val(19)));
+            assert_eq!(store.get(b).unwrap(), Some(val(1019)));
+        }
+        assert!(
+            store.stats().tm.prepared >= 4 * 20 * 2,
+            "2PC ran throughout"
+        );
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Concurrent cross-shard coordinators pinned by a serializability oracle.
+//!
+//! Eight threads run bank transfers through `ShardedStore::transact` /
+//! `transact_keys` — first on disjoint shard pairs (coordinators must
+//! overlap freely), then on one shared account pool (coordinators must
+//! order-lock, restart on out-of-order discoveries, and still serialize).
+//! Every committed transfer records what it *read* (balance + a per-account
+//! version counter it increments); afterwards the oracle
+//!
+//! 1. checks money conservation against the opening total,
+//! 2. checks per-account version contiguity (a lost update would duplicate
+//!    or skip a version),
+//! 3. builds the per-account version-order precedence graph and verifies it
+//!    is acyclic (serializability), and
+//! 4. replays the transfers in that serial order against a sequential map,
+//!    asserting every recorded read and the final store state match —
+//!    i.e. the concurrent history is equivalent to the serial one.
+//!
+//! Read-your-writes is asserted inside the transactions themselves, and the
+//! suite is seeded via `REWIND_CRASH_SEED` so the CI crash-stress matrix
+//! walks different interleavings and transfer patterns.
+
+use rewind::core::{Policy, RewindConfig};
+use rewind::prelude::*;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Seed from the environment (CI sweeps it); 0 when unset.
+fn crash_seed() -> u64 {
+    std::env::var("REWIND_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// SplitMix64: a tiny deterministic per-thread RNG (no external dep).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5DEE_CE66_D1CE_4E5B)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const OPENING: u64 = 1_000;
+
+/// Account value layout: `[balance, version, last_writer_tag, account_key]`.
+fn acct(balance: u64, version: u64, writer: u64, key: u64) -> Value {
+    [balance, version, writer, key]
+}
+
+/// One committed transfer, as observed by the transaction that ran it.
+#[derive(Debug, Clone, Copy)]
+struct Committed {
+    from: u64,
+    from_balance: u64,
+    from_version: u64,
+    to: u64,
+    to_balance: u64,
+    to_version: u64,
+    amount: u64,
+}
+
+/// Force-policy store: a returned commit is durable, so the oracle may also
+/// check conservation across a power cycle.
+fn mk_store(shards: usize) -> ShardedStore {
+    ShardedStore::create(
+        ShardConfig::new(shards)
+            .shard_capacity(8 << 20)
+            .rewind(RewindConfig::batch().policy(Policy::Force)),
+    )
+    .unwrap()
+}
+
+/// `n` distinct keys owned by shard `shard`.
+fn keys_on_shard(store: &ShardedStore, shard: usize, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut k = 0u64;
+    while out.len() < n {
+        if store.shard_of(k) == shard {
+            out.push(k);
+        }
+        k += 1;
+        assert!(k < 1_000_000, "ran out of candidate keys");
+    }
+    out
+}
+
+/// The serializability oracle (steps 2–4 of the module docs). `accounts`
+/// maps each account to its opening balance; `committed` is every committed
+/// transfer in no particular order.
+fn assert_serializable(store: &ShardedStore, accounts: &[u64], committed: &[Committed]) {
+    // Per-account: writers sorted by the version they read must form the
+    // contiguous sequence 0..n (versions start at 0 and each writer
+    // increments what it read).
+    let mut by_account: HashMap<u64, Vec<(u64, usize)>> = HashMap::new();
+    for (i, c) in committed.iter().enumerate() {
+        by_account
+            .entry(c.from)
+            .or_default()
+            .push((c.from_version, i));
+        by_account.entry(c.to).or_default().push((c.to_version, i));
+    }
+    for (a, versions) in by_account.iter_mut() {
+        versions.sort_unstable();
+        for (expect, (got, _)) in versions.iter().enumerate() {
+            assert_eq!(
+                *got, expect as u64,
+                "account {a}: version history not contiguous (lost or \
+                 duplicated update)"
+            );
+        }
+        let stored = store.get(*a).unwrap().expect("account exists");
+        assert_eq!(
+            stored[1],
+            versions.len() as u64,
+            "account {a}: stored version disagrees with committed writer count"
+        );
+    }
+
+    // Precedence graph: within each account, version order is the
+    // serialization order; the union over accounts must be acyclic.
+    let n = committed.len();
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for versions in by_account.values() {
+        for pair in versions.windows(2) {
+            let (before, after) = (pair[0].1, pair[1].1);
+            successors[before].push(after);
+            indegree[after] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = ready.pop() {
+        order.push(i);
+        for &s in &successors[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        n,
+        "precedence graph has a cycle: the concurrent history is not \
+         serializable"
+    );
+
+    // Replay the equivalent serial schedule against a sequential map: every
+    // recorded read and the final store state must match.
+    let mut sim: HashMap<u64, (u64, u64)> = accounts.iter().map(|&a| (a, (OPENING, 0))).collect();
+    for &i in &order {
+        let c = &committed[i];
+        let f = sim.get_mut(&c.from).unwrap();
+        assert_eq!(
+            (f.0, f.1),
+            (c.from_balance, c.from_version),
+            "transfer {i}: read of account {} diverges from the serial replay",
+            c.from
+        );
+        *f = (f.0 - c.amount, f.1 + 1);
+        let t = sim.get_mut(&c.to).unwrap();
+        assert_eq!(
+            (t.0, t.1),
+            (c.to_balance, c.to_version),
+            "transfer {i}: read of account {} diverges from the serial replay",
+            c.to
+        );
+        *t = (t.0 + c.amount, t.1 + 1);
+    }
+    for &a in accounts {
+        let stored = store.get(a).unwrap().expect("account exists");
+        let (balance, version) = sim[&a];
+        assert_eq!(
+            (stored[0], stored[1]),
+            (balance, version),
+            "account {a}: final state diverges from the serial replay"
+        );
+    }
+}
+
+fn total_balance(store: &ShardedStore, accounts: &[u64]) -> u64 {
+    accounts
+        .iter()
+        .map(|&a| store.get(a).unwrap().expect("account exists")[0])
+        .sum()
+}
+
+/// Runs `threads` workers, each performing `transfers` rng-driven transfers
+/// over its slice of `accounts` (`pick` chooses the two accounts), and
+/// returns every committed transfer. `declare` switches between
+/// `transact_keys` (declared write-set, no restarts) and plain `transact`
+/// (lazy joins, restarts exercised when accounts are visited out of shard
+/// order).
+fn run_transfers(
+    store: &Arc<ShardedStore>,
+    accounts: &[u64],
+    threads: usize,
+    transfers: usize,
+    declare: bool,
+    pick: impl Fn(&mut Rng, usize, &[u64]) -> (u64, u64) + Sync,
+) -> Vec<Committed> {
+    let committed: Mutex<Vec<Committed>> = Mutex::new(Vec::new());
+    let seed = crash_seed();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = Arc::clone(store);
+            let committed = &committed;
+            let pick = &pick;
+            s.spawn(move || {
+                let mut rng = Rng::new(seed * 1_000 + t as u64 + 1);
+                let mut local = Vec::new();
+                for i in 0..transfers {
+                    let (from, to) = pick(&mut rng, t, accounts);
+                    if from == to {
+                        continue;
+                    }
+                    let amount = 1 + rng.below(100);
+                    // The closure may re-run after a lock-order restart:
+                    // (re)record the observation on every run and only keep
+                    // the run that committed.
+                    let obs = RefCell::new(None);
+                    let check_ryw = i % 8 == 0;
+                    let outcome = {
+                        let tx_body = |tx: &mut StoreTx<'_>| {
+                            let f = tx.get(from)?.expect("account exists");
+                            let t_ = tx.get(to)?.expect("account exists");
+                            if f[0] < amount {
+                                return tx.abort("insufficient funds");
+                            }
+                            let new_f = acct(f[0] - amount, f[1] + 1, t as u64, from);
+                            let new_t = acct(t_[0] + amount, t_[1] + 1, t as u64, to);
+                            tx.put(from, new_f)?;
+                            tx.put(to, new_t)?;
+                            if check_ryw {
+                                // Read-your-writes: the transaction sees its
+                                // own uncommitted writes.
+                                assert_eq!(tx.get(from)?, Some(new_f));
+                                assert_eq!(tx.get(to)?, Some(new_t));
+                            }
+                            *obs.borrow_mut() = Some(Committed {
+                                from,
+                                from_balance: f[0],
+                                from_version: f[1],
+                                to,
+                                to_balance: t_[0],
+                                to_version: t_[1],
+                                amount,
+                            });
+                            Ok(())
+                        };
+                        if declare {
+                            store.transact_keys(&[from, to], tx_body)
+                        } else {
+                            store.transact(tx_body)
+                        }
+                    };
+                    match outcome {
+                        Ok(()) => local.push(obs.take().expect("committed run observed")),
+                        Err(RewindError::Aborted(_)) => {}
+                        Err(e) => panic!("transfer failed: {e}"),
+                    }
+                }
+                committed.lock().unwrap().extend(local);
+            });
+        }
+    });
+    committed.into_inner().unwrap()
+}
+
+#[test]
+fn disjoint_coordinators_transfer_stress() {
+    // 8 threads on 16 shards, thread t owning shards {2t, 2t+1}: every
+    // coordinator pair is shard-disjoint, so all eight run fully in
+    // parallel — and the history must still be serializable per thread and
+    // globally (the graph is a union of 8 independent chains).
+    let threads = 8;
+    let store = Arc::new(mk_store(2 * threads));
+    let mut accounts = Vec::new();
+    let mut per_thread: Vec<Vec<u64>> = Vec::new();
+    for t in 0..threads {
+        let mut own = keys_on_shard(&store, 2 * t, 2);
+        own.extend(keys_on_shard(&store, 2 * t + 1, 2));
+        accounts.extend(own.iter().copied());
+        per_thread.push(own);
+    }
+    for &a in &accounts {
+        store.put(a, acct(OPENING, 0, u64::MAX, a)).unwrap();
+    }
+    let opening_total = accounts.len() as u64 * OPENING;
+
+    let committed = run_transfers(&store, &accounts, threads, 60, true, |rng, t, _| {
+        let own = &per_thread[t];
+        (
+            own[rng.below(own.len() as u64) as usize],
+            own[rng.below(own.len() as u64) as usize],
+        )
+    });
+
+    assert!(
+        committed.len() > threads * 10,
+        "stress produced too few commits ({})",
+        committed.len()
+    );
+    assert_eq!(
+        total_balance(&store, &accounts),
+        opening_total,
+        "money conservation violated"
+    );
+    assert_serializable(&store, &accounts, &committed);
+    assert!(
+        store.stats().tm.prepared > 0,
+        "cross-shard transfers ran 2PC"
+    );
+
+    // Durability: committed transfers survive a whole-store power cycle.
+    store.power_cycle();
+    store.recover().unwrap();
+    assert_eq!(total_balance(&store, &accounts), opening_total);
+    assert_serializable(&store, &accounts, &committed);
+}
+
+#[test]
+fn overlapping_coordinators_transfer_stress() {
+    // 8 threads over ONE shared account pool spanning all shards of an
+    // 8-shard store, via undeclared `transact`: coordinators collide on
+    // shards constantly, lazy joins discover shards out of order (forcing
+    // lock-order restarts), and the oracle must still certify one
+    // equivalent serial history across all threads.
+    let threads = 8;
+    let shards = 8;
+    let store = Arc::new(mk_store(shards));
+    let mut accounts = Vec::new();
+    for s in 0..shards {
+        accounts.extend(keys_on_shard(&store, s, 3));
+    }
+    for &a in &accounts {
+        store.put(a, acct(OPENING, 0, u64::MAX, a)).unwrap();
+    }
+    let opening_total = accounts.len() as u64 * OPENING;
+
+    let committed = run_transfers(&store, &accounts, threads, 40, false, |rng, _, accounts| {
+        (
+            accounts[rng.below(accounts.len() as u64) as usize],
+            accounts[rng.below(accounts.len() as u64) as usize],
+        )
+    });
+
+    assert!(
+        committed.len() > threads * 10,
+        "stress produced too few commits ({})",
+        committed.len()
+    );
+    assert_eq!(
+        total_balance(&store, &accounts),
+        opening_total,
+        "money conservation violated"
+    );
+    assert_serializable(&store, &accounts, &committed);
+
+    // And once more across a crash.
+    store.power_cycle();
+    store.recover().unwrap();
+    assert_eq!(total_balance(&store, &accounts), opening_total);
+    assert_serializable(&store, &accounts, &committed);
+}
+
+#[test]
+fn mixed_declared_and_lazy_coordinators_with_group_commits() {
+    // The kitchen sink: declared-write-set transfers, lazy transfers and
+    // group-committed puts all running at once. Liveness (the test
+    // finishing proves no deadlock between ordered coordinators, restarts
+    // and group-commit leaders) plus conservation and serializability over
+    // the transfer accounts.
+    let threads = 4;
+    let store = Arc::new(mk_store(4));
+    let mut accounts = Vec::new();
+    for s in 0..4 {
+        accounts.extend(keys_on_shard(&store, s, 2));
+    }
+    for &a in &accounts {
+        store.put(a, acct(OPENING, 0, u64::MAX, a)).unwrap();
+    }
+    let opening_total = accounts.len() as u64 * OPENING;
+
+    let committed: Mutex<Vec<Committed>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        // Background group-commit traffic on unrelated keys.
+        for w in 0..2u64 {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                let base = 5_000_000 + w * 100_000;
+                for i in 0..120 {
+                    store.put(base + i, [i, i, i, i]).unwrap();
+                }
+            });
+        }
+        for t in 0..threads {
+            let store = Arc::clone(&store);
+            let accounts = &accounts;
+            let committed = &committed;
+            s.spawn(move || {
+                let mut rng = Rng::new(crash_seed() * 77 + t as u64 + 1);
+                for i in 0..30usize {
+                    let from = accounts[rng.below(accounts.len() as u64) as usize];
+                    let to = accounts[rng.below(accounts.len() as u64) as usize];
+                    if from == to {
+                        continue;
+                    }
+                    let amount = 1 + rng.below(50);
+                    let obs = RefCell::new(None);
+                    let body = |tx: &mut StoreTx<'_>| {
+                        let f = tx.get(from)?.expect("account exists");
+                        let t_ = tx.get(to)?.expect("account exists");
+                        if f[0] < amount {
+                            return tx.abort("insufficient funds");
+                        }
+                        tx.put(from, acct(f[0] - amount, f[1] + 1, t as u64, from))?;
+                        tx.put(to, acct(t_[0] + amount, t_[1] + 1, t as u64, to))?;
+                        *obs.borrow_mut() = Some(Committed {
+                            from,
+                            from_balance: f[0],
+                            from_version: f[1],
+                            to,
+                            to_balance: t_[0],
+                            to_version: t_[1],
+                            amount,
+                        });
+                        Ok(())
+                    };
+                    let outcome = if i % 2 == 0 {
+                        store.transact_keys(&[from, to], body)
+                    } else {
+                        store.transact(body)
+                    };
+                    match outcome {
+                        Ok(()) => committed
+                            .lock()
+                            .unwrap()
+                            .push(obs.take().expect("committed run observed")),
+                        Err(RewindError::Aborted(_)) => {}
+                        Err(e) => panic!("transfer failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(total_balance(&store, &accounts), opening_total);
+    assert_serializable(&store, &accounts, &committed.into_inner().unwrap());
+    // The group-committed writes all landed too.
+    for w in 0..2u64 {
+        let base = 5_000_000 + w * 100_000;
+        for i in 0..120 {
+            assert_eq!(store.get(base + i).unwrap(), Some([i, i, i, i]));
+        }
+    }
+}

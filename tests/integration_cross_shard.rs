@@ -466,3 +466,257 @@ fn cross_shard_txns_coexist_with_group_committed_puts() {
     assert!(stats.tm.prepared >= 4 * txns, "2PC ran for every round");
     assert!(stats.group.ops_committed >= writers as u64 * per_writer);
 }
+
+/// Persist-event window of the victim pool for the two-coordinator scenario
+/// below, measured on an un-armed twin running the same two transactions
+/// *sequentially*. Concurrent runs interleave differently, but the window
+/// still brackets the protocol's persist activity well enough for a sweep —
+/// the assertion holds at every point, wherever the crash actually lands.
+fn concurrent_twin_window(shards: usize, victim: usize) -> u64 {
+    let store = mk_store(shards);
+    let keys = one_key_per_shard(&store);
+    for &k in &keys {
+        store.put(k, old_val(k)).unwrap();
+    }
+    let before = store.shard_pool(victim).crash_injector().observed_events();
+    for pair in [[keys[0], keys[1]], [keys[2], keys[3]]] {
+        store
+            .transact_keys(&pair, |tx| {
+                for &k in &pair {
+                    tx.put(k, new_val(k))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+    (store.shard_pool(victim).crash_injector().observed_events() - before).max(1)
+}
+
+#[test]
+fn concurrent_coordinators_crash_matrix() {
+    // Two coordinators in flight at once — transaction A over shards {0,1},
+    // transaction B over shards {2,3} — with a crash injected on each pool
+    // in turn while both run. In-doubt resolution must stay all-or-nothing
+    // *per gtid*: whatever the interleaving, each transaction independently
+    // recovers to all-old or all-new, and the matrix must show both
+    // directions somewhere.
+    let shards = 4;
+    let seed = crash_seed();
+    let mut seen_abort = false;
+    let mut seen_commit = false;
+    for victim in 0..shards {
+        let window = concurrent_twin_window(shards, victim);
+        let step = (window / 6).max(1);
+        let mut crash_at = 1 + seed % step;
+        while crash_at <= window + step {
+            let store = std::sync::Arc::new(mk_store(shards));
+            let keys = one_key_per_shard(&store);
+            for &k in &keys {
+                store.put(k, old_val(k)).unwrap();
+            }
+            store
+                .shard_pool(victim)
+                .crash_injector()
+                .arm_after(crash_at);
+            // Both coordinators genuinely in flight: disjoint shard sets,
+            // so the lock-ordered protocol runs them in parallel. Errors
+            // are expected on crash paths; atomicity is judged from the
+            // recovered state.
+            std::thread::scope(|s| {
+                for pair in [[keys[0], keys[1]], [keys[2], keys[3]]] {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || {
+                        let _ = store.transact_keys(&pair, |tx| {
+                            for &k in &pair {
+                                tx.put(k, new_val(k))?;
+                            }
+                            Ok(())
+                        });
+                    });
+                }
+            });
+            store.power_cycle();
+            store.recover().unwrap();
+
+            // Per-gtid all-or-nothing, checked per transaction.
+            for pair in [[keys[0], keys[1]], [keys[2], keys[3]]] {
+                let got: Vec<Option<Value>> = pair.iter().map(|&k| store.get(k).unwrap()).collect();
+                let all_old = pair.iter().zip(&got).all(|(&k, v)| *v == Some(old_val(k)));
+                let all_new = pair.iter().zip(&got).all(|(&k, v)| *v == Some(new_val(k)));
+                assert!(
+                    all_old || all_new,
+                    "victim {victim} crash_at {crash_at}: partial transaction \
+                     {pair:?} after concurrent crash: {got:?}"
+                );
+                seen_abort |= all_old;
+                seen_commit |= all_new;
+            }
+            // The store keeps working after resolution.
+            let probe_key = 88_888 + crash_at;
+            store.put(probe_key, old_val(probe_key)).unwrap();
+            assert_eq!(store.get(probe_key).unwrap(), Some(old_val(probe_key)));
+            crash_at += step;
+        }
+    }
+    assert!(seen_abort, "no crash point aborted either transaction");
+    assert!(seen_commit, "no crash point let a transaction commit");
+}
+
+#[test]
+fn concurrent_coordinators_conserve_money_across_crashes() {
+    // The crash-fuzz variant of the bank-transfer invariant: two concurrent
+    // transfers move amounts between per-transaction account pairs while a
+    // crash lands somewhere; after recovery the total across all accounts
+    // must be exactly the opening total (each transfer is all-or-nothing,
+    // and either way conserves money).
+    let shards = 4;
+    let seed = crash_seed();
+    let opening = 1_000u64;
+    for victim in 0..shards {
+        let window = concurrent_twin_window(shards, victim);
+        let step = (window / 4).max(1);
+        let mut crash_at = 1 + (seed * 3) % step;
+        while crash_at <= window {
+            let store = std::sync::Arc::new(mk_store(shards));
+            let keys = one_key_per_shard(&store);
+            for &k in &keys {
+                store.put(k, [opening, 0, 0, k]).unwrap();
+            }
+            store
+                .shard_pool(victim)
+                .crash_injector()
+                .arm_after(crash_at);
+            std::thread::scope(|s| {
+                for (i, pair) in [[keys[0], keys[1]], [keys[2], keys[3]]]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || {
+                        let amount = 100 + i as u64 * 37;
+                        let _ = store.transact_keys(&pair, |tx| {
+                            let a = tx.get(pair[0])?.expect("account");
+                            let b = tx.get(pair[1])?.expect("account");
+                            tx.put(pair[0], [a[0] - amount, a[1] + 1, 0, pair[0]])?;
+                            tx.put(pair[1], [b[0] + amount, b[1] + 1, 0, pair[1]])?;
+                            Ok(())
+                        });
+                    });
+                }
+            });
+            store.power_cycle();
+            store.recover().unwrap();
+            let total: u64 = keys
+                .iter()
+                .map(|&k| store.get(k).unwrap().expect("account survived")[0])
+                .sum();
+            assert_eq!(
+                total,
+                keys.len() as u64 * opening,
+                "victim {victim} crash_at {crash_at}: money not conserved"
+            );
+            crash_at += step;
+        }
+    }
+}
+
+#[test]
+fn read_only_participants_are_never_prepared_or_in_doubt() {
+    // A participant that only reads writes no PREPARE record — so recovery,
+    // at *any* crash point of the two-phase commit, must never classify it
+    // as in doubt. Reader on shard 0 (which doubles as the decision host),
+    // writers on shards 1 and 2; the crash sweeps the window of writer
+    // shard 2's pool.
+    let shards = 3;
+    let victim = 2;
+    let mk_keys = |store: &ShardedStore| {
+        (0..shards)
+            .map(|s| (0..10_000u64).find(|k| store.shard_of(*k) == s).unwrap())
+            .collect::<Vec<u64>>()
+    };
+    // Un-armed twin: measure the victim's window and assert the happy-path
+    // bookkeeping (prepares for the two writers only, reader released
+    // through the record-less path).
+    let window = {
+        let store = mk_store(shards);
+        let keys = mk_keys(&store);
+        for &k in &keys {
+            store.put(k, old_val(k)).unwrap();
+        }
+        let before_tm = store.stats().tm;
+        let before_events = store.shard_pool(victim).crash_injector().observed_events();
+        store
+            .transact(|tx| {
+                assert_eq!(tx.get(keys[0])?, Some(old_val(keys[0])));
+                tx.put(keys[1], new_val(keys[1]))?;
+                tx.put(keys[2], new_val(keys[2]))?;
+                Ok(())
+            })
+            .unwrap();
+        let tm = store.stats().tm;
+        assert_eq!(tm.prepared - before_tm.prepared, 2, "writers prepare");
+        assert_eq!(
+            tm.read_only_finished - before_tm.read_only_finished,
+            1,
+            "the reader took the record-less release"
+        );
+        (store.shard_pool(victim).crash_injector().observed_events() - before_events).max(1)
+    };
+
+    let seed = crash_seed();
+    let step = (window / 12).max(1);
+    let mut crash_at = 1 + seed % step;
+    let mut saw_in_doubt_commit = false;
+    while crash_at <= window + step {
+        let store = mk_store(shards);
+        let keys = mk_keys(&store);
+        for &k in &keys {
+            store.put(k, old_val(k)).unwrap();
+        }
+        store
+            .shard_pool(victim)
+            .crash_injector()
+            .arm_after(crash_at);
+        let _ = store.transact(|tx| {
+            tx.get(keys[0])?;
+            tx.put(keys[1], new_val(keys[1]))?;
+            tx.put(keys[2], new_val(keys[2]))?;
+            Ok(())
+        });
+        store.power_cycle();
+        let report = store.recover().unwrap();
+        // The reader shard must have nothing in doubt at ANY crash point —
+        // there is no PREPARE record on its medium to find.
+        let reader_recovery = store.per_shard_stats()[0]
+            .last_recovery
+            .expect("shard 0 went through recovery");
+        assert_eq!(
+            reader_recovery.in_doubt, 0,
+            "crash_at {crash_at}: a read-only participant was classified \
+             in doubt"
+        );
+        // Writers are all-or-nothing as ever; when one *was* in doubt the
+        // persisted decision must have driven it forward.
+        let got: Vec<Option<Value>> = keys[1..].iter().map(|&k| store.get(k).unwrap()).collect();
+        let all_old = keys[1..]
+            .iter()
+            .zip(&got)
+            .all(|(&k, v)| *v == Some(old_val(k)));
+        let all_new = keys[1..]
+            .iter()
+            .zip(&got)
+            .all(|(&k, v)| *v == Some(new_val(k)));
+        assert!(all_old || all_new, "crash_at {crash_at}: partial writers");
+        if report.in_doubt > 0 && all_new {
+            saw_in_doubt_commit = true;
+        }
+        // The reader's key never moves: it was never written.
+        assert_eq!(store.get(keys[0]).unwrap(), Some(old_val(keys[0])));
+        crash_at += step;
+    }
+    assert!(
+        saw_in_doubt_commit,
+        "sweep never produced an in-doubt writer resolved to commit \
+         (window {window})"
+    );
+}
