@@ -1,0 +1,5 @@
+//! Multi-warehouse TPC-C on the sharded store vs the single-shard layout
+//! (emits BENCH_sharded_tpcc.json for the CI perf gate).
+fn main() {
+    rewind_bench::sharded_tpcc(rewind_bench::scale_from_env());
+}

@@ -59,6 +59,6 @@ pub mod prelude {
     pub use rewind_nvm::{CostModel, CrashMode, NvmPool, PAddr, PoolConfig};
     pub use rewind_pagestore::{KvStore, Personality};
     pub use rewind_pds::{Backing, PBTree, PList, PTable, TxToken, Value};
-    pub use rewind_shard::{ShardConfig, ShardStats, ShardedStore, StoreTx};
-    pub use rewind_tpcc::{Layout, TpccDb, TpccRunner};
+    pub use rewind_shard::{CoordinatorStats, ShardConfig, ShardStats, ShardedStore, StoreTx};
+    pub use rewind_tpcc::{Layout, ShardedTpcc, ShardedTpccConfig, TpccDb, TpccMix, TpccRunner};
 }

@@ -71,25 +71,30 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rewind_core::{Result, RewindError};
 use rewind_nvm::{NvmPool, PAddr};
 use rewind_pds::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Durable coordinator state in shard 0's user-root region, after the words
 /// owned by the transaction manager (0–4) and the shard header (16–19):
-/// `magic, entry-array address, next gtid`. The magic goes in last on create
+/// `magic, first-page address, next gtid`. The magic goes in last on create
 /// so a torn root is never taken for a valid one.
 const DECISION_MAGIC: u64 = 0x5245_5744_4543_4944; // "REWDECID"
 const DW_MAGIC: u64 = 24;
 const DW_ENTRIES: u64 = 25;
 const DW_NEXT_GTID: u64 = 26;
 
-/// Entries the decision table holds. Live entries are bounded by the number
-/// of coordinators in flight at once plus whatever a crash interrupted
-/// during phase 2 (recovery retires those); 128 is generous headroom for
-/// both.
-const DECISION_CAPACITY: u64 = 128;
+/// Entries per decision-table page. Live entries are bounded by the number
+/// of coordinators in flight at once plus whatever unacknowledged phase-2
+/// commits have not been retired yet; one page covers the common case, and
+/// the table grows by chaining fresh pages when fan-in (e.g. a many-terminal
+/// TPC-C run riding out repeated participant failures) exceeds it.
+const PAGE_ENTRIES: u64 = 128;
 /// Words per entry: `gtid, decision`. An entry is live iff its gtid word is
 /// non-zero, which is why the gtid is written last.
 const ENTRY_WORDS: u64 = 2;
+/// Page layout: one header word (pool offset of the next page, 0 = none)
+/// followed by [`PAGE_ENTRIES`] entries.
+const PAGE_WORDS: u64 = 1 + PAGE_ENTRIES * ENTRY_WORDS;
 const DECIDE_COMMIT: u64 = 1;
 
 /// Out-of-order lock discoveries tolerated before a transaction gives up on
@@ -111,39 +116,66 @@ const ORDERED_RESTARTS: usize = 3;
 /// before the gtid word, so a torn entry is never live. Readers
 /// ([`DecisionLog::decided_commit`]) only run during recovery resolution,
 /// under the store's exclusive gate.
+///
+/// The table is a chain of [`PAGE_ENTRIES`]-entry pages: when every slot of
+/// every page is live, [`DecisionLog::record_commit`] allocates a fresh
+/// zeroed page and links it from the last page's header word — link before
+/// entry, both read back from the persistent image, so a decision is only
+/// reported durable when recovery could actually reach it. Growth is
+/// permanent (pages are never unlinked); a store that once needed two pages
+/// of in-flight decisions keeps the headroom.
 #[derive(Debug)]
 pub(crate) struct DecisionLog {
     pool: Arc<NvmPool>,
-    entries: PAddr,
+    first_page: PAddr,
     /// Serializes gtid allocation and entry mutation between concurrent
     /// coordinators. Word-sized pool accesses are individually atomic; this
     /// latch makes the read-modify-write sequences (counter bump, find-slot
-    /// + write) atomic as units.
+    /// + write, page growth) atomic as units.
     mutate: Mutex<()>,
 }
 
 impl DecisionLog {
     /// Formats a fresh decision table in `pool` (shard 0's pool).
     pub(crate) fn create(pool: Arc<NvmPool>) -> Result<DecisionLog> {
-        let entries = pool.alloc((DECISION_CAPACITY * ENTRY_WORDS * 8) as usize)?;
-        for w in 0..DECISION_CAPACITY * ENTRY_WORDS {
-            pool.write_u64_nt(entries.word(w), 0);
-        }
+        let first_page = Self::format_page(&pool)?;
         let root = pool.user_root();
-        pool.write_u64_nt(root.word(DW_ENTRIES), entries.offset());
+        pool.write_u64_nt(root.word(DW_ENTRIES), first_page.offset());
         pool.write_u64_nt(root.word(DW_NEXT_GTID), 1);
         pool.sfence();
         pool.write_u64_nt(root.word(DW_MAGIC), DECISION_MAGIC);
         pool.sfence();
         Ok(DecisionLog {
             pool,
-            entries,
+            first_page,
             mutate: Mutex::new(()),
         })
     }
 
-    fn entry(&self, i: u64) -> PAddr {
-        self.entries.word(i * ENTRY_WORDS)
+    /// Allocates and zeroes one decision page. Fresh pool memory is never
+    /// recycled, so the persistent image under the page is all-zero even if
+    /// a dying pool drops these writes — a torn grow can leak a page, never
+    /// fabricate a live entry.
+    fn format_page(pool: &Arc<NvmPool>) -> Result<PAddr> {
+        let page = pool.alloc((PAGE_WORDS * 8) as usize)?;
+        for w in 0..PAGE_WORDS {
+            pool.write_u64_nt(page.word(w), 0);
+        }
+        pool.sfence();
+        Ok(page)
+    }
+
+    /// The `i`-th entry of `page` (past the next-page header word).
+    fn entry_at(page: PAddr, i: u64) -> PAddr {
+        page.word(1 + i * ENTRY_WORDS)
+    }
+
+    /// The page linked after `page`, if any.
+    fn next_page(&self, page: PAddr) -> Option<PAddr> {
+        match self.pool.read_u64(page) {
+            0 => None,
+            off => Some(PAddr::new(off)),
+        }
     }
 
     /// Durably allocates the next global transaction id. Ids are monotonic
@@ -157,6 +189,35 @@ impl DecisionLog {
         self.pool.sfence();
         self.ack()?;
         Ok(gtid)
+    }
+
+    /// Finds a free entry slot, growing the chain by one fresh page when
+    /// every slot of every page is live. Must run under the `mutate` latch.
+    fn free_slot(&self) -> Result<PAddr> {
+        let mut page = self.first_page;
+        loop {
+            if let Some(i) =
+                (0..PAGE_ENTRIES).find(|i| self.pool.read_u64(Self::entry_at(page, *i)) == 0)
+            {
+                return Ok(Self::entry_at(page, i));
+            }
+            match self.next_page(page) {
+                Some(next) => page = next,
+                None => {
+                    // Grow: link a fresh zeroed page behind the chain. The
+                    // link must be durable before any entry in the new page
+                    // can claim to be — recovery reaches entries through the
+                    // chain, so an unpersisted link word would orphan them.
+                    let fresh = Self::format_page(&self.pool)?;
+                    self.pool.write_u64_nt(page, fresh.offset());
+                    self.pool.sfence();
+                    if self.pool.read_u64_persistent(page) != fresh.offset() {
+                        return Err(RewindError::Offline("decision log (pool failed)"));
+                    }
+                    return Ok(Self::entry_at(fresh, 0));
+                }
+            }
+        }
     }
 
     /// Durably records the commit decision for `gtid` — the commit point.
@@ -173,10 +234,7 @@ impl DecisionLog {
     /// medium; `Err` means it provably is not (presumed abort everywhere).
     pub(crate) fn record_commit(&self, gtid: u64) -> Result<()> {
         let _latch = self.mutate.lock();
-        let slot = (0..DECISION_CAPACITY)
-            .find(|i| self.pool.read_u64(self.entry(*i)) == 0)
-            .ok_or(RewindError::Offline("decision log (table full)"))?;
-        let e = self.entry(slot);
+        let e = self.free_slot()?;
         self.pool.write_u64_nt(e.word(1), DECIDE_COMMIT);
         self.pool.sfence();
         self.pool.write_u64_nt(e, gtid);
@@ -193,10 +251,17 @@ impl DecisionLog {
     /// Whether a commit decision for `gtid` was persisted. Anything else is
     /// presumed aborted.
     pub(crate) fn decided_commit(&self, gtid: u64) -> bool {
-        (0..DECISION_CAPACITY).any(|i| {
-            let e = self.entry(i);
-            self.pool.read_u64(e) == gtid && self.pool.read_u64(e.word(1)) == DECIDE_COMMIT
-        })
+        let mut page = Some(self.first_page);
+        while let Some(p) = page {
+            if (0..PAGE_ENTRIES).any(|i| {
+                let e = Self::entry_at(p, i);
+                self.pool.read_u64(e) == gtid && self.pool.read_u64(e.word(1)) == DECIDE_COMMIT
+            }) {
+                return true;
+            }
+            page = self.next_page(p);
+        }
+        false
     }
 
     /// Retires the decision entry for `gtid` (all participants finished; no
@@ -206,22 +271,31 @@ impl DecisionLog {
         // Gtids are unique: stop at the first (only) match — the latch is a
         // global critical section on the concurrent commit path, so the
         // scan tail would be pure waste.
-        for i in 0..DECISION_CAPACITY {
-            let e = self.entry(i);
-            if self.pool.read_u64(e) == gtid {
-                self.pool.write_u64_nt(e, 0);
-                self.pool.sfence();
-                break;
+        let mut page = Some(self.first_page);
+        while let Some(p) = page {
+            for i in 0..PAGE_ENTRIES {
+                let e = Self::entry_at(p, i);
+                if self.pool.read_u64(e) == gtid {
+                    self.pool.write_u64_nt(e, 0);
+                    self.pool.sfence();
+                    return;
+                }
             }
+            page = self.next_page(p);
         }
     }
 
     /// Retires every decision entry — called after recovery resolved all
     /// in-doubt transactions, when no one can consult the table anymore.
+    /// Pages stay linked: headroom once grown is kept.
     pub(crate) fn clear(&self) {
         let _latch = self.mutate.lock();
-        for i in 0..DECISION_CAPACITY {
-            self.pool.write_u64_nt(self.entry(i), 0);
+        let mut page = Some(self.first_page);
+        while let Some(p) = page {
+            for i in 0..PAGE_ENTRIES {
+                self.pool.write_u64_nt(Self::entry_at(p, i), 0);
+            }
+            page = self.next_page(p);
         }
         self.pool.sfence();
     }
@@ -240,6 +314,24 @@ impl DecisionLog {
     }
 }
 
+/// Point-in-time counters of the cross-shard coordinator, exposed through
+/// [`ShardedStore::coordinator_stats`](crate::ShardedStore::coordinator_stats).
+///
+/// `restarts` counts lock-ordered attempts that were rolled back and re-run
+/// because a shard was discovered, contended, below the held lock frontier;
+/// `serial_fallbacks` counts transactions that exhausted the restart budget
+/// and settled under the exclusive all-shards pass. A workload whose write
+/// sets are declared up front ([`ShardedStore::transact_keys`](crate::ShardedStore::transact_keys))
+/// should observe **zero** of both — which is exactly what the TPC-C
+/// payment tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordinatorStats {
+    /// Lock-order restarts taken by `transact`/`transact_keys` attempts.
+    pub restarts: u64,
+    /// Transactions that fell back to the exclusive serial pass.
+    pub serial_fallbacks: u64,
+}
+
 /// The store-level two-phase-commit coordinator: the persistent decision
 /// table plus the gate that arbitrates between concurrent lock-ordered
 /// transactions (shared side) and the exclusive store-wide passes — the
@@ -248,6 +340,8 @@ impl DecisionLog {
 pub(crate) struct Coordinator {
     gate: RwLock<()>,
     decisions: DecisionLog,
+    restarts: AtomicU64,
+    serial_fallbacks: AtomicU64,
 }
 
 impl Coordinator {
@@ -257,7 +351,17 @@ impl Coordinator {
         Ok(Coordinator {
             gate: RwLock::new(()),
             decisions: DecisionLog::create(pool0)?,
+            restarts: AtomicU64::new(0),
+            serial_fallbacks: AtomicU64::new(0),
         })
+    }
+
+    /// Restart/fallback counters since store creation.
+    pub(crate) fn stats(&self) -> CoordinatorStats {
+        CoordinatorStats {
+            restarts: self.restarts.load(Ordering::Relaxed),
+            serial_fallbacks: self.serial_fallbacks.load(Ordering::Relaxed),
+        }
     }
 
     /// The shared side of the gate: held by every lock-ordered coordinator
@@ -303,6 +407,7 @@ impl Coordinator {
             // never performed, so committing this attempt would silently
             // drop part of the transaction's intent.
             if let Some(idx) = tx.restart {
+                self.restarts.fetch_add(1, Ordering::Relaxed);
                 needed[idx] = true;
                 // Carry over every shard the attempt had already joined,
                 // not just the contended one: the retry then pre-locks the
@@ -323,6 +428,7 @@ impl Coordinator {
                 // closure; honoring it as a restart keeps the error's
                 // contract ("the coordinator re-runs") either way.
                 Err(RewindError::LockOrderRestart(idx)) => {
+                    self.restarts.fetch_add(1, Ordering::Relaxed);
                     needed[idx.min(shards - 1)] = true;
                     tx.note_joined(&mut needed);
                     tx.abort_all()?;
@@ -336,6 +442,7 @@ impl Coordinator {
         // Serial fallback: exclusive access and every shard locked in
         // ascending order — no discovery can be out of order, so exactly one
         // more run settles the transaction.
+        self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
         let _exclusive = self.exclusive();
         let mut tx = StoreTx::new(store, false);
         let all = vec![true; shards];
@@ -612,6 +719,103 @@ impl<'a> StoreTx<'a> {
         match first_err {
             None => Ok(()),
             Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_nvm::PoolConfig;
+
+    fn log() -> DecisionLog {
+        let pool = NvmPool::new(PoolConfig::with_capacity(8 << 20));
+        DecisionLog::create(pool).unwrap()
+    }
+
+    #[test]
+    fn decision_log_grows_past_one_page() {
+        let d = log();
+        // Three pages' worth of live decisions, none retired in between —
+        // the fan-in a fixed 128-entry array could not absorb.
+        let gtids: Vec<u64> = (0..3 * PAGE_ENTRIES)
+            .map(|_| d.allocate_gtid().unwrap())
+            .collect();
+        for &g in &gtids {
+            d.record_commit(g).unwrap();
+        }
+        for &g in &gtids {
+            assert!(d.decided_commit(g), "gtid {g} lost during growth");
+        }
+        assert!(!d.decided_commit(gtids.last().unwrap() + 1));
+        // Entries live in the persistent image: a power cycle (volatile
+        // state rebuilt from NVM) must not lose a single decision.
+        d.pool.power_cycle();
+        for &g in &gtids {
+            assert!(d.decided_commit(g), "gtid {g} not durable");
+        }
+        // Retiring an entry on a grown page leaves the others alone.
+        let victim = gtids[PAGE_ENTRIES as usize + 7];
+        d.forget(victim);
+        assert!(!d.decided_commit(victim));
+        assert!(d.decided_commit(gtids[PAGE_ENTRIES as usize + 8]));
+        // Clear retires everything across every page; the freed slots are
+        // reused before any further growth.
+        d.clear();
+        for &g in &gtids {
+            assert!(!d.decided_commit(g));
+        }
+        let fresh = d.allocate_gtid().unwrap();
+        d.record_commit(fresh).unwrap();
+        assert!(d.decided_commit(fresh));
+    }
+
+    #[test]
+    fn concurrent_decisions_exceed_one_page() {
+        // Eight coordinator-like threads commit decisions concurrently until
+        // well past one page of simultaneously-live entries (8 × 20 = 160 >
+        // 128): growth, slot choice and the entry writes must all be safe
+        // under the latch, and every decision must be readable afterwards.
+        let d = log();
+        let mut slots: Vec<Option<Vec<u64>>> = (0..8).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for slot in slots.iter_mut() {
+                let d = &d;
+                s.spawn(move || {
+                    let mine: Vec<u64> = (0..20)
+                        .map(|_| {
+                            let g = d.allocate_gtid().unwrap();
+                            d.record_commit(g).unwrap();
+                            g
+                        })
+                        .collect();
+                    *slot = Some(mine);
+                });
+            }
+        });
+        let all: Vec<u64> = slots.into_iter().flat_map(|s| s.unwrap()).collect();
+        assert_eq!(all.len(), 160);
+        // Gtids are unique across threads (the durable counter is latched).
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 160, "duplicate gtids under concurrency");
+        for &g in &all {
+            assert!(d.decided_commit(g), "gtid {g} lost");
+        }
+        // Concurrent retirement drains the chain completely.
+        std::thread::scope(|s| {
+            for chunk in all.chunks(20) {
+                let d = &d;
+                s.spawn(move || {
+                    for &g in chunk {
+                        d.forget(g);
+                    }
+                });
+            }
+        });
+        for &g in &all {
+            assert!(!d.decided_commit(g));
         }
     }
 }

@@ -98,7 +98,7 @@ mod shard;
 mod store;
 
 pub use config::ShardConfig;
-pub use coordinator::StoreTx;
+pub use coordinator::{CoordinatorStats, StoreTx};
 pub use group::GroupCommitSnapshot;
 pub use shard::ShardTx;
 pub use store::{ShardSnapshot, ShardStats, ShardedStore};

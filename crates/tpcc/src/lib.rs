@@ -20,14 +20,27 @@
 //! * `OptimizedDistLog` — the optimized layout plus distributed logging: each
 //!   terminal gets its own transaction manager (and therefore its own log),
 //!   the co-design enabled by REWIND's user-mode flexibility.
+//!
+//! Beyond the paper, the [`sharded`] module scales the benchmark out: a
+//! [`ShardedTpcc`] runs a **multi-warehouse** TPC-C (new-order + payment,
+//! with the specification's ~1 % remote order lines and ~15 % remote
+//! payments) over a `rewind-shard` [`ShardedStore`](rewind_shard::ShardedStore),
+//! one warehouse per shard, cross-warehouse transactions committing through
+//! the concurrent two-phase-commit coordinators — pinned by an ACID audit
+//! oracle in the TPC-C consistency-check style.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod schema;
+pub mod sharded;
 pub mod workload;
 
 pub use schema::{Layout, TpccDb, DISTRICTS_PER_WAREHOUSE, ITEMS};
+pub use sharded::{
+    AuditReport, NewOrder, Payment, ShardedTpcc, ShardedTpccConfig, ShardedTpccReport, Table,
+    TpccMix, TxnOutcome,
+};
 pub use workload::{NewOrderParams, TpccReport, TpccRunner};
 
 pub use rewind_core::{Result, RewindError};

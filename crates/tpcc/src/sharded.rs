@@ -1,0 +1,1205 @@
+//! Multi-warehouse TPC-C over the sharded store: cross-warehouse 2PC.
+//!
+//! Where [`crate::schema::TpccDb`] reproduces the paper's single-warehouse
+//! layout study over raw B+-trees, this module scales the benchmark *out*:
+//! a [`ShardedTpcc`] maps warehouse *w* onto shard *w − 1* of a
+//! [`ShardedStore`] (every row of a warehouse — district, customer, stock,
+//! orders, history — routes to that warehouse's shard via
+//! [`ShardedStore::key_routed_to`]) and implements the two transactions
+//! that dominate the TPC-C mix:
+//!
+//! * **new-order** — the write-heavy backbone. ~1 % of order lines are
+//!   supplied by a *remote* warehouse, so the transaction discovers its
+//!   remote stock shards lazily and runs through the restartable
+//!   [`ShardedStore::transact`] path (a contended out-of-order shard
+//!   discovery rolls the attempt back and re-runs it with the grown lock
+//!   set).
+//! * **payment** — ~15 % of payments are made by a customer of a *remote*
+//!   warehouse. The write set (warehouse row, district row, customer row)
+//!   is known up front, so payment declares it via
+//!   [`ShardedStore::transact_keys`] and never pays a lock-order restart.
+//!
+//! Both cross-warehouse variants commit through the store's concurrent
+//! lock-ordered two-phase-commit coordinators, which makes this the first
+//! realistic skewed, contended, mixed read/write workload the sharded
+//! stack runs — and the [`ShardedTpcc::audit`] oracle holds it to the
+//! TPC-C consistency conditions (Σ D_NEXT_O_ID vs order counts, W_YTD =
+//! Σ D_YTD, order/order-line/new-order cardinalities, stock-quantity
+//! wrap-around deltas, and payment conservation across remote warehouses),
+//! before *and* after `power_cycle` + `recover`.
+
+use crate::schema::DISTRICTS_PER_WAREHOUSE;
+use crate::Result;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rewind_core::RewindError;
+use rewind_shard::{ShardConfig, ShardedStore, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// First order id each district's `D_NEXT_O_ID` counter starts at (the
+/// specification's 3 001; the initial 3 000 orders themselves are not
+/// loaded, as in the paper's cut-down benchmark, so order counts measure
+/// committed new-orders directly).
+pub const FIRST_ORDER_ID: u64 = 3_001;
+
+/// Maximum warehouses a [`ShardedTpcc`] supports (the warehouse id is an
+/// 8-bit field of the packed row key).
+pub const MAX_WAREHOUSES: u64 = 255;
+
+/// The logical TPC-C tables materialised by the sharded schema. All rows of
+/// all tables live in one [`ShardedStore`] keyspace; the table tag is the
+/// top nibble of the packed row key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table {
+    /// Warehouse row: `[w_ytd, 0, 0, 0]` (cents).
+    Warehouse,
+    /// District row: `[d_next_o_id, d_ytd, d_next_h_id, 0]`.
+    District,
+    /// Customer row: `[c_balance (i64 bits), c_ytd_payment, c_payment_cnt, 0]`.
+    Customer,
+    /// Item row (replicated per warehouse, read-only): `[i_price, 0, 0, 0]`.
+    Item,
+    /// Stock row: `[s_quantity, s_ytd, s_order_cnt, s_remote_cnt]`.
+    Stock,
+    /// Order row: `[o_c_id, o_ol_cnt, o_all_local, 0]`.
+    Order,
+    /// New-order row: `[o_id, 0, 0, 0]`.
+    NewOrder,
+    /// Order-line row: `[ol_i_id, ol_supply_w_id, ol_quantity, ol_amount]`,
+    /// keyed by `o_id * 16 + line`.
+    OrderLine,
+    /// History row: `[h_amount, c_w_id, c_d_id, c_id]`, keyed by the
+    /// district's `d_next_h_id` sequence.
+    History,
+}
+
+impl Table {
+    fn tag(self) -> u64 {
+        match self {
+            Table::Warehouse => 1,
+            Table::District => 2,
+            Table::Customer => 3,
+            Table::Item => 4,
+            Table::Stock => 5,
+            Table::Order => 6,
+            Table::NewOrder => 7,
+            Table::OrderLine => 8,
+            Table::History => 9,
+        }
+    }
+}
+
+/// Packs `(table, warehouse, district, id)` into the 48-bit local key that
+/// [`ShardedStore::key_routed_to`] then pins to the warehouse's shard:
+/// tag (4 bits) · warehouse (8) · district (4) · id (32).
+fn local_key(table: Table, warehouse: u64, district: u64, id: u64) -> u64 {
+    debug_assert!(warehouse <= MAX_WAREHOUSES);
+    debug_assert!(district <= DISTRICTS_PER_WAREHOUSE);
+    debug_assert!(id < 1 << 32);
+    table.tag() << 44 | warehouse << 36 | district << 32 | id
+}
+
+/// The item price formula shared by the loader and the audit oracle
+/// (deterministic, so replicated item rows agree across warehouses).
+fn item_price(item: u64) -> u64 {
+    100 + item % 900
+}
+
+/// Sizing of a [`ShardedTpcc`] database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedTpccConfig {
+    /// Number of warehouses (1–[`MAX_WAREHOUSES`]).
+    pub warehouses: u64,
+    /// Items in the catalogue (replicated per warehouse, with one stock row
+    /// each). The specification uses 100 000; scale down for quick runs.
+    pub items: u64,
+    /// Customers per district (specification: 3 000).
+    pub customers_per_district: u64,
+    /// The store layout: `store.shards == warehouses` gives the natural one
+    /// warehouse per shard; fewer shards fold warehouses onto shards
+    /// round-robin (e.g. `ShardConfig::new(1)` is the single-shard baseline
+    /// the bench compares against).
+    pub store: ShardConfig,
+}
+
+impl ShardedTpccConfig {
+    /// One warehouse per shard, with a small catalogue suitable for tests.
+    pub fn new(warehouses: u64) -> Self {
+        assert!(
+            (1..=MAX_WAREHOUSES).contains(&warehouses),
+            "warehouses must be 1–{MAX_WAREHOUSES}"
+        );
+        ShardedTpccConfig {
+            warehouses,
+            items: 200,
+            customers_per_district: 30,
+            store: ShardConfig::new(warehouses as usize),
+        }
+    }
+
+    /// Sets the catalogue size.
+    pub fn items(mut self, items: u64) -> Self {
+        self.items = items.max(1);
+        self
+    }
+
+    /// Sets the customers per district.
+    pub fn customers(mut self, customers: u64) -> Self {
+        self.customers_per_district = customers.max(1);
+        self
+    }
+
+    /// Replaces the store configuration (shard count, capacity, REWIND
+    /// config, cost model, crash mode).
+    pub fn store(mut self, store: ShardConfig) -> Self {
+        self.store = store;
+        self
+    }
+}
+
+/// The transaction mix a [`ShardedTpcc::run_mix`] driver draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpccMix {
+    /// Percent of transactions that are new-orders (the rest are payments).
+    pub new_order_pct: u32,
+    /// Percent of new-order *lines* supplied by a remote warehouse.
+    pub remote_item_pct: u32,
+    /// Percent of payments made by a customer of a remote warehouse.
+    pub remote_payment_pct: u32,
+}
+
+impl TpccMix {
+    /// The specification's remote mix: ~1 % remote order lines, ~15 % remote
+    /// payments, with new-orders and payments in roughly their spec weights
+    /// (45:43, i.e. 51 % new-orders of this two-transaction mix).
+    pub fn spec() -> Self {
+        TpccMix {
+            new_order_pct: 51,
+            remote_item_pct: 1,
+            remote_payment_pct: 15,
+        }
+    }
+
+    /// Overrides the new-order share of the mix.
+    pub fn new_order_pct(mut self, pct: u32) -> Self {
+        self.new_order_pct = pct.min(100);
+        self
+    }
+
+    /// Overrides the remote order-line fraction.
+    pub fn remote_item_pct(mut self, pct: u32) -> Self {
+        self.remote_item_pct = pct.min(100);
+        self
+    }
+
+    /// Overrides the remote payment fraction.
+    pub fn remote_payment_pct(mut self, pct: u32) -> Self {
+        self.remote_payment_pct = pct.min(100);
+        self
+    }
+}
+
+/// Input of one sharded new-order transaction.
+#[derive(Debug, Clone)]
+pub struct NewOrder {
+    /// Home warehouse (the terminal's).
+    pub warehouse: u64,
+    /// District within the home warehouse (1-based).
+    pub district: u64,
+    /// Ordering customer (1-based, home district).
+    pub customer: u64,
+    /// `(item, supply warehouse, quantity)` per order line. A supply
+    /// warehouse different from `warehouse` makes the line remote: its
+    /// stock update runs on another shard of the same atomic transaction.
+    pub lines: Vec<(u64, u64, u64)>,
+    /// Whether this order carries an invalid item and must abort (~1 %).
+    pub must_abort: bool,
+}
+
+impl NewOrder {
+    /// Draws a random new-order for a terminal homed at `warehouse`.
+    pub fn random(
+        rng: &mut SmallRng,
+        warehouse: u64,
+        cfg: &ShardedTpccConfig,
+        mix: &TpccMix,
+    ) -> Self {
+        let lines = (0..rng.gen_range(5..=15))
+            .map(|_| {
+                let item = rng.gen_range(1..=cfg.items);
+                let supply = if cfg.warehouses > 1 && rng.gen_range(0..100) < mix.remote_item_pct {
+                    other_warehouse(rng, warehouse, cfg.warehouses)
+                } else {
+                    warehouse
+                };
+                (item, supply, rng.gen_range(1..=10))
+            })
+            .collect();
+        NewOrder {
+            warehouse,
+            district: rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE),
+            customer: rng.gen_range(1..=cfg.customers_per_district),
+            lines,
+            must_abort: rng.gen_range(0..100) == 0,
+        }
+    }
+}
+
+/// Input of one sharded payment transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct Payment {
+    /// The warehouse (and district) receiving the payment.
+    pub warehouse: u64,
+    /// District within `warehouse` (1-based).
+    pub district: u64,
+    /// The paying customer's warehouse (15 % of the time ≠ `warehouse`,
+    /// making the payment cross-warehouse).
+    pub c_warehouse: u64,
+    /// The paying customer's district.
+    pub c_district: u64,
+    /// The paying customer (1-based).
+    pub customer: u64,
+    /// Payment amount in cents (specification: 1.00–5 000.00).
+    pub amount: u64,
+}
+
+impl Payment {
+    /// Draws a random payment for a terminal homed at `warehouse`.
+    pub fn random(
+        rng: &mut SmallRng,
+        warehouse: u64,
+        cfg: &ShardedTpccConfig,
+        mix: &TpccMix,
+    ) -> Self {
+        let c_warehouse = if cfg.warehouses > 1 && rng.gen_range(0..100) < mix.remote_payment_pct {
+            other_warehouse(rng, warehouse, cfg.warehouses)
+        } else {
+            warehouse
+        };
+        Payment {
+            warehouse,
+            district: rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE),
+            c_warehouse,
+            c_district: rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE),
+            customer: rng.gen_range(1..=cfg.customers_per_district),
+            amount: rng.gen_range(100..=500_000),
+        }
+    }
+
+    /// Whether the paying customer lives in a remote warehouse.
+    pub fn is_remote(&self) -> bool {
+        self.c_warehouse != self.warehouse
+    }
+}
+
+/// A uniformly random warehouse other than `home`.
+fn other_warehouse(rng: &mut SmallRng, home: u64, warehouses: u64) -> u64 {
+    let mut w = rng.gen_range(1..=warehouses - 1);
+    if w >= home {
+        w += 1;
+    }
+    w
+}
+
+/// Outcome of one transaction call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// Whether the transaction committed (`false`: rolled back, e.g. the
+    /// ~1 % invalid-item new-orders).
+    pub committed: bool,
+    /// Times the transaction closure ran. `attempts - 1` is the number of
+    /// lock-order restarts the coordinator took; declared-write-set payments
+    /// always report 1.
+    pub attempts: u32,
+}
+
+/// The multi-warehouse TPC-C database over a [`ShardedStore`].
+#[derive(Debug)]
+pub struct ShardedTpcc {
+    store: ShardedStore,
+    cfg: ShardedTpccConfig,
+}
+
+impl ShardedTpcc {
+    /// Creates the store and loads the initial database: per warehouse, one
+    /// warehouse row, ten district rows, the customers, and the (replicated)
+    /// item catalogue with one stock row per item. Warehouses load in
+    /// parallel — each one's rows live on a single shard, so the loader
+    /// batches them into a few single-shard transactions.
+    pub fn build(cfg: ShardedTpccConfig) -> Result<ShardedTpcc> {
+        assert!(
+            (1..=MAX_WAREHOUSES).contains(&cfg.warehouses),
+            "warehouses must be 1–{MAX_WAREHOUSES}"
+        );
+        let store = ShardedStore::create(cfg.store)?;
+        let db = ShardedTpcc { store, cfg };
+        let mut outcomes: Vec<Option<Result<()>>> = (0..cfg.warehouses).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (i, slot) in outcomes.iter_mut().enumerate() {
+                let db = &db;
+                s.spawn(move || *slot = Some(db.load_warehouse(i as u64 + 1)));
+            }
+        });
+        for outcome in outcomes {
+            outcome.expect("loader thread completed")?;
+        }
+        Ok(db)
+    }
+
+    /// Loads one warehouse's rows in chunked single-shard transactions.
+    fn load_warehouse(&self, w: u64) -> Result<()> {
+        let mut rows: Vec<(u64, Value)> = Vec::new();
+        rows.push((self.key(Table::Warehouse, w, 0, 0), [0, 0, 0, 0]));
+        for d in 1..=DISTRICTS_PER_WAREHOUSE {
+            rows.push((
+                self.key(Table::District, w, d, 0),
+                [FIRST_ORDER_ID, 0, 1, 0],
+            ));
+            for c in 1..=self.cfg.customers_per_district {
+                rows.push((self.key(Table::Customer, w, d, c), [0, 0, 0, 0]));
+            }
+        }
+        for i in 1..=self.cfg.items {
+            rows.push((self.key(Table::Item, w, 0, i), [item_price(i), 0, 0, 0]));
+            rows.push((self.key(Table::Stock, w, 0, i), [100, 0, 0, 0]));
+        }
+        for chunk in rows.chunks(512) {
+            self.store.transact_on(chunk[0].0, |tx| {
+                for &(k, v) in chunk {
+                    tx.put(k, v)?;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The sizing this database was built with.
+    pub fn config(&self) -> &ShardedTpccConfig {
+        &self.cfg
+    }
+
+    /// The underlying sharded store (crash injection, stats, lifecycle).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// The shard owning warehouse `w` (1-based): warehouse *w* → shard
+    /// *w − 1*, folded round-robin when the store has fewer shards than the
+    /// database has warehouses.
+    pub fn shard_of_warehouse(&self, w: u64) -> usize {
+        (w as usize - 1) % self.store.shard_count()
+    }
+
+    /// The store key of a row: the packed `(table, warehouse, district, id)`
+    /// local key, routed to the warehouse's shard.
+    pub fn key(&self, table: Table, warehouse: u64, district: u64, id: u64) -> u64 {
+        self.store.key_routed_to(
+            self.shard_of_warehouse(warehouse),
+            local_key(table, warehouse, district, id),
+        )
+    }
+
+    /// Simulates a power failure and recovers the whole store, resolving any
+    /// in-doubt cross-warehouse transactions. (Convenience wrapper; tests
+    /// that need to inspect the recovery report call the store directly.)
+    pub fn power_cycle_and_recover(&self) -> Result<()> {
+        self.store.power_cycle();
+        self.store.recover()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Executes one new-order transaction: reads the customer and district,
+    /// assigns the next order id, inserts the order, new-order and
+    /// order-line rows, and updates the stock of every ordered item — at its
+    /// *supply* warehouse, which for ~1 % of lines is a different shard,
+    /// discovered lazily by the restartable cross-shard coordinator.
+    pub fn new_order(&self, p: &NewOrder) -> Result<TxnOutcome> {
+        let home = p.warehouse;
+        let all_local = u64::from(p.lines.iter().all(|&(_, s, _)| s == home));
+        let mut attempts = 0u32;
+        let result = self.store.transact(|tx| {
+            attempts += 1;
+            // Customer credit check (read-only) + district order counter.
+            let _customer = tx.get(self.key(Table::Customer, home, p.district, p.customer))?;
+            let d_key = self.key(Table::District, home, p.district, 0);
+            let d = tx.get(d_key)?.unwrap_or([FIRST_ORDER_ID, 0, 1, 0]);
+            let o_id = d[0];
+            tx.put(d_key, [o_id + 1, d[1], d[2], d[3]])?;
+            tx.put(
+                self.key(Table::Order, home, p.district, o_id),
+                [p.customer, p.lines.len() as u64, all_local, 0],
+            )?;
+            tx.put(
+                self.key(Table::NewOrder, home, p.district, o_id),
+                [o_id, 0, 0, 0],
+            )?;
+            for (line, &(item, supply, qty)) in p.lines.iter().enumerate() {
+                let price = tx
+                    .get(self.key(Table::Item, home, 0, item))?
+                    .map(|v| v[0])
+                    .unwrap_or_else(|| item_price(item));
+                // The stock row lives on the supply warehouse's shard: a
+                // remote line joins that shard here, mid-transaction.
+                let s_key = self.key(Table::Stock, supply, 0, item);
+                let s = tx.get(s_key)?.unwrap_or([100, 0, 0, 0]);
+                let new_qty = if s[0] >= qty + 10 {
+                    s[0] - qty
+                } else {
+                    s[0] + 91 - qty
+                };
+                let remote = u64::from(supply != home);
+                tx.put(s_key, [new_qty, s[1] + qty, s[2] + 1, s[3] + remote])?;
+                tx.put(
+                    self.key(Table::OrderLine, home, p.district, o_id * 16 + line as u64),
+                    [item, supply, qty, price * qty],
+                )?;
+            }
+            if p.must_abort {
+                // Invalid item: the whole order — including any remote
+                // stock updates — must roll back.
+                return tx.abort("invalid item");
+            }
+            Ok(())
+        });
+        Self::outcome(result, attempts)
+    }
+
+    /// Executes one payment transaction: bumps the warehouse and district
+    /// year-to-date totals, debits the customer (who for ~15 % of payments
+    /// lives on a remote warehouse's shard) and appends a history row. The
+    /// write set is declared up front, so the coordinator pre-locks both
+    /// shards in sorted id order and the closure never restarts.
+    pub fn payment(&self, p: &Payment) -> Result<TxnOutcome> {
+        let w_key = self.key(Table::Warehouse, p.warehouse, 0, 0);
+        let d_key = self.key(Table::District, p.warehouse, p.district, 0);
+        let c_key = self.key(Table::Customer, p.c_warehouse, p.c_district, p.customer);
+        let mut attempts = 0u32;
+        let result = self.store.transact_keys(&[w_key, d_key, c_key], |tx| {
+            attempts += 1;
+            let w = tx.get(w_key)?.unwrap_or([0, 0, 0, 0]);
+            tx.put(w_key, [w[0] + p.amount, w[1], w[2], w[3]])?;
+            let d = tx.get(d_key)?.unwrap_or([FIRST_ORDER_ID, 0, 1, 0]);
+            let h_id = d[2];
+            tx.put(d_key, [d[0], d[1] + p.amount, h_id + 1, d[3]])?;
+            let c = tx.get(c_key)?.unwrap_or([0, 0, 0, 0]);
+            tx.put(
+                c_key,
+                [c[0].wrapping_sub(p.amount), c[1] + p.amount, c[2] + 1, c[3]],
+            )?;
+            // History rides on the home warehouse's shard (already locked
+            // via the warehouse key), sequenced by the district's counter.
+            tx.put(
+                self.key(Table::History, p.warehouse, p.district, h_id),
+                [p.amount, p.c_warehouse, p.c_district, p.customer],
+            )?;
+            Ok(())
+        });
+        Self::outcome(result, attempts)
+    }
+
+    /// Maps a transaction result to a [`TxnOutcome`]: an `Aborted` error is
+    /// a rollback the caller asked for (committed = false), anything else
+    /// is a hard failure.
+    fn outcome(result: Result<()>, attempts: u32) -> Result<TxnOutcome> {
+        match result {
+            Ok(()) => Ok(TxnOutcome {
+                committed: true,
+                attempts,
+            }),
+            Err(RewindError::Aborted(_)) => Ok(TxnOutcome {
+                committed: false,
+                attempts,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Driver
+    // ------------------------------------------------------------------
+
+    /// Runs the specification mix ([`TpccMix::spec`]) on `terminals`
+    /// threads, `per_terminal` transactions each. Terminal *t* is homed at
+    /// warehouse `(t mod warehouses) + 1`.
+    pub fn run(&self, terminals: usize, per_terminal: u64, seed: u64) -> Result<ShardedTpccReport> {
+        self.run_mix(terminals, per_terminal, seed, TpccMix::spec())
+    }
+
+    /// [`ShardedTpcc::run`] with an explicit transaction mix.
+    pub fn run_mix(
+        &self,
+        terminals: usize,
+        per_terminal: u64,
+        seed: u64,
+        mix: TpccMix,
+    ) -> Result<ShardedTpccReport> {
+        let before_nvm = self.store.stats().nvm;
+        let start = Instant::now();
+        let mut slots: Vec<Tally> = (0..terminals).map(|_| Tally::default()).collect();
+        std::thread::scope(|s| {
+            for (t, slot) in slots.iter_mut().enumerate() {
+                let db = &self;
+                s.spawn(move || {
+                    let home = (t as u64 % db.cfg.warehouses) + 1;
+                    let mut rng = SmallRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37_79B9));
+                    for _ in 0..per_terminal {
+                        let outcome = if rng.gen_range(0..100) < mix.new_order_pct {
+                            let p = NewOrder::random(&mut rng, home, &db.cfg, &mix);
+                            match db.new_order(&p) {
+                                Ok(o) => {
+                                    slot.note_new_order(&p, o);
+                                    o
+                                }
+                                Err(_) => {
+                                    slot.errors += 1;
+                                    break;
+                                }
+                            }
+                        } else {
+                            let p = Payment::random(&mut rng, home, &db.cfg, &mix);
+                            match db.payment(&p) {
+                                Ok(o) => {
+                                    slot.note_payment(&p, o);
+                                    o
+                                }
+                                Err(_) => {
+                                    slot.errors += 1;
+                                    break;
+                                }
+                            }
+                        };
+                        slot.restarts += u64::from(outcome.attempts.saturating_sub(1));
+                    }
+                });
+            }
+        });
+        let mut total = Tally::default();
+        for s in &slots {
+            total.merge(s);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let sim_ns = self.store.stats().nvm.since(&before_nvm).sim_ns;
+        // When the cost model emulates latency, the charged nanoseconds were
+        // already spun/slept inside `wall` — adding them again would count
+        // the device time twice.
+        let total_seconds = if self.cfg.store.cost.emulate_latency {
+            wall
+        } else {
+            wall + sim_ns as f64 / 1e9
+        };
+        Ok(ShardedTpccReport {
+            new_orders_committed: total.new_orders_committed,
+            new_orders_aborted: total.new_orders_aborted,
+            payments_committed: total.payments_committed,
+            remote_payments: total.remote_payments,
+            order_lines: total.order_lines,
+            remote_order_lines: total.remote_order_lines,
+            restarts: total.restarts,
+            errors: total.errors,
+            wall_seconds: wall,
+            sim_ns,
+            tpmc_wall: total.new_orders_committed as f64 / wall.max(1e-9) * 60.0,
+            tpmc_sim: total.new_orders_committed as f64 / total_seconds.max(1e-9) * 60.0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // ACID audit oracle
+    // ------------------------------------------------------------------
+
+    /// The TPC-C consistency audit. Walks every table and cross-checks:
+    ///
+    /// 1. per district, `D_NEXT_O_ID − 3001` orders exist, contiguously,
+    ///    with a matching new-order row each and none at the counter;
+    /// 2. per order, exactly `o_ol_cnt` order lines with the right amounts
+    ///    (price × quantity) and a correct `o_all_local` flag;
+    /// 3. per warehouse, `W_YTD = Σ D_YTD`, and both equal the amounts of
+    ///    the district's history rows (contiguous under `d_next_h_id`);
+    /// 4. per stock row, the quantity wrap-around invariant
+    ///    `(s_quantity + s_ytd) ≡ 100 (mod 91)` with `s_quantity ≥ 10`,
+    ///    and `s_ytd`/`s_order_cnt`/`s_remote_cnt` equal to what the
+    ///    surviving order lines actually ordered from that warehouse —
+    ///    the cross-shard check for remote new-order lines;
+    /// 5. per customer, `c_balance = −c_ytd_payment`, and globally
+    ///    Σ `c_ytd_payment` = Σ history amounts = Σ `W_YTD` — money is
+    ///    conserved across remote payments.
+    ///
+    /// Runs against the live (quiescent) store; call it again after
+    /// `power_cycle` + `recover` to audit the recovered image.
+    pub fn audit(&self) -> Result<AuditReport> {
+        let mut r = AuditReport::default();
+        // (supply warehouse, item) -> (qty sum, line count, remote count)
+        let mut expected_stock: HashMap<(u64, u64), (u64, u64, u64)> = HashMap::new();
+        let mut history_total: u64 = 0;
+        let mut warehouse_ytd_total: u64 = 0;
+        let mut customer_ytd_total: u64 = 0;
+        let mut customer_payment_count: u64 = 0;
+
+        for w in 1..=self.cfg.warehouses {
+            let w_ytd = self
+                .store
+                .get(self.key(Table::Warehouse, w, 0, 0))?
+                .map(|v| v[0])
+                .unwrap_or_else(|| {
+                    r.violation(format!("warehouse {w}: row missing"));
+                    0
+                });
+            warehouse_ytd_total += w_ytd;
+            let mut district_ytd_sum = 0u64;
+            let mut history_sum = 0u64;
+            for d in 1..=DISTRICTS_PER_WAREHOUSE {
+                let Some(drow) = self.store.get(self.key(Table::District, w, d, 0))? else {
+                    r.violation(format!("district ({w},{d}): row missing"));
+                    continue;
+                };
+                let next_o = drow[0];
+                district_ytd_sum += drow[1];
+                if next_o < FIRST_ORDER_ID {
+                    r.violation(format!(
+                        "district ({w},{d}): D_NEXT_O_ID {next_o} below initial"
+                    ));
+                    continue;
+                }
+                // Consistency 1–3: contiguous orders + new-orders + lines.
+                for o in FIRST_ORDER_ID..next_o {
+                    let Some(order) = self.store.get(self.key(Table::Order, w, d, o))? else {
+                        r.violation(format!("order ({w},{d},{o}): missing below D_NEXT_O_ID"));
+                        continue;
+                    };
+                    r.orders += 1;
+                    if self
+                        .store
+                        .get(self.key(Table::NewOrder, w, d, o))?
+                        .is_none()
+                    {
+                        r.violation(format!("new-order ({w},{d},{o}): missing"));
+                    } else {
+                        r.new_orders += 1;
+                    }
+                    let ol_cnt = order[1];
+                    let mut all_local = 1u64;
+                    // The driver draws 5–15 lines; hand-built orders may be
+                    // smaller, but 16 would alias the next order's key space.
+                    if !(1..=15).contains(&ol_cnt) {
+                        r.violation(format!(
+                            "order ({w},{d},{o}): O_OL_CNT {ol_cnt} out of range"
+                        ));
+                        continue;
+                    }
+                    for line in 0..ol_cnt {
+                        let Some(ol) =
+                            self.store
+                                .get(self.key(Table::OrderLine, w, d, o * 16 + line))?
+                        else {
+                            r.violation(format!("order-line ({w},{d},{o},{line}): missing"));
+                            continue;
+                        };
+                        r.order_lines += 1;
+                        let (item, supply, qty, amount) = (ol[0], ol[1], ol[2], ol[3]);
+                        if amount != qty * item_price(item) {
+                            r.violation(format!(
+                                "order-line ({w},{d},{o},{line}): amount {amount} != qty {qty} x price"
+                            ));
+                        }
+                        let e = expected_stock.entry((supply, item)).or_insert((0, 0, 0));
+                        e.0 += qty;
+                        e.1 += 1;
+                        if supply != w {
+                            e.2 += 1;
+                            r.remote_order_lines += 1;
+                            all_local = 0;
+                        }
+                    }
+                    if order[2] != all_local {
+                        r.violation(format!(
+                            "order ({w},{d},{o}): O_ALL_LOCAL {} but lines say {all_local}",
+                            order[2]
+                        ));
+                    }
+                }
+                // The counter is never behind the rows it promises.
+                if self
+                    .store
+                    .get(self.key(Table::Order, w, d, next_o))?
+                    .is_some()
+                {
+                    r.violation(format!(
+                        "district ({w},{d}): order exists at D_NEXT_O_ID {next_o}"
+                    ));
+                }
+                // History: contiguous under d_next_h_id, amounts summed.
+                let next_h = drow[2];
+                for h in 1..next_h {
+                    let Some(hrow) = self.store.get(self.key(Table::History, w, d, h))? else {
+                        r.violation(format!("history ({w},{d},{h}): missing below D_NEXT_H_ID"));
+                        continue;
+                    };
+                    r.payments += 1;
+                    history_sum += hrow[0];
+                    if hrow[1] != w {
+                        r.remote_payments += 1;
+                    }
+                }
+                if self
+                    .store
+                    .get(self.key(Table::History, w, d, next_h))?
+                    .is_some()
+                {
+                    r.violation(format!(
+                        "district ({w},{d}): history exists at D_NEXT_H_ID {next_h}"
+                    ));
+                }
+            }
+            if w_ytd != district_ytd_sum {
+                r.violation(format!(
+                    "warehouse {w}: W_YTD {w_ytd} != sum of D_YTD {district_ytd_sum}"
+                ));
+            }
+            if w_ytd != history_sum {
+                r.violation(format!(
+                    "warehouse {w}: W_YTD {w_ytd} != history amounts {history_sum}"
+                ));
+            }
+            history_total += history_sum;
+
+            // Customers: balance mirrors the payments (nothing else moves it).
+            for d in 1..=DISTRICTS_PER_WAREHOUSE {
+                for c in 1..=self.cfg.customers_per_district {
+                    let Some(row) = self.store.get(self.key(Table::Customer, w, d, c))? else {
+                        r.violation(format!("customer ({w},{d},{c}): row missing"));
+                        continue;
+                    };
+                    if row[0] as i64 != -(row[1] as i64) {
+                        r.violation(format!(
+                            "customer ({w},{d},{c}): balance {} != -ytd {}",
+                            row[0] as i64, row[1]
+                        ));
+                    }
+                    customer_ytd_total += row[1];
+                    customer_payment_count += row[2];
+                }
+            }
+        }
+
+        // Stock: the wrap-around invariant plus the cross-warehouse order
+        // line accounting.
+        for w in 1..=self.cfg.warehouses {
+            for i in 1..=self.cfg.items {
+                let Some(s) = self.store.get(self.key(Table::Stock, w, 0, i))? else {
+                    r.violation(format!("stock ({w},{i}): row missing"));
+                    continue;
+                };
+                let (qty, ytd, cnt, remote) = (s[0], s[1], s[2], s[3]);
+                if (qty + ytd) % 91 != 100 % 91 {
+                    r.violation(format!(
+                        "stock ({w},{i}): quantity {qty} + ytd {ytd} breaks the mod-91 delta"
+                    ));
+                }
+                if qty < 10 {
+                    r.violation(format!("stock ({w},{i}): quantity {qty} below floor"));
+                }
+                let (e_qty, e_cnt, e_remote) = expected_stock.remove(&(w, i)).unwrap_or((0, 0, 0));
+                if ytd != e_qty || cnt != e_cnt || remote != e_remote {
+                    r.violation(format!(
+                        "stock ({w},{i}): ytd/cnt/remote {ytd}/{cnt}/{remote} but order \
+                         lines say {e_qty}/{e_cnt}/{e_remote}"
+                    ));
+                }
+            }
+        }
+        for ((w, i), _) in expected_stock {
+            r.violation(format!("order lines reference nonexistent stock ({w},{i})"));
+        }
+
+        // Global conservation across remote payments.
+        r.payment_cents = history_total;
+        if warehouse_ytd_total != history_total {
+            r.violation(format!(
+                "sum W_YTD {warehouse_ytd_total} != sum history {history_total}"
+            ));
+        }
+        if customer_ytd_total != history_total {
+            r.violation(format!(
+                "sum customer ytd {customer_ytd_total} != sum history {history_total} \
+                 (remote payments not conserved)"
+            ));
+        }
+        if customer_payment_count != r.payments {
+            r.violation(format!(
+                "sum customer payment counts {customer_payment_count} != history rows {}",
+                r.payments
+            ));
+        }
+        Ok(r)
+    }
+}
+
+/// Per-terminal tally, merged into the [`ShardedTpccReport`].
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    new_orders_committed: u64,
+    new_orders_aborted: u64,
+    payments_committed: u64,
+    remote_payments: u64,
+    order_lines: u64,
+    remote_order_lines: u64,
+    restarts: u64,
+    errors: u64,
+}
+
+impl Tally {
+    fn note_new_order(&mut self, p: &NewOrder, o: TxnOutcome) {
+        if o.committed {
+            self.new_orders_committed += 1;
+            self.order_lines += p.lines.len() as u64;
+            self.remote_order_lines += p
+                .lines
+                .iter()
+                .filter(|&&(_, s, _)| s != p.warehouse)
+                .count() as u64;
+        } else {
+            self.new_orders_aborted += 1;
+        }
+    }
+
+    fn note_payment(&mut self, p: &Payment, o: TxnOutcome) {
+        if o.committed {
+            self.payments_committed += 1;
+            self.remote_payments += u64::from(p.is_remote());
+        }
+    }
+
+    fn merge(&mut self, other: &Tally) {
+        self.new_orders_committed += other.new_orders_committed;
+        self.new_orders_aborted += other.new_orders_aborted;
+        self.payments_committed += other.payments_committed;
+        self.remote_payments += other.remote_payments;
+        self.order_lines += other.order_lines;
+        self.remote_order_lines += other.remote_order_lines;
+        self.restarts += other.restarts;
+        self.errors += other.errors;
+    }
+}
+
+/// Outcome of a [`ShardedTpcc::run_mix`] driver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardedTpccReport {
+    /// New-order transactions committed.
+    pub new_orders_committed: u64,
+    /// New-order transactions rolled back (the ~1 % invalid items).
+    pub new_orders_aborted: u64,
+    /// Payment transactions committed.
+    pub payments_committed: u64,
+    /// Committed payments whose customer lives on a remote warehouse.
+    pub remote_payments: u64,
+    /// Order lines inserted by committed new-orders.
+    pub order_lines: u64,
+    /// Order lines supplied by a remote warehouse.
+    pub remote_order_lines: u64,
+    /// Lock-order restarts the coordinators took across the run.
+    pub restarts: u64,
+    /// Terminals stopped by a hard error (crash-injection runs only; a
+    /// clean run must report 0).
+    pub errors: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// Simulated NVM nanoseconds charged during the run.
+    pub sim_ns: u64,
+    /// Committed new-orders per minute, wall clock (the tpmC figure).
+    pub tpmc_wall: f64,
+    /// Committed new-orders per minute including simulated NVM time.
+    pub tpmc_sim: f64,
+}
+
+/// What the [`ShardedTpcc::audit`] oracle found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Order rows accounted for (= Σ over districts of `D_NEXT_O_ID − 3001`
+    /// when clean).
+    pub orders: u64,
+    /// New-order rows accounted for.
+    pub new_orders: u64,
+    /// Order-line rows accounted for.
+    pub order_lines: u64,
+    /// History rows (committed payments) accounted for.
+    pub payments: u64,
+    /// Total payment volume in cents (= Σ `W_YTD` when clean).
+    pub payment_cents: u64,
+    /// Order lines supplied by a warehouse other than the order's.
+    pub remote_order_lines: u64,
+    /// Payments by a customer of a warehouse other than the district's.
+    pub remote_payments: u64,
+    /// Every consistency violation found; empty means the audit passed.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    fn violation(&mut self, v: String) {
+        self.violations.push(v);
+    }
+
+    /// Whether the audit found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with every violation if the audit found any.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "TPC-C audit failed with {} violations:\n{}",
+            self.violations.len(),
+            self.violations.join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(warehouses: u64) -> ShardedTpcc {
+        ShardedTpcc::build(
+            ShardedTpccConfig::new(warehouses)
+                .items(40)
+                .customers(10)
+                .store(ShardConfig::new(warehouses as usize).shard_capacity(8 << 20)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_loads_every_warehouse_on_its_own_shard() {
+        let db = small(3);
+        for w in 1..=3 {
+            assert_eq!(db.shard_of_warehouse(w), w as usize - 1);
+            let wk = db.key(Table::Warehouse, w, 0, 0);
+            assert_eq!(db.store().shard_of(wk), w as usize - 1);
+            assert_eq!(db.store().get(wk).unwrap(), Some([0, 0, 0, 0]));
+            for d in 1..=DISTRICTS_PER_WAREHOUSE {
+                assert_eq!(
+                    db.store().get(db.key(Table::District, w, d, 0)).unwrap(),
+                    Some([FIRST_ORDER_ID, 0, 1, 0])
+                );
+            }
+            assert_eq!(
+                db.store().get(db.key(Table::Stock, w, 0, 40)).unwrap(),
+                Some([100, 0, 0, 0])
+            );
+        }
+        db.audit().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn local_keys_never_collide_across_tables() {
+        let tables = [
+            Table::Warehouse,
+            Table::District,
+            Table::Customer,
+            Table::Item,
+            Table::Stock,
+            Table::Order,
+            Table::NewOrder,
+            Table::OrderLine,
+            Table::History,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in tables {
+            for w in [1u64, 2, 255] {
+                for d in [0u64, 1, 10] {
+                    for id in [0u64, 1, (1 << 32) - 1] {
+                        assert!(seen.insert(local_key(t, w, d, id)), "{t:?} {w} {d} {id}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn home_new_order_updates_every_table() {
+        let db = small(2);
+        let p = NewOrder {
+            warehouse: 1,
+            district: 3,
+            customer: 7,
+            lines: vec![(1, 1, 2), (5, 1, 1), (9, 1, 4)],
+            must_abort: false,
+        };
+        let o = db.new_order(&p).unwrap();
+        assert!(o.committed);
+        assert_eq!(o.attempts, 1);
+        assert_eq!(
+            db.store()
+                .get(db.key(Table::District, 1, 3, 0))
+                .unwrap()
+                .unwrap()[0],
+            FIRST_ORDER_ID + 1
+        );
+        assert_eq!(
+            db.store()
+                .get(db.key(Table::Order, 1, 3, FIRST_ORDER_ID))
+                .unwrap(),
+            Some([7, 3, 1, 0])
+        );
+        assert_eq!(
+            db.store()
+                .get(db.key(Table::Stock, 1, 0, 1))
+                .unwrap()
+                .unwrap(),
+            [98, 2, 1, 0]
+        );
+        db.audit().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn remote_new_order_spans_shards_and_aborts_cleanly() {
+        let db = small(2);
+        let remote_line = (3u64, 2u64, 5u64); // supplied by warehouse 2
+        let p = NewOrder {
+            warehouse: 1,
+            district: 1,
+            customer: 1,
+            lines: vec![(1, 1, 2), remote_line],
+            must_abort: false,
+        };
+        let before = db.store().stats().tm;
+        assert!(db.new_order(&p).unwrap().committed);
+        // The remote stock row moved, on the other shard, atomically.
+        assert_eq!(
+            db.store()
+                .get(db.key(Table::Stock, 2, 0, 3))
+                .unwrap()
+                .unwrap(),
+            [95, 5, 1, 1]
+        );
+        assert!(
+            db.store().stats().tm.prepared - before.prepared >= 2,
+            "a remote line must drive two-phase commit"
+        );
+        // An aborted remote order leaves no trace on either shard.
+        let p_abort = NewOrder {
+            must_abort: true,
+            ..p
+        };
+        assert!(!db.new_order(&p_abort).unwrap().committed);
+        assert_eq!(
+            db.store()
+                .get(db.key(Table::Stock, 2, 0, 3))
+                .unwrap()
+                .unwrap(),
+            [95, 5, 1, 1]
+        );
+        assert_eq!(
+            db.store()
+                .get(db.key(Table::District, 1, 1, 0))
+                .unwrap()
+                .unwrap()[0],
+            FIRST_ORDER_ID + 1
+        );
+        db.audit().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn remote_payment_conserves_money_across_warehouses() {
+        let db = small(2);
+        let p = Payment {
+            warehouse: 1,
+            district: 2,
+            c_warehouse: 2,
+            c_district: 4,
+            customer: 3,
+            amount: 12_345,
+        };
+        assert!(p.is_remote());
+        let o = db.payment(&p).unwrap();
+        assert!(o.committed);
+        assert_eq!(o.attempts, 1, "declared write set: no restarts");
+        assert_eq!(
+            db.store()
+                .get(db.key(Table::Warehouse, 1, 0, 0))
+                .unwrap()
+                .unwrap()[0],
+            12_345
+        );
+        let c = db
+            .store()
+            .get(db.key(Table::Customer, 2, 4, 3))
+            .unwrap()
+            .unwrap();
+        assert_eq!(c[0] as i64, -12_345);
+        assert_eq!(c[1], 12_345);
+        assert_eq!(
+            db.store().get(db.key(Table::History, 1, 2, 1)).unwrap(),
+            Some([12_345, 2, 4, 3])
+        );
+        assert_eq!(db.store().coordinator_stats().restarts, 0);
+        let audit = db.audit().unwrap();
+        audit.assert_clean();
+        assert_eq!(audit.remote_payments, 1);
+        assert_eq!(audit.payment_cents, 12_345);
+    }
+
+    #[test]
+    fn audit_catches_a_planted_inconsistency() {
+        let db = small(2);
+        let p = Payment {
+            warehouse: 1,
+            district: 1,
+            c_warehouse: 1,
+            c_district: 1,
+            customer: 1,
+            amount: 500,
+        };
+        db.payment(&p).unwrap();
+        db.audit().unwrap().assert_clean();
+        // Corrupt the warehouse YTD behind the oracle's back.
+        db.store()
+            .put(db.key(Table::Warehouse, 1, 0, 0), [499, 0, 0, 0])
+            .unwrap();
+        let audit = db.audit().unwrap();
+        assert!(!audit.is_clean(), "the oracle must see the broken W_YTD");
+        assert!(audit.violations.iter().any(|v| v.contains("W_YTD")));
+    }
+
+    #[test]
+    fn driver_runs_the_mix_and_audits_clean() {
+        let db = small(2);
+        let report = db.run(2, 30, 7).unwrap();
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            report.new_orders_committed + report.new_orders_aborted + report.payments_committed,
+            60
+        );
+        let audit = db.audit().unwrap();
+        audit.assert_clean();
+        assert_eq!(audit.orders, report.new_orders_committed);
+        assert_eq!(audit.order_lines, report.order_lines);
+        assert_eq!(audit.payments, report.payments_committed);
+        assert_eq!(audit.remote_payments, report.remote_payments);
+        assert_eq!(audit.remote_order_lines, report.remote_order_lines);
+        assert!(report.tpmc_wall > 0.0);
+    }
+
+    #[test]
+    fn warehouses_fold_onto_fewer_shards() {
+        let db = ShardedTpcc::build(
+            ShardedTpccConfig::new(4)
+                .items(20)
+                .customers(5)
+                .store(ShardConfig::new(2).shard_capacity(8 << 20)),
+        )
+        .unwrap();
+        assert_eq!(db.shard_of_warehouse(1), 0);
+        assert_eq!(db.shard_of_warehouse(3), 0);
+        assert_eq!(db.shard_of_warehouse(2), 1);
+        let report = db.run(4, 10, 3).unwrap();
+        assert_eq!(report.errors, 0);
+        db.audit().unwrap().assert_clean();
+    }
+}

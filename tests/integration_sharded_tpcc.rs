@@ -1,0 +1,383 @@
+//! Multi-warehouse TPC-C on the sharded store, pinned by the ACID audit
+//! oracle.
+//!
+//! The suite drives `ShardedTpcc` — warehouse *w* on shard *w − 1*, the
+//! specification's remote mix (~1 % remote new-order lines through the
+//! restartable `transact` path, ~15 % remote payments through the declared
+//! `transact_keys` path) — and holds it to the TPC-C consistency checks
+//! before and after `power_cycle` + `recover`:
+//!
+//! * the 8-warehouse × 8-terminal spec-mix acceptance run, audited on the
+//!   live and the recovered image;
+//! * a seeded crash-fuzz matrix sweeping the crash point over home and
+//!   remote warehouse pools plus the decision host, asserting the oracle
+//!   after every recovery (`REWIND_CRASH_SEED` shifts the swept points and
+//!   workloads, as in the CI crash-stress job);
+//! * lock-ordering coverage: declared payments never restart (zero
+//!   coordinator restarts under 8 contending terminals), while an
+//!   undeclared remote stock touch deterministically exercises the
+//!   restart path via a camping conflictor;
+//! * routing stability: warehouse → shard assignment is a pure function
+//!   that survives power cycles, and every ordered warehouse pair commits
+//!   remote payments without deadlock.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rewind::core::{Policy, RewindConfig};
+use rewind::prelude::*;
+use rewind::tpcc::{NewOrder, Payment, ShardedTpcc, ShardedTpccConfig, Table, TpccMix};
+use std::sync::Arc;
+
+/// Seed from the environment (CI sweeps it); 0 when unset.
+fn crash_seed() -> u64 {
+    std::env::var("REWIND_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Force-policy stores: a returned commit is durable, so the audit of a
+/// cleanly quiesced store must be bit-identical across a power cycle.
+fn force_store(shards: usize) -> ShardConfig {
+    ShardConfig::new(shards)
+        .shard_capacity(8 << 20)
+        .rewind(RewindConfig::batch().policy(Policy::Force))
+}
+
+fn tpcc(warehouses: u64) -> ShardedTpcc {
+    ShardedTpcc::build(
+        ShardedTpccConfig::new(warehouses)
+            .items(30)
+            .customers(8)
+            .store(force_store(warehouses as usize)),
+    )
+    .unwrap()
+}
+
+#[test]
+fn eight_warehouse_spec_mix_commits_cross_warehouse_and_audits_clean() {
+    let db = tpcc(8);
+    let report = db.run(8, 30, 42).unwrap();
+    assert_eq!(report.errors, 0);
+    assert_eq!(
+        report.new_orders_committed + report.new_orders_aborted + report.payments_committed,
+        240
+    );
+    // The spec remote mix actually produced cross-warehouse traffic, and it
+    // went through two-phase commit.
+    assert!(report.remote_payments > 0, "no remote payments drawn");
+    assert!(report.remote_order_lines > 0, "no remote order lines drawn");
+    assert!(db.store().stats().tm.prepared > 0, "2PC never ran");
+
+    let audit = db.audit().unwrap();
+    audit.assert_clean();
+    assert_eq!(audit.orders, report.new_orders_committed);
+    assert_eq!(audit.new_orders, report.new_orders_committed);
+    assert_eq!(audit.order_lines, report.order_lines);
+    assert_eq!(audit.payments, report.payments_committed);
+    assert_eq!(audit.remote_payments, report.remote_payments);
+    assert_eq!(audit.remote_order_lines, report.remote_order_lines);
+
+    // Crash the whole store and recover: the audit must hold on the
+    // recovered image — and under the force policy, with every transaction
+    // settled before the cycle, it must be *the same* audit.
+    db.store().power_cycle();
+    db.store().recover().unwrap();
+    let recovered = db.audit().unwrap();
+    recovered.assert_clean();
+    assert_eq!(recovered, audit, "recovery moved settled TPC-C state");
+
+    // The store keeps taking the mix after recovery.
+    let more = db.run(4, 10, 43).unwrap();
+    assert_eq!(more.errors, 0);
+    db.audit().unwrap().assert_clean();
+}
+
+/// A crash-fuzz mix with the remote fractions turned up, so the swept
+/// windows land inside cross-shard protocol activity often.
+fn fuzz_mix() -> TpccMix {
+    TpccMix::spec()
+        .new_order_pct(50)
+        .remote_item_pct(30)
+        .remote_payment_pct(50)
+}
+
+/// One deterministic single-terminal burst of the fuzz mix; crash probes
+/// ignore every outcome (a frozen pool fails transactions mid-protocol —
+/// the oracle judges the recovered image, not the return values).
+fn fuzz_burst(db: &ShardedTpcc, seed: u64) {
+    let mix = fuzz_mix();
+    let warehouses = db.config().warehouses;
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) + 1);
+    for i in 0..14u64 {
+        let home = i % warehouses + 1;
+        if rng.gen_range(0..100) < mix.new_order_pct {
+            let p = NewOrder::random(&mut rng, home, db.config(), &mix);
+            let _ = db.new_order(&p);
+        } else {
+            let p = Payment::random(&mut rng, home, db.config(), &mix);
+            let _ = db.payment(&p);
+        }
+    }
+}
+
+/// Persist events each pool sees during one fuzz burst, measured on an
+/// un-armed twin (the burst is single-threaded and seeded, so the counts
+/// transfer to the armed probes).
+fn burst_windows(warehouses: u64, seed: u64) -> Vec<u64> {
+    let db = tpcc(warehouses);
+    let before: Vec<u64> = (0..db.store().shard_count())
+        .map(|s| db.store().shard_pool(s).crash_injector().observed_events())
+        .collect();
+    fuzz_burst(&db, seed);
+    (0..db.store().shard_count())
+        .map(|s| (db.store().shard_pool(s).crash_injector().observed_events() - before[s]).max(1))
+        .collect()
+}
+
+#[test]
+fn crash_fuzz_matrix_audits_clean_after_every_recovery() {
+    // Sweep the crash point over the pools of warehouse 1's home shard
+    // (shard 0, which doubles as the 2PC decision host), a second home
+    // shard, and a shard that the burst mostly reaches as a *remote*
+    // participant — then recover and run the full audit at every point.
+    let warehouses = 4u64;
+    let seed = crash_seed();
+    let windows = burst_windows(warehouses, seed);
+    for victim in [0usize, 1, 3] {
+        let window = windows[victim];
+        let step = (window / 5).max(1);
+        let mut crash_at = 1 + seed % step;
+        while crash_at <= window + step {
+            let db = tpcc(warehouses);
+            db.store()
+                .shard_pool(victim)
+                .crash_injector()
+                .arm_after(crash_at);
+            fuzz_burst(&db, seed);
+            db.store().power_cycle();
+            let report = db.store().recover().unwrap();
+            let audit = db.audit().unwrap();
+            assert!(
+                audit.is_clean(),
+                "victim {victim} crash_at {crash_at} (in_doubt {}): audit failed:\n{}",
+                report.in_doubt,
+                audit.violations.join("\n")
+            );
+            // The database keeps taking transactions after resolution, and
+            // stays consistent.
+            let p = Payment {
+                warehouse: 2,
+                district: 1,
+                c_warehouse: 3,
+                c_district: 1,
+                customer: 1,
+                amount: 777,
+            };
+            assert!(db.payment(&p).unwrap().committed);
+            db.audit().unwrap().assert_clean();
+            crash_at += step;
+        }
+    }
+}
+
+#[test]
+fn concurrent_terminals_crash_fuzz_audits_clean() {
+    // The concurrent variant: 4 terminals genuinely in flight with the
+    // remote-heavy mix while a crash lands on a home pool or the decision
+    // host. Whatever the interleaving, the recovered image must satisfy
+    // every consistency condition (per-transaction all-or-nothing and
+    // cross-warehouse conservation included).
+    let warehouses = 4u64;
+    let seed = crash_seed();
+    let windows = burst_windows(warehouses, seed);
+    for victim in [0usize, 2] {
+        // Concurrent terminals roughly quadruple the burst's activity; a
+        // few spread-out points per victim keep the matrix fast.
+        let window = windows[victim] * 2;
+        let step = (window / 3).max(1);
+        let mut crash_at = 1 + (seed * 7) % step;
+        while crash_at <= window {
+            let db = Arc::new(tpcc(warehouses));
+            db.store()
+                .shard_pool(victim)
+                .crash_injector()
+                .arm_after(crash_at);
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let db = Arc::clone(&db);
+                    s.spawn(move || {
+                        let mix = fuzz_mix();
+                        let home = t % warehouses + 1;
+                        let mut rng = SmallRng::seed_from_u64(seed ^ (t + 1).wrapping_mul(0xA5A5));
+                        for _ in 0..8 {
+                            if rng.gen_range(0..100) < mix.new_order_pct {
+                                let p = NewOrder::random(&mut rng, home, db.config(), &mix);
+                                let _ = db.new_order(&p);
+                            } else {
+                                let p = Payment::random(&mut rng, home, db.config(), &mix);
+                                let _ = db.payment(&p);
+                            }
+                        }
+                    });
+                }
+            });
+            db.store().power_cycle();
+            db.store().recover().unwrap();
+            let audit = db.audit().unwrap();
+            assert!(
+                audit.is_clean(),
+                "victim {victim} crash_at {crash_at}: concurrent fuzz audit failed:\n{}",
+                audit.violations.join("\n")
+            );
+            crash_at += step;
+        }
+    }
+}
+
+#[test]
+fn declared_payments_never_restart_under_contention() {
+    // Payment declares its whole write set, so the coordinator pre-locks
+    // both shards in sorted id order: 8 terminals of 100 % remote payments
+    // hammering 4 warehouses must finish (liveness) with *zero* lock-order
+    // restarts and zero serial fallbacks — and the money conserved.
+    let db = tpcc(4);
+    let mix = TpccMix::spec().new_order_pct(0).remote_payment_pct(100);
+    let report = db.run_mix(8, 25, 9, mix).unwrap();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.payments_committed, 200);
+    assert_eq!(report.remote_payments, 200, "every payment was remote");
+    assert_eq!(report.restarts, 0, "declared write sets must not restart");
+    let stats = db.store().coordinator_stats();
+    assert_eq!(stats.restarts, 0);
+    assert_eq!(stats.serial_fallbacks, 0);
+    let audit = db.audit().unwrap();
+    audit.assert_clean();
+    assert_eq!(audit.payments, 200);
+}
+
+#[test]
+fn undeclared_remote_stock_takes_the_restart_path_and_still_audits() {
+    // New-order does *not* declare remote stock shards — they join lazily.
+    // Home warehouse 2 lives on shard 1, the remote supply warehouse 1 on
+    // shard 0: the stock row is discovered below the lock frontier while a
+    // camping single-shard transaction holds shard 0, so the attempt must
+    // restart (observed on the coordinator counter, which is also the
+    // camper's deterministic release signal) and then commit with the full
+    // remote update applied.
+    let db = Arc::new(tpcc(2));
+    let stock_w1 = db.key(Table::Stock, 1, 0, 5);
+    let base = db.store().coordinator_stats().restarts;
+    let (armed_tx, armed_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                db.store()
+                    .transact_on(stock_w1, |tx| {
+                        // Identity rewrite: holds shard 0's lock without
+                        // disturbing what the oracle will check.
+                        let v = tx.get(stock_w1)?.expect("stock loaded");
+                        tx.put(stock_w1, v)?;
+                        armed_tx.send(()).unwrap();
+                        while db.store().coordinator_stats().restarts == base {
+                            std::thread::yield_now();
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+            });
+        }
+        armed_rx.recv().unwrap();
+        let p = NewOrder {
+            warehouse: 2,
+            district: 1,
+            customer: 1,
+            lines: vec![(1, 2, 1), (5, 1, 2)],
+            must_abort: false,
+        };
+        let o = db.new_order(&p).unwrap();
+        assert!(o.committed);
+        assert!(
+            o.attempts >= 2,
+            "a contended out-of-order stock discovery must re-run the closure"
+        );
+    });
+    assert!(db.store().coordinator_stats().restarts > base);
+    // The remote stock update survived the restart exactly once.
+    assert_eq!(
+        db.store()
+            .get(db.key(Table::Stock, 1, 0, 5))
+            .unwrap()
+            .unwrap(),
+        [98, 2, 1, 1]
+    );
+    db.audit().unwrap().assert_clean();
+}
+
+#[test]
+fn warehouse_routing_is_stable_across_recovery() {
+    // Routing is a pure function of (shard count, warehouse): record where
+    // every district row lives, crash and recover, and verify the same
+    // keys on the same shards with the same data — then keep running.
+    let db = tpcc(8);
+    db.run(8, 12, 5).unwrap();
+    let placements: Vec<(u64, usize, Value)> = (1..=8u64)
+        .flat_map(|w| {
+            let db = &db;
+            (1..=10u64).map(move |d| {
+                let k = db.key(Table::District, w, d, 0);
+                assert_eq!(db.store().shard_of(k), (w - 1) as usize, "warehouse {w}");
+                (
+                    k,
+                    db.store().shard_of(k),
+                    db.store().get(k).unwrap().unwrap(),
+                )
+            })
+        })
+        .collect();
+    db.store().power_cycle();
+    db.store().recover().unwrap();
+    for (k, shard, row) in &placements {
+        assert_eq!(db.store().shard_of(*k), *shard, "routing moved for key {k}");
+        assert_eq!(
+            db.store().get(*k).unwrap(),
+            Some(*row),
+            "row moved for key {k}"
+        );
+    }
+    db.audit().unwrap().assert_clean();
+    db.run(8, 12, 6).unwrap();
+    db.audit().unwrap().assert_clean();
+}
+
+#[test]
+fn every_warehouse_pair_commits_remote_payments_without_deadlock() {
+    // Property sweep: for every ordered (home, customer) warehouse pair the
+    // declared two-shard payment commits in exactly one attempt — the
+    // coordinator sorts the pair's shard ids, so neither orientation can
+    // deadlock or restart, regardless of which side is the higher shard.
+    let db = tpcc(4);
+    for w in 1..=4u64 {
+        for cw in 1..=4u64 {
+            if w == cw {
+                continue;
+            }
+            let p = Payment {
+                warehouse: w,
+                district: 1,
+                c_warehouse: cw,
+                c_district: 2,
+                customer: 3,
+                amount: 1_000 + w * 10 + cw,
+            };
+            let o = db.payment(&p).unwrap();
+            assert!(o.committed, "({w},{cw})");
+            assert_eq!(o.attempts, 1, "({w},{cw}) restarted");
+        }
+    }
+    assert_eq!(db.store().coordinator_stats().restarts, 0);
+    let audit = db.audit().unwrap();
+    audit.assert_clean();
+    assert_eq!(audit.remote_payments, 12);
+}
