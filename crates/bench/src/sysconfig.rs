@@ -35,6 +35,39 @@ pub fn sensitivity_configs() -> Vec<NamedConfig> {
     ]
 }
 
+/// Host facts stamped into every `BENCH_*.json` sidecar so an archived
+/// artifact stays interpretable (was that p99 measured on 2 cores or 64?).
+///
+/// Values are pre-rendered JSON tokens — strings arrive quoted, numbers bare
+/// — because the sidecar writer is dependency-free and splices them in
+/// verbatim. Numeric entries (`host_cpus`, `bench_scale`) are visible to the
+/// `perf_gate` scanner but never gated.
+pub fn host_info() -> Vec<(String, String)> {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    vec![
+        ("os".to_string(), format!("\"{}\"", std::env::consts::OS)),
+        (
+            "arch".to_string(),
+            format!("\"{}\"", std::env::consts::ARCH),
+        ),
+        ("host_cpus".to_string(), cpus.to_string()),
+        (
+            "profile".to_string(),
+            if cfg!(debug_assertions) {
+                "\"debug\"".to_string()
+            } else {
+                "\"release\"".to_string()
+            },
+        ),
+        (
+            "bench_scale".to_string(),
+            format!("{:.6}", crate::scale_from_env()),
+        ),
+    ]
+}
+
 /// The three REWIND implementations of Sections 3.2–3.3.
 pub fn structure_configs() -> Vec<NamedConfig> {
     vec![

@@ -72,12 +72,17 @@ pub fn f(v: f64) -> String {
 /// writes them as `BENCH_<name>.json` — the artifact the CI perf-regression
 /// gate (`perf_gate`) checks against `ci/perf-thresholds.json`.
 ///
+/// Every sidecar also carries a `host` object
+/// ([`crate::sysconfig::host_info`]) so archived artifacts record the
+/// machine and scale they were measured on.
+///
 /// The output directory comes from `REWIND_BENCH_JSON_DIR` (default: the
 /// working directory). The format is deliberately flat so the gate needs no
 /// JSON dependency: every metric is a unique `"key": number` pair.
 #[derive(Debug, Default)]
 pub struct BenchJson {
     name: String,
+    host: Vec<(String, String)>,
     rows: Vec<Vec<(String, f64)>>,
     summary: Vec<(String, f64)>,
 }
@@ -87,6 +92,7 @@ impl BenchJson {
     pub fn new(name: &str) -> BenchJson {
         BenchJson {
             name: name.to_string(),
+            host: crate::sysconfig::host_info(),
             ..BenchJson::default()
         }
     }
@@ -113,6 +119,14 @@ impl BenchJson {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"bench\": \"{}\",\n", self.name));
+        out.push_str("  \"host\": {");
+        let host: Vec<String> = self
+            .host
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        out.push_str(&host.join(", "));
+        out.push_str("},\n");
         out.push_str("  \"summary\": {");
         let entries: Vec<String> = self
             .summary

@@ -159,6 +159,12 @@ pub struct NvmStats {
     power_cycles: AtomicU64,
     /// Simulated nanoseconds accumulated from the cost model.
     sim_ns: AtomicU64,
+    /// Nanoseconds actually waited out under latency emulation (spin or
+    /// sleep). Zero when [`CostModel::emulate_latency`] is off.
+    wait_ns: AtomicU64,
+    /// Portion of [`NvmStats::wait_ns`] attributable to persistent fences —
+    /// the dominant stall of the REWIND commit path (Figure 10's sweep).
+    fence_wait_ns: AtomicU64,
 }
 
 impl NvmStats {
@@ -219,6 +225,20 @@ impl NvmStats {
         }
     }
 
+    #[inline]
+    pub(crate) fn record_wait_ns(&self, ns: u64) {
+        if ns > 0 {
+            self.wait_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_fence_wait_ns(&self, ns: u64) {
+        if ns > 0 {
+            self.fence_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
     /// Adds an externally computed charge (e.g. the microbenchmark's
     /// calibrated computation cost) to the simulated-time accumulator.
     pub fn charge_external_ns(&self, ns: u64) {
@@ -238,6 +258,8 @@ impl NvmStats {
             frees: self.frees.load(Ordering::Relaxed),
             power_cycles: self.power_cycles.load(Ordering::Relaxed),
             sim_ns: self.sim_ns.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+            fence_wait_ns: self.fence_wait_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -265,6 +287,11 @@ pub struct StatsSnapshot {
     pub power_cycles: u64,
     /// Simulated nanoseconds accumulated.
     pub sim_ns: u64,
+    /// Nanoseconds actually waited under latency emulation (0 when
+    /// emulation is off — `sim_ns` still accounts the model's charges).
+    pub wait_ns: u64,
+    /// Portion of `wait_ns` spent stalled on persistent fences.
+    pub fence_wait_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -281,6 +308,8 @@ impl StatsSnapshot {
             frees: self.frees.saturating_sub(earlier.frees),
             power_cycles: self.power_cycles.saturating_sub(earlier.power_cycles),
             sim_ns: self.sim_ns.saturating_sub(earlier.sim_ns),
+            wait_ns: self.wait_ns.saturating_sub(earlier.wait_ns),
+            fence_wait_ns: self.fence_wait_ns.saturating_sub(earlier.fence_wait_ns),
         }
     }
 
@@ -303,6 +332,8 @@ impl StatsSnapshot {
             frees: self.frees + other.frees,
             power_cycles: self.power_cycles + other.power_cycles,
             sim_ns: self.sim_ns + other.sim_ns,
+            wait_ns: self.wait_ns + other.wait_ns,
+            fence_wait_ns: self.fence_wait_ns + other.fence_wait_ns,
         }
     }
 }
@@ -404,6 +435,21 @@ mod tests {
         let start = Instant::now();
         off.emulate_wait(1_000_000_000);
         assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn wait_accounting_tracks_emulated_stalls() {
+        let s = NvmStats::new();
+        s.record_wait_ns(500);
+        s.record_fence_wait_ns(200);
+        s.record_wait_ns(0); // zero is a no-op, not a counter bump
+        let snap = s.snapshot();
+        assert_eq!(snap.wait_ns, 500);
+        assert_eq!(snap.fence_wait_ns, 200);
+        let merged = snap.merge(&snap);
+        assert_eq!(merged.wait_ns, 1_000);
+        assert_eq!(merged.fence_wait_ns, 400);
+        assert_eq!(merged.since(&snap).wait_ns, 500);
     }
 
     #[test]

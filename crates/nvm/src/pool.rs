@@ -173,7 +173,17 @@ impl NvmPool {
     /// updates in the microbenchmarks) to the simulated-time accumulator.
     pub fn charge_compute_ns(&self, ns: u64) {
         self.stats.charge_external_ns(ns);
-        self.cfg.cost.emulate_wait(ns);
+        self.emulated_wait(ns);
+    }
+
+    /// Waits out `ns` under latency emulation and accounts the stall in
+    /// [`StatsSnapshot::wait_ns`]; a no-op when emulation is off.
+    #[inline]
+    fn emulated_wait(&self, ns: u64) {
+        if self.cfg.cost.emulate_latency && ns > 0 {
+            self.cfg.cost.emulate_wait(ns);
+            self.stats.record_wait_ns(ns);
+        }
     }
 
     /// The crash injector associated with this pool.
@@ -254,7 +264,7 @@ impl NvmPool {
         if last != line {
             self.stats.record_nvm_write();
             self.stats.charge_ns(self.cfg.cost.write_latency_ns);
-            self.cfg.cost.emulate_wait(self.cfg.cost.write_latency_ns);
+            self.emulated_wait(self.cfg.cost.write_latency_ns);
         }
     }
 
@@ -276,7 +286,7 @@ impl NvmPool {
         self.stats.record_read();
         if self.cfg.cost.read_latency_ns > 0 {
             self.stats.charge_ns(self.cfg.cost.read_latency_ns);
-            self.cfg.cost.emulate_wait(self.cfg.cost.read_latency_ns);
+            self.emulated_wait(self.cfg.cost.read_latency_ns);
         }
         self.volatile[self.word_index(addr)].load(Ordering::Acquire)
     }
@@ -385,7 +395,7 @@ impl NvmPool {
     pub fn clflush(&self, addr: PAddr) {
         self.stats.record_flush();
         self.stats.charge_ns(self.cfg.cost.flush_latency_ns);
-        self.cfg.cost.emulate_wait(self.cfg.cost.flush_latency_ns);
+        self.emulated_wait(self.cfg.cost.flush_latency_ns);
         let line = addr.cacheline();
         let interrupted = self.crash.on_persist_event();
         if interrupted {
@@ -418,7 +428,11 @@ impl NvmPool {
     pub fn sfence(&self) {
         self.stats.record_fence();
         self.stats.charge_ns(self.cfg.cost.fence_latency_ns);
-        self.cfg.cost.emulate_wait(self.cfg.cost.fence_latency_ns);
+        self.emulated_wait(self.cfg.cost.fence_latency_ns);
+        if self.cfg.cost.emulate_latency {
+            self.stats
+                .record_fence_wait_ns(self.cfg.cost.fence_latency_ns);
+        }
         self.crash.on_persist_event();
         // A fence ends any same-line write-combining window.
         self.last_persist_line.store(u64::MAX, Ordering::Relaxed);

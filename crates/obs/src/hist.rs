@@ -1,0 +1,357 @@
+//! Log-bucketed (HDR-style) latency histogram.
+//!
+//! Values are bucketed into octaves of [`SUB`] sub-buckets each, giving a
+//! bounded relative error of `1/SUB` (≈ 3 % with `SUB_BITS = 5`) across the
+//! full `u64` range while using a fixed 1920-slot table. [`Histogram::record`]
+//! is lock-free (one `fetch_add` per counter touched) so it can sit on commit
+//! paths; [`HistSnapshot`] is a plain copy that merges associatively, which is
+//! what lets per-shard or per-thread histograms aggregate into one store-wide
+//! distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32): bounds the relative quantile error at ~3 %.
+pub const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` value range.
+pub const BUCKETS: usize = SUB * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index for a value: exact below [`SUB`], logarithmic above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUB - 1);
+    SUB + shift as usize * SUB + sub
+}
+
+/// Inclusive lower bound of a bucket (inverse of [`bucket_index`]).
+#[inline]
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let shift = (i / SUB - 1) as u32;
+    let sub = (i % SUB) as u64;
+    (SUB as u64 + sub) << shift
+}
+
+/// Width of a bucket (1 in the linear region, `2^shift` above).
+#[inline]
+fn bucket_width(i: usize) -> u64 {
+    if i < SUB {
+        1
+    } else {
+        1u64 << (i / SUB - 1)
+    }
+}
+
+/// A lock-free, mergeable latency histogram with logarithmic buckets.
+///
+/// Units are the caller's business; the REWIND instrumentation records
+/// nanoseconds and converts to microseconds at reporting time.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one value. Lock-free: four relaxed atomic RMWs.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy. Concurrent `record`s may straddle the
+    /// copy; each is either wholly visible in a later snapshot or not — the
+    /// usual monotonic-counter caveat, harmless for reporting.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]; merges associatively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, accurate to one bucket width
+    /// (relative error ≤ `1/SUB` ≈ 3 %), clamped to the recorded min/max so
+    /// the extremes are exact. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extremes are tracked exactly; return them rather than a bucket
+        // midpoint.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let mid = bucket_lower(i) + bucket_width(i) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Component-wise sum with `other`. Associative and commutative, so any
+    /// merge tree over per-shard snapshots yields the same aggregate.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The estimated quantile must land within one bucket (≤ 1/SUB relative
+    /// error, +1 absolute for the integer grid) of the exact one.
+    fn assert_close(est: u64, exact: u64, q: f64) {
+        let tol = (exact as f64 / SUB as f64).max(1.0) + 1.0;
+        assert!(
+            (est as f64 - exact as f64).abs() <= tol,
+            "q={q}: estimated {est} vs exact {exact} (tol {tol})"
+        );
+    }
+
+    fn check_distribution(values: Vec<u64>) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(snap.count, values.len() as u64);
+        assert_eq!(snap.min, sorted[0]);
+        assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_close(snap.percentile(q), exact_percentile(&sorted, q), q);
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_lower_are_inverse_and_monotone() {
+        let mut prev = 0usize;
+        for v in (0..4096u64).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(i >= prev || v < 4096, "index must not regress");
+            prev = prev.max(i);
+            let lo = bucket_lower(i);
+            let w = bucket_width(i);
+            assert!(v >= lo && (v - lo) < w, "v={v} outside bucket [{lo}, +{w})");
+            assert!(i < BUCKETS);
+        }
+    }
+
+    #[test]
+    fn percentiles_match_exact_on_uniform() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let values: Vec<u64> = (0..20_000)
+            .map(|_| rng.gen_range(1..1_000_000u64))
+            .collect();
+        check_distribution(values);
+    }
+
+    #[test]
+    fn percentiles_match_exact_on_bimodal() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let values: Vec<u64> = (0..20_000)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    rng.gen_range(100..200u64)
+                } else {
+                    rng.gen_range(1_000_000..2_000_000u64)
+                }
+            })
+            .collect();
+        check_distribution(values);
+    }
+
+    #[test]
+    fn percentiles_match_exact_on_heavy_tail() {
+        // Pareto-ish: x = floor(100 / u^2) spans five orders of magnitude.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+        let values: Vec<u64> = (0..20_000)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(1e-3);
+                (100.0 / (u * u)) as u64
+            })
+            .collect();
+        check_distribution(values);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_single_histogram() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                (0..5_000)
+                    .map(|_| rng.gen_range(1..10_000_000u64))
+                    .collect()
+            })
+            .collect();
+        let snaps: Vec<HistSnapshot> = parts
+            .iter()
+            .map(|vs| {
+                let h = Histogram::new();
+                for &v in vs {
+                    h.record(v);
+                }
+                h.snapshot()
+            })
+            .collect();
+        let left = snaps[0].merge(&snaps[1]).merge(&snaps[2]);
+        let right = snaps[0].merge(&snaps[1].merge(&snaps[2]));
+        assert_eq!(left, right, "merge must be associative");
+
+        let all = Histogram::new();
+        for vs in &parts {
+            for &v in vs {
+                all.record(v);
+            }
+        }
+        assert_eq!(left, all.snapshot(), "merged parts equal the whole");
+        let empty = HistSnapshot::default();
+        assert_eq!(empty.merge(&left), left, "empty is the identity");
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..per {
+                        h.record(t * per + i + 1);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, threads * per);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, threads * per);
+        assert_eq!(snap.sum, (threads * per) * (threads * per + 1) / 2);
+    }
+
+    #[test]
+    fn empty_and_degenerate_histograms() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.percentile(1.0), u64::MAX);
+    }
+}

@@ -103,6 +103,9 @@ pub struct RecoverableLog {
     /// by [`RecoverableLog::clear_all`], which swaps the list wholesale.
     header: AtomicU64,
     inner: Mutex<LogInner>,
+    /// Observability handle: group-boundary trace events. Disabled unless
+    /// installed via [`RecoverableLog::with_obs`].
+    obs: rewind_obs::Obs,
 }
 
 impl RecoverableLog {
@@ -121,7 +124,15 @@ impl RecoverableLog {
                 live_records: 0,
                 appended: 0,
             }),
+            obs: rewind_obs::Obs::disabled(),
         })
+    }
+
+    /// Installs an observability handle (builder-style, before the log is
+    /// shared): Batch group boundaries emit `LogGroupSeal` events into it.
+    pub(crate) fn with_obs(mut self, obs: rewind_obs::Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Re-attaches to a log whose ADLL header lives at `header` and rebuilds
@@ -140,6 +151,7 @@ impl RecoverableLog {
                 live_records: 0,
                 appended: 0,
             }),
+            obs: rewind_obs::Obs::disabled(),
         };
         log.recover_structures()?;
         Ok(log)
@@ -243,6 +255,12 @@ impl RecoverableLog {
                 let bucket_full = group_end >= self.bucket_size;
                 let is_end = record.rtype == RecordType::End;
                 if group_full || bucket_full || is_end {
+                    self.obs.emit(
+                        rewind_obs::EventKind::LogGroupSeal,
+                        0,
+                        (group_end - inner.buckets.group_start) as u64,
+                        0,
+                    );
                     bucket.persist_group(&self.pool, inner.buckets.group_start, group_end);
                     inner.buckets.group_start = group_end;
                 }
@@ -268,6 +286,12 @@ impl RecoverableLog {
         if let Some(bucket) = inner.buckets.current {
             let end = inner.buckets.next_cell;
             if end > inner.buckets.group_start {
+                self.obs.emit(
+                    rewind_obs::EventKind::LogGroupSeal,
+                    0,
+                    (end - inner.buckets.group_start) as u64,
+                    0,
+                );
                 bucket.persist_group(&self.pool, inner.buckets.group_start, end);
                 inner.buckets.group_start = end;
             }

@@ -28,8 +28,23 @@ use crate::config::Policy;
 use crate::record::{LogRecord, RecordType};
 use crate::txn::{analyze_records, Backend, RecordLocation, TransactionManager, TxStatus};
 use crate::Result;
+use rewind_obs::{EventKind, Obs};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
+
+/// Emits a `RecoveryPhase` event for the phase that just finished and
+/// restarts the phase clock (no-op while tracing is disabled).
+fn phase_mark(obs: &Obs, phase: u64, t: &mut Option<std::time::Instant>) {
+    if let Some(t0) = *t {
+        obs.emit(
+            EventKind::RecoveryPhase,
+            0,
+            phase,
+            t0.elapsed().as_nanos() as u64,
+        );
+        *t = obs.clock();
+    }
+}
 
 /// What a recovery pass did, for observability and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +93,9 @@ impl TransactionManager {
     pub fn recover(&self) -> Result<RecoveryReport> {
         self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
         let mut report = RecoveryReport::default();
+        let t_total = self.obs.clock();
+        let mut t_phase = t_total;
+        self.obs.emit(EventKind::RecoveryStart, 0, 0, 0);
 
         // Phase 0: the log recovers itself.
         match &self.backend {
@@ -86,6 +104,7 @@ impl TransactionManager {
                 index.recover()?;
             }
         }
+        phase_mark(&self.obs, 0, &mut t_phase);
 
         // Phase 1: analysis. Besides transaction statuses and counters this
         // rebuilds the volatile per-transaction slot registries (and the
@@ -108,6 +127,7 @@ impl TransactionManager {
         *self.ckpt_slots.lock() = analysis.markers;
         report.finished = table.values().filter(|s| **s == TxStatus::Finished).count() as u64;
         report.in_doubt = table.values().filter(|s| **s == TxStatus::Prepared).count() as u64;
+        phase_mark(&self.obs, 1, &mut t_phase);
 
         // Phase 2: redo (no-force only) — repeat history.
         if self.cfg.policy == Policy::NoForce {
@@ -121,6 +141,7 @@ impl TransactionManager {
                 }
             }
         }
+        phase_mark(&self.obs, 2, &mut t_phase);
 
         // Phase 3: undo all unfinished transactions — except prepared ones,
         // which made a durable promise to hold still until the coordinator's
@@ -148,6 +169,8 @@ impl TransactionManager {
                 self.stats.rolled_back.fetch_add(1, Ordering::Relaxed);
             }
         }
+
+        phase_mark(&self.obs, 3, &mut t_phase);
 
         // Under no-force the data restored by redo/undo lives in the cache;
         // make the recovered image durable before declaring victory.
@@ -224,6 +247,12 @@ impl TransactionManager {
                 .lock()
                 .retain(|_, h| h.lock().status == TxStatus::Prepared);
             self.ckpt_slots.lock().clear();
+        }
+        phase_mark(&self.obs, 4, &mut t_phase);
+        if let Some(t0) = t_total {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.obs.metrics().recovery_ns.record(ns);
+            self.obs.emit(EventKind::RecoveryDone, 0, 0, ns);
         }
         *self.last_recovery.lock() = Some(report);
         Ok(report)

@@ -29,6 +29,7 @@ use crate::record::{LogRecord, RecordType, RECORD_SIZE};
 use crate::{Result, RewindError};
 use parking_lot::Mutex;
 use rewind_nvm::{NvmPool, PAddr};
+use rewind_obs::{EventKind, Obs};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -271,6 +272,12 @@ pub struct TransactionManager {
     pub(crate) last_recovery: Mutex<Option<crate::recovery::RecoveryReport>>,
     /// Serializes checkpoints and whole-log clearing against each other.
     pub(crate) checkpoint_lock: Mutex<()>,
+    /// Observability handle: lifecycle trace events and commit/recovery
+    /// latency histograms. Disabled (single-branch no-ops) unless the
+    /// manager was created through
+    /// [`TransactionManager::create_with_obs`] /
+    /// [`TransactionManager::open_with_obs`] with an enabled handle.
+    pub(crate) obs: Obs,
 }
 
 impl TransactionManager {
@@ -281,8 +288,17 @@ impl TransactionManager {
     /// Creates a fresh REWIND instance in `pool`, overwriting any existing
     /// root. Use [`TransactionManager::open`] to attach to existing data.
     pub fn create(pool: Arc<NvmPool>, cfg: RewindConfig) -> Result<Self> {
+        Self::create_with_obs(pool, cfg, Obs::disabled())
+    }
+
+    /// [`TransactionManager::create`] with an explicit observability handle:
+    /// transaction lifecycle events and commit latency flow into `obs` when
+    /// it is enabled.
+    pub fn create_with_obs(pool: Arc<NvmPool>, cfg: RewindConfig, obs: Obs) -> Result<Self> {
         let backend = match cfg.layers {
-            LogLayers::OneLayer => Backend::One(RecoverableLog::create(Arc::clone(&pool), &cfg)?),
+            LogLayers::OneLayer => {
+                Backend::One(RecoverableLog::create(Arc::clone(&pool), &cfg)?.with_obs(obs.clone()))
+            }
             LogLayers::TwoLayer => Backend::Two(Aavlt::create(Arc::clone(&pool), &cfg)?),
         };
         let tm = TransactionManager {
@@ -297,6 +313,7 @@ impl TransactionManager {
             records_since_checkpoint: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
             last_recovery: Mutex::new(None),
+            obs,
         };
         tm.persist_root();
         tm.pool.mark_in_use();
@@ -307,9 +324,14 @@ impl TransactionManager {
     /// if the pool holds none. If the pool was not shut down cleanly the full
     /// recovery procedure runs before the manager is returned.
     pub fn open(pool: Arc<NvmPool>, cfg: RewindConfig) -> Result<Self> {
+        Self::open_with_obs(pool, cfg, Obs::disabled())
+    }
+
+    /// [`TransactionManager::open`] with an explicit observability handle.
+    pub fn open_with_obs(pool: Arc<NvmPool>, cfg: RewindConfig, obs: Obs) -> Result<Self> {
         let root = pool.user_root();
         if pool.read_u64(root.word(RW_MAGIC)) != ROOT_MAGIC {
-            return Self::create(pool, cfg);
+            return Self::create_with_obs(pool, cfg, obs);
         }
         let stored = pool.read_u64(root.word(RW_FINGERPRINT));
         if stored != cfg.fingerprint() {
@@ -321,7 +343,9 @@ impl TransactionManager {
         let backend = match cfg.layers {
             LogLayers::OneLayer => {
                 let header = PAddr::new(pool.read_u64(root.word(RW_LOG_HEADER)));
-                Backend::One(RecoverableLog::attach(Arc::clone(&pool), &cfg, header)?)
+                Backend::One(
+                    RecoverableLog::attach(Arc::clone(&pool), &cfg, header)?.with_obs(obs.clone()),
+                )
             }
             LogLayers::TwoLayer => {
                 let index_root = crate::aavlt::AavltRoot {
@@ -343,6 +367,7 @@ impl TransactionManager {
             records_since_checkpoint: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
             last_recovery: Mutex::new(None),
+            obs,
         };
         if !pool.was_clean_shutdown() {
             tm.recover()?;
@@ -434,6 +459,12 @@ impl TransactionManager {
         &self.cfg
     }
 
+    /// The observability handle this manager records into (disabled unless
+    /// one was supplied at creation).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Number of live log records (both layers).
     pub fn log_len(&self) -> u64 {
         match &self.backend {
@@ -500,6 +531,7 @@ impl TransactionManager {
         self.table
             .lock()
             .insert(id, Arc::new(Mutex::new(TxEntry::new(TxStatus::Running))));
+        self.obs.emit(EventKind::TxnBegin, id, 0, 0);
         id
     }
 
@@ -565,11 +597,19 @@ impl TransactionManager {
     /// The whole path costs O(the transaction's own record count): clearing
     /// consumes the volatile slot registry instead of rescanning the log.
     pub fn commit(&self, tx: TxId) -> Result<()> {
+        let t0 = self.obs.clock();
         let handle = self.running_handle(tx)?;
         if self.cfg.policy == Policy::Force {
             self.pool.sfence();
+            self.obs.emit(EventKind::TxnFence, tx, 0, 0);
         }
-        self.commit_with(tx, &handle)
+        self.commit_with(tx, &handle)?;
+        if t0.is_some() {
+            let ns = Obs::elapsed_ns(t0);
+            self.obs.metrics().commit_ns.record(ns);
+            self.obs.emit(EventKind::TxnCommit, tx, ns, 0);
+        }
+        Ok(())
     }
 
     /// The shared commit tail (END record, status flip, force-policy
@@ -613,6 +653,7 @@ impl TransactionManager {
             log.flush_pending()?;
         }
         self.pool.sfence();
+        self.obs.emit(EventKind::TxnFence, tx, 0, 0);
         handle.lock().status = TxStatus::Prepared;
         self.stats.prepared.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -716,6 +757,7 @@ impl TransactionManager {
     /// ([`TransactionManager::rollback`]) or a Prepared one
     /// ([`TransactionManager::rollback_prepared`]).
     fn rollback_with(&self, tx: TxId, handle: &TxHandle) -> Result<()> {
+        self.obs.emit(EventKind::TxnRollback, tx, 0, 0);
         let mut rollback_marker = LogRecord::rollback(self.next_lsn(), tx);
         self.append_with(tx, Some(handle), &mut rollback_marker)?;
         handle.lock().status = TxStatus::Aborted;
@@ -842,6 +884,7 @@ impl TransactionManager {
         self.stats.records_logged.fetch_add(1, Ordering::Relaxed);
         self.records_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
+        self.obs.emit(EventKind::TxnAppend, tx, rec.lsn, 0);
         match &self.backend {
             Backend::One(log) => {
                 let (addr, slot) = log.append(rec)?;

@@ -17,7 +17,11 @@
 //! * [`tpcc`] — the modified TPC-C (new-order) workload of Section 5.3;
 //! * [`shard`] — the scale-out front-end: a [`ShardedStore`](shard::ShardedStore)
 //!   that hash-partitions keys across independent pool+manager+tree shards
-//!   and batches concurrent writes into per-shard group commits.
+//!   and batches concurrent writes into per-shard group commits;
+//! * [`obs`] — the lock-free tracing and metrics layer: atomic latency
+//!   histograms, per-thread trace rings covering the transaction / group-
+//!   commit / 2PC lifecycle, and the [`TraceDump`](obs::TraceDump) forensic
+//!   sink the crash-matrix suites print on oracle failure.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@
 
 pub use rewind_core as core;
 pub use rewind_nvm as nvm;
+pub use rewind_obs as obs;
 pub use rewind_pagestore as pagestore;
 pub use rewind_pds as pds;
 pub use rewind_shard as shard;
@@ -57,6 +62,7 @@ pub mod prelude {
         TransactionManager, TxId,
     };
     pub use rewind_nvm::{CostModel, CrashMode, NvmPool, PAddr, PoolConfig};
+    pub use rewind_obs::{MetricsSnapshot, Obs, TraceDump};
     pub use rewind_pagestore::{KvStore, Personality};
     pub use rewind_pds::{Backing, PBTree, PList, PTable, TxToken, Value};
     pub use rewind_shard::{CoordinatorStats, ShardConfig, ShardStats, ShardedStore, StoreTx};

@@ -70,6 +70,7 @@ use crate::store::ShardedStore;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rewind_core::{Result, RewindError};
 use rewind_nvm::{NvmPool, PAddr};
+use rewind_obs::{EventKind, Obs};
 use rewind_pds::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -314,8 +315,10 @@ impl DecisionLog {
     }
 }
 
-/// Point-in-time counters of the cross-shard coordinator, exposed through
-/// [`ShardedStore::coordinator_stats`](crate::ShardedStore::coordinator_stats).
+/// Point-in-time counters of the cross-shard coordinator, folded into
+/// [`ShardStats::coord`](crate::ShardStats::coord) so one
+/// [`ShardedStore::stats`](crate::ShardedStore::stats) call reports the
+/// whole store.
 ///
 /// `restarts` counts lock-ordered attempts that were rolled back and re-run
 /// because a shard was discovered, contended, below the held lock frontier;
@@ -342,17 +345,19 @@ pub(crate) struct Coordinator {
     decisions: DecisionLog,
     restarts: AtomicU64,
     serial_fallbacks: AtomicU64,
+    obs: Obs,
 }
 
 impl Coordinator {
     /// Creates the coordinator for a fresh store, formatting its decision
     /// table in `pool0` (shard 0's pool).
-    pub(crate) fn create(pool0: Arc<NvmPool>) -> Result<Coordinator> {
+    pub(crate) fn create(pool0: Arc<NvmPool>, obs: Obs) -> Result<Coordinator> {
         Ok(Coordinator {
             gate: RwLock::new(()),
             decisions: DecisionLog::create(pool0)?,
             restarts: AtomicU64::new(0),
             serial_fallbacks: AtomicU64::new(0),
+            obs,
         })
     }
 
@@ -408,6 +413,8 @@ impl Coordinator {
             // drop part of the transaction's intent.
             if let Some(idx) = tx.restart {
                 self.restarts.fetch_add(1, Ordering::Relaxed);
+                self.obs.metrics().restarts.incr();
+                self.obs.emit(EventKind::LockOrderRestart, 0, idx as u64, 0);
                 needed[idx] = true;
                 // Carry over every shard the attempt had already joined,
                 // not just the contended one: the retry then pre-locks the
@@ -429,6 +436,8 @@ impl Coordinator {
                 // contract ("the coordinator re-runs") either way.
                 Err(RewindError::LockOrderRestart(idx)) => {
                     self.restarts.fetch_add(1, Ordering::Relaxed);
+                    self.obs.metrics().restarts.incr();
+                    self.obs.emit(EventKind::LockOrderRestart, 0, idx as u64, 0);
                     needed[idx.min(shards - 1)] = true;
                     tx.note_joined(&mut needed);
                     tx.abort_all()?;
@@ -443,6 +452,8 @@ impl Coordinator {
         // ascending order — no discovery can be out of order, so exactly one
         // more run settles the transaction.
         self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.obs.metrics().serial_fallbacks.incr();
+        self.obs.emit(EventKind::SerialFallback, 0, 0, 0);
         let _exclusive = self.exclusive();
         let mut tx = StoreTx::new(store, false);
         let all = vec![true; shards];
@@ -596,6 +607,7 @@ impl<'a> StoreTx<'a> {
     /// through the record-less read-only path; writers take one-phase
     /// commit when alone and the full two-phase protocol otherwise.
     fn finish_commit(&mut self, decisions: &DecisionLog) -> Result<()> {
+        let obs = self.store.obs();
         let (writers, readers): (Vec<Participant<'a>>, Vec<Participant<'a>>) =
             self.parts.drain(..).flatten().partition(Participant::wrote);
         match writers.len() {
@@ -608,7 +620,7 @@ impl<'a> StoreTx<'a> {
                 let released = Self::release(readers);
                 outcome.and(released)
             }
-            _ => Self::two_phase(decisions, &writers, readers),
+            _ => Self::two_phase(obs, decisions, &writers, readers),
         }
     }
 
@@ -627,26 +639,31 @@ impl<'a> StoreTx<'a> {
     }
 
     fn two_phase(
+        obs: &Obs,
         decisions: &DecisionLog,
         writers: &[Participant<'a>],
         readers: Vec<Participant<'a>>,
     ) -> Result<()> {
+        let t0 = obs.clock();
         // Every exit below must settle all participants — a bare `?` here
         // would drop them with their uncommitted tree writes still visible
         // (and their Running transactions leaked in the per-shard tables).
-        let abort_everything = |writers: &[Participant<'a>], readers: Vec<Participant<'a>>| {
-            for q in writers {
-                let _ = q.abort();
-            }
-            let _ = Self::release(readers);
-        };
+        let abort_everything =
+            |gtid: u64, writers: &[Participant<'a>], readers: Vec<Participant<'a>>| {
+                for q in writers {
+                    obs.emit(EventKind::TwoPcAbortPart, gtid, q.shard_id() as u64, 0);
+                    let _ = q.abort();
+                }
+                let _ = Self::release(readers);
+            };
         let gtid = match decisions.allocate_gtid() {
             Ok(gtid) => gtid,
             Err(e) => {
-                abort_everything(writers, readers);
+                abort_everything(0, writers, readers);
                 return Err(e);
             }
         };
+        obs.emit(EventKind::TwoPcStart, gtid, writers.len() as u64, 0);
 
         // Phase 1: prepare every writer. Any failure aborts the whole
         // transaction — already-prepared participants roll back through the
@@ -656,9 +673,16 @@ impl<'a> StoreTx<'a> {
         // rollbacks here. Read-only participants skip the phase: nothing to
         // make durable, nothing to leave in doubt.
         for p in writers {
+            let tp = obs.clock();
             if let Err(e) = p.prepare(gtid) {
-                abort_everything(writers, readers);
+                obs.emit(EventKind::TwoPcDecision, gtid, 0, 0);
+                abort_everything(gtid, writers, readers);
                 return Err(e);
+            }
+            if tp.is_some() {
+                let ns = Obs::elapsed_ns(tp);
+                obs.metrics().prepare_ns.record(ns);
+                obs.emit(EventKind::TwoPcPrepare, gtid, p.shard_id() as u64, ns);
             }
         }
 
@@ -667,9 +691,11 @@ impl<'a> StoreTx<'a> {
         // everyone back (presumed abort covers any participant that is
         // beyond reach).
         if let Err(e) = decisions.record_commit(gtid) {
-            abort_everything(writers, readers);
+            obs.emit(EventKind::TwoPcDecision, gtid, 0, 0);
+            abort_everything(gtid, writers, readers);
             return Err(e);
         }
+        obs.emit(EventKind::TwoPcDecision, gtid, 1, 0);
 
         // The outcome is final: release the read-only participants now.
         // Their locks kept the values they read stable up to the commit
@@ -690,7 +716,10 @@ impl<'a> StoreTx<'a> {
         let mut first_err = readers_released.err();
         for p in writers {
             match p.commit_prepared() {
-                Ok(acked) => all_acked &= acked,
+                Ok(acked) => {
+                    all_acked &= acked;
+                    obs.emit(EventKind::TwoPcCommitPart, gtid, p.shard_id() as u64, 0);
+                }
                 Err(e) => {
                     all_acked = false;
                     first_err.get_or_insert(e);
@@ -699,6 +728,10 @@ impl<'a> StoreTx<'a> {
         }
         if all_acked {
             decisions.forget(gtid);
+            obs.emit(EventKind::TwoPcRetire, gtid, 0, 0);
+        }
+        if t0.is_some() {
+            obs.metrics().two_phase_ns.record(Obs::elapsed_ns(t0));
         }
         match first_err {
             None => Ok(()),

@@ -104,4 +104,5 @@ pub use shard::ShardTx;
 pub use store::{ShardSnapshot, ShardStats, ShardedStore};
 
 pub use rewind_core::{Result, RewindError};
+pub use rewind_obs::{Obs, TraceDump};
 pub use rewind_pds::Value;

@@ -6,6 +6,7 @@ use crate::group::{GroupCommitStats, GroupQueue, OpSlot, Pending, WriteOp};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use rewind_core::{RecoveryReport, Result, RewindError, TransactionManager, TxId};
 use rewind_nvm::{NvmPool, PAddr, PoolConfig};
+use rewind_obs::{EventKind, Obs};
 use rewind_pds::{Backing, PBTree, TxToken, Value};
 use std::cell::Cell;
 use std::sync::Arc;
@@ -44,17 +45,24 @@ pub(crate) struct Shard {
     queue: Mutex<GroupQueue>,
     queue_cv: Condvar,
     stats: GroupCommitStats,
+    /// Store-wide observability handle (shared with every other shard and
+    /// the coordinator, so the trace rings merge into one timeline).
+    obs: Obs,
 }
 
 impl Shard {
     /// Creates shard `id` of `cfg.shards` with a fresh pool and tree.
-    pub(crate) fn create(id: usize, cfg: ShardConfig) -> Result<Self> {
+    pub(crate) fn create(id: usize, cfg: ShardConfig, obs: Obs) -> Result<Self> {
         let pool = NvmPool::new(
             PoolConfig::with_capacity(cfg.shard_capacity)
                 .cost(cfg.cost)
                 .crash_mode(cfg.crash_mode),
         );
-        let tm = Arc::new(TransactionManager::create(Arc::clone(&pool), cfg.rewind)?);
+        let tm = Arc::new(TransactionManager::create_with_obs(
+            Arc::clone(&pool),
+            cfg.rewind,
+            obs.clone(),
+        )?);
         let tree = PBTree::create(Backing::rewind(Arc::clone(&tm)))?;
         let root = pool.user_root();
         pool.write_u64_nt(root.word(SW_TREE_HEADER), tree.header().offset());
@@ -75,6 +83,7 @@ impl Shard {
             queue: Mutex::new(GroupQueue::default()),
             queue_cv: Condvar::new(),
             stats: GroupCommitStats::default(),
+            obs,
         })
     }
 
@@ -103,9 +112,10 @@ impl Shard {
     /// recovery pass ran.
     pub(crate) fn reopen(&self) -> Result<Option<RecoveryReport>> {
         let mut inner = self.inner.lock();
-        let tm = Arc::new(TransactionManager::open(
+        let tm = Arc::new(TransactionManager::open_with_obs(
             Arc::clone(&self.pool),
             self.cfg.rewind,
+            self.obs.clone(),
         )?);
         let root = self.pool.user_root();
         if self.pool.read_u64(root.word(SW_MAGIC)) != SHARD_MAGIC {
@@ -223,6 +233,11 @@ impl Shard {
             q.leader_active = true;
             let n = q.ops.len().min(self.cfg.max_group);
             let batch: Vec<Pending> = q.ops.drain(..n).collect();
+            if self.obs.is_enabled() {
+                self.obs.metrics().group_queue_depth.set(q.ops.len() as u64);
+                self.obs
+                    .emit(EventKind::GroupForm, 0, batch.len() as u64, self.id as u64);
+            }
             drop(q);
             self.commit_group(batch);
             q = self.queue.lock();
@@ -264,6 +279,7 @@ impl Shard {
                 }
             }
         }
+        let t0 = self.obs.clock();
         let outcome = match failure {
             None => inner.tm.commit(tx),
             Some(e) => {
@@ -273,6 +289,12 @@ impl Shard {
         };
         match outcome {
             Ok(()) => {
+                if t0.is_some() {
+                    let ns = Obs::elapsed_ns(t0);
+                    self.obs.metrics().group_flush_ns.record(ns);
+                    self.obs
+                        .emit(EventKind::GroupFlush, 0, batch.len() as u64, ns);
+                }
                 self.stats.record_commit(batch.len());
                 for (p, r) in batch.iter().zip(results) {
                     p.slot.put(r);
@@ -353,6 +375,7 @@ impl Shard {
         inner: MutexGuard<'a, ShardInner>,
     ) -> Result<Participant<'a>> {
         self.check_open(&inner)?;
+        self.obs.emit(EventKind::CoordJoin, 0, self.id as u64, 0);
         let tx = inner.tm.begin();
         Ok(Participant {
             shard_id: self.id,
@@ -421,6 +444,11 @@ impl std::fmt::Debug for Participant<'_> {
 }
 
 impl Participant<'_> {
+    /// The shard this participant runs on (trace/forensics labelling).
+    pub(crate) fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
     /// Reads `key` inside the transaction (sees the transaction's own
     /// uncommitted writes; reads are not logged).
     pub(crate) fn get(&self, key: u64) -> Option<Value> {

@@ -2,11 +2,12 @@
 //! aggregated statistics.
 
 use crate::config::ShardConfig;
-use crate::coordinator::{Coordinator, StoreTx};
+use crate::coordinator::{Coordinator, CoordinatorStats, StoreTx};
 use crate::group::{GroupCommitSnapshot, WriteOp};
 use crate::shard::{Shard, ShardTx};
 use rewind_core::{RecoveryReport, Result, TmStatsSnapshot};
 use rewind_nvm::{AllocStats, NvmPool, StatsSnapshot};
+use rewind_obs::{EventKind, Obs};
 use rewind_pds::Value;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,24 +42,44 @@ pub struct ShardedStore {
     /// gate for lock-ordered concurrent transactions + the persistent
     /// decision table in shard 0's pool).
     coord: Coordinator,
+    /// Store-wide observability handle: one handle shared by every shard,
+    /// transaction manager and the coordinator, so all trace events merge
+    /// into a single sequence-ordered timeline. Enabled by the
+    /// `REWIND_TRACE` environment variable or [`rewind_obs::Obs::set_enabled`].
+    obs: Obs,
 }
 
 impl ShardedStore {
     /// Creates a fresh store: `cfg.shards` pools, transaction managers and
     /// trees, initialized in parallel (shards share nothing).
     pub fn create(cfg: ShardConfig) -> Result<Self> {
+        let obs = Obs::from_env();
         let mut slots: Vec<Option<Result<Shard>>> = (0..cfg.shards).map(|_| None).collect();
         std::thread::scope(|s| {
             for (id, slot) in slots.iter_mut().enumerate() {
-                s.spawn(move || *slot = Some(Shard::create(id, cfg)));
+                let obs = obs.clone();
+                s.spawn(move || *slot = Some(Shard::create(id, cfg, obs)));
             }
         });
         let shards = slots
             .into_iter()
             .map(|slot| slot.expect("shard creation thread completed"))
             .collect::<Result<Vec<_>>>()?;
-        let coord = Coordinator::create(Arc::clone(shards[0].pool()))?;
-        Ok(ShardedStore { shards, cfg, coord })
+        let coord = Coordinator::create(Arc::clone(shards[0].pool()), obs.clone())?;
+        Ok(ShardedStore {
+            shards,
+            cfg,
+            coord,
+            obs,
+        })
+    }
+
+    /// The store's observability handle (tracing + latency metrics). The
+    /// same handle is threaded through every shard's transaction manager
+    /// and the 2PC coordinator; `obs().dump()` therefore yields one merged,
+    /// sequence-ordered timeline across the whole store.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The configuration the store was created with.
@@ -337,9 +358,12 @@ impl ShardedStore {
         // against new cross-shard transactions (which take the gate shared).
         let _exclusive = self.coord.exclusive();
         let mut all_acked = true;
-        for shard in &self.shards {
+        for (idx, shard) in self.shards.iter().enumerate() {
             for (txid, gtid) in shard.in_doubt()? {
+                self.obs.emit(EventKind::TwoPcInDoubt, gtid, idx as u64, 0);
                 let commit = self.coord.decisions().decided_commit(gtid);
+                self.obs
+                    .emit(EventKind::TwoPcResolve, gtid, idx as u64, commit as u64);
                 all_acked &= shard.resolve_prepared(txid, commit)?;
             }
         }
@@ -375,18 +399,25 @@ impl ShardedStore {
     // Statistics
     // ------------------------------------------------------------------
 
-    /// Restart/fallback counters of the cross-shard coordinator since store
-    /// creation. A workload whose transactions declare their write sets via
-    /// [`ShardedStore::transact_keys`] should observe zero restarts here.
-    pub fn coordinator_stats(&self) -> crate::coordinator::CoordinatorStats {
+    /// Lock-free snapshot of just the cross-shard coordinator's
+    /// restart/fallback counters (the `coord` component of [`Self::stats`]).
+    ///
+    /// Unlike [`Self::stats`], which locks every shard to aggregate their
+    /// counters, this reads two atomics — so it is safe to call from inside
+    /// an open transaction (e.g. a test camping on a shard lock while it
+    /// waits for a contending coordinator to restart).
+    pub fn coord_stats(&self) -> CoordinatorStats {
         self.coord.stats()
     }
 
-    /// Aggregated statistics across every shard.
+    /// Aggregated statistics across every shard, including the cross-shard
+    /// coordinator's restart/fallback counters — one snapshot call reports
+    /// the whole store.
     pub fn stats(&self) -> ShardStats {
         let per_shard = self.per_shard_stats();
         let mut agg = ShardStats {
             shards: per_shard.len(),
+            coord: self.coord.stats(),
             ..ShardStats::default()
         };
         for s in &per_shard {
@@ -458,6 +489,10 @@ pub struct ShardStats {
     /// Summed allocator counters (the `frontier` component reads as the
     /// aggregate bump-allocated footprint across shards).
     pub alloc: AllocStats,
+    /// Restart/fallback counters of the cross-shard coordinator since store
+    /// creation. A workload whose transactions declare their write sets via
+    /// [`ShardedStore::transact_keys`] should observe zero restarts here.
+    pub coord: CoordinatorStats,
     /// Merged recovery reports of the most recent [`ShardedStore::recover`].
     pub last_recovery: Option<RecoveryReport>,
 }
@@ -534,7 +569,7 @@ mod tests {
     #[test]
     fn coordinator_stats_track_restarts_and_fallbacks() {
         let store = small(4);
-        assert_eq!(store.coordinator_stats(), Default::default());
+        assert_eq!(store.stats().coord, Default::default());
         // A declared write set never restarts.
         let keys: Vec<u64> = (0..3)
             .map(|s| (0..200).find(|k| store.shard_of(*k) == s).unwrap())
@@ -547,7 +582,7 @@ mod tests {
                 Ok(())
             })
             .unwrap();
-        assert_eq!(store.coordinator_stats(), Default::default());
+        assert_eq!(store.stats().coord, Default::default());
         // A closure that keeps echoing the restart marker burns the whole
         // budget and lands in the serial fallback; both counters see it.
         let runs = std::cell::Cell::new(0u32);
@@ -561,7 +596,7 @@ mod tests {
                 Ok(())
             })
             .unwrap();
-        let stats = store.coordinator_stats();
+        let stats = store.stats().coord;
         assert_eq!(stats.restarts, 4);
         assert_eq!(stats.serial_fallbacks, 1);
     }

@@ -33,6 +33,7 @@ use crate::Result;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rewind_core::RewindError;
+use rewind_obs::Histogram;
 use rewind_shard::{ShardConfig, ShardedStore, Value};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -541,18 +542,26 @@ impl ShardedTpcc {
     ) -> Result<ShardedTpccReport> {
         let before_nvm = self.store.stats().nvm;
         let start = Instant::now();
+        // Per-transaction-type latency histograms: lock-free records shared
+        // by every terminal thread, flattened to percentiles in the report.
+        let new_order_ns = Histogram::new();
+        let payment_ns = Histogram::new();
         let mut slots: Vec<Tally> = (0..terminals).map(|_| Tally::default()).collect();
         std::thread::scope(|s| {
             for (t, slot) in slots.iter_mut().enumerate() {
                 let db = &self;
+                let new_order_ns = &new_order_ns;
+                let payment_ns = &payment_ns;
                 s.spawn(move || {
                     let home = (t as u64 % db.cfg.warehouses) + 1;
                     let mut rng = SmallRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37_79B9));
                     for _ in 0..per_terminal {
+                        let t0 = Instant::now();
                         let outcome = if rng.gen_range(0..100) < mix.new_order_pct {
                             let p = NewOrder::random(&mut rng, home, &db.cfg, &mix);
                             match db.new_order(&p) {
                                 Ok(o) => {
+                                    new_order_ns.record(t0.elapsed().as_nanos() as u64);
                                     slot.note_new_order(&p, o);
                                     o
                                 }
@@ -565,6 +574,7 @@ impl ShardedTpcc {
                             let p = Payment::random(&mut rng, home, &db.cfg, &mix);
                             match db.payment(&p) {
                                 Ok(o) => {
+                                    payment_ns.record(t0.elapsed().as_nanos() as u64);
                                     slot.note_payment(&p, o);
                                     o
                                 }
@@ -593,6 +603,8 @@ impl ShardedTpcc {
         } else {
             wall + sim_ns as f64 / 1e9
         };
+        let no = new_order_ns.snapshot();
+        let pay = payment_ns.snapshot();
         Ok(ShardedTpccReport {
             new_orders_committed: total.new_orders_committed,
             new_orders_aborted: total.new_orders_aborted,
@@ -606,6 +618,10 @@ impl ShardedTpcc {
             sim_ns,
             tpmc_wall: total.new_orders_committed as f64 / wall.max(1e-9) * 60.0,
             tpmc_sim: total.new_orders_committed as f64 / total_seconds.max(1e-9) * 60.0,
+            new_order_p50_us: no.percentile(0.5) as f64 / 1000.0,
+            new_order_p99_us: no.percentile(0.99) as f64 / 1000.0,
+            payment_p50_us: pay.percentile(0.5) as f64 / 1000.0,
+            payment_p99_us: pay.percentile(0.99) as f64 / 1000.0,
         })
     }
 
@@ -838,6 +854,25 @@ impl ShardedTpcc {
         }
         Ok(r)
     }
+
+    /// Runs the audit and panics on any violation — but first dumps the
+    /// store's merged trace timeline (per-gtid 2PC forensics included) to
+    /// `$REWIND_TRACE_DUMP_DIR/<tag>.txt`, or to stderr when tracing is on
+    /// but no dump directory is configured. The crash-matrix suites call
+    /// this so a failing seed ships the evidence with the panic message.
+    pub fn assert_audit_clean(&self, tag: &str) {
+        let audit = self.audit().expect("audit walk completed");
+        if audit.is_clean() {
+            return;
+        }
+        let dump = self.store.obs().dump();
+        match dump.write_file(tag) {
+            Some(path) => eprintln!("trace dump written to {}", path.display()),
+            None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+            None => {}
+        }
+        audit.assert_clean();
+    }
 }
 
 /// Per-terminal tally, merged into the [`ShardedTpccReport`].
@@ -915,6 +950,14 @@ pub struct ShardedTpccReport {
     pub tpmc_wall: f64,
     /// Committed new-orders per minute including simulated NVM time.
     pub tpmc_sim: f64,
+    /// Median new-order latency in microseconds (0 when none committed).
+    pub new_order_p50_us: f64,
+    /// 99th-percentile new-order latency in microseconds.
+    pub new_order_p99_us: f64,
+    /// Median payment latency in microseconds (0 when none committed).
+    pub payment_p50_us: f64,
+    /// 99th-percentile payment latency in microseconds.
+    pub payment_p99_us: f64,
 }
 
 /// What the [`ShardedTpcc::audit`] oracle found.
@@ -1138,7 +1181,7 @@ mod tests {
             db.store().get(db.key(Table::History, 1, 2, 1)).unwrap(),
             Some([12_345, 2, 4, 3])
         );
-        assert_eq!(db.store().coordinator_stats().restarts, 0);
+        assert_eq!(db.store().stats().coord.restarts, 0);
         let audit = db.audit().unwrap();
         audit.assert_clean();
         assert_eq!(audit.remote_payments, 1);

@@ -192,6 +192,31 @@ fn assert_serializable(store: &ShardedStore, accounts: &[u64], committed: &[Comm
     }
 }
 
+/// Runs the serializability oracle; when it trips, writes the store's merged
+/// trace dump (the per-gtid 2PC forensics — populated when the suite runs
+/// under `REWIND_TRACE=1`, as in CI) and names the `REWIND_CRASH_SEED` that
+/// produced the interleaving before re-raising the failure.
+fn assert_serializable_or_dump(
+    store: &ShardedStore,
+    accounts: &[u64],
+    committed: &[Committed],
+    tag: &str,
+) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        assert_serializable(store, accounts, committed)
+    }));
+    if let Err(panic) = result {
+        let dump = store.obs().dump();
+        match dump.write_file(tag) {
+            Some(path) => eprintln!("trace dump written to {}", path.display()),
+            None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+            None => {}
+        }
+        eprintln!("oracle failed under REWIND_CRASH_SEED={}", crash_seed());
+        std::panic::resume_unwind(panic);
+    }
+}
+
 fn total_balance(store: &ShardedStore, accounts: &[u64]) -> u64 {
     accounts
         .iter()
@@ -318,9 +343,10 @@ fn disjoint_coordinators_transfer_stress() {
     assert_eq!(
         total_balance(&store, &accounts),
         opening_total,
-        "money conservation violated"
+        "money conservation violated (REWIND_CRASH_SEED={})",
+        crash_seed()
     );
-    assert_serializable(&store, &accounts, &committed);
+    assert_serializable_or_dump(&store, &accounts, &committed, "disjoint_transfers");
     assert!(
         store.stats().tm.prepared > 0,
         "cross-shard transfers ran 2PC"
@@ -330,7 +356,12 @@ fn disjoint_coordinators_transfer_stress() {
     store.power_cycle();
     store.recover().unwrap();
     assert_eq!(total_balance(&store, &accounts), opening_total);
-    assert_serializable(&store, &accounts, &committed);
+    assert_serializable_or_dump(
+        &store,
+        &accounts,
+        &committed,
+        "disjoint_transfers_recovered",
+    );
 }
 
 #[test]
@@ -367,15 +398,21 @@ fn overlapping_coordinators_transfer_stress() {
     assert_eq!(
         total_balance(&store, &accounts),
         opening_total,
-        "money conservation violated"
+        "money conservation violated (REWIND_CRASH_SEED={})",
+        crash_seed()
     );
-    assert_serializable(&store, &accounts, &committed);
+    assert_serializable_or_dump(&store, &accounts, &committed, "overlapping_transfers");
 
     // And once more across a crash.
     store.power_cycle();
     store.recover().unwrap();
     assert_eq!(total_balance(&store, &accounts), opening_total);
-    assert_serializable(&store, &accounts, &committed);
+    assert_serializable_or_dump(
+        &store,
+        &accounts,
+        &committed,
+        "overlapping_transfers_recovered",
+    );
 }
 
 #[test]
@@ -460,7 +497,12 @@ fn mixed_declared_and_lazy_coordinators_with_group_commits() {
     });
 
     assert_eq!(total_balance(&store, &accounts), opening_total);
-    assert_serializable(&store, &accounts, &committed.into_inner().unwrap());
+    assert_serializable_or_dump(
+        &store,
+        &accounts,
+        &committed.into_inner().unwrap(),
+        "mixed_coordinators",
+    );
     // The group-committed writes all landed too.
     for w in 0..2u64 {
         let base = 5_000_000 + w * 100_000;

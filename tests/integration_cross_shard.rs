@@ -25,6 +25,20 @@ fn crash_seed() -> u64 {
         .unwrap_or(0)
 }
 
+/// On oracle failure: write the store's merged trace dump (the per-gtid 2PC
+/// forensics) to `REWIND_TRACE_DUMP_DIR`, or print it when no dir is set, so
+/// a failing crash-matrix point explains what the coordinator actually did.
+/// Tracing is on when the store was created under `REWIND_TRACE=1` (the CI
+/// crash-stress job sets it); otherwise the dump is empty and this is quiet.
+fn dump_trace(store: &ShardedStore, tag: &str) {
+    let dump = store.obs().dump();
+    match dump.write_file(tag) {
+        Some(path) => eprintln!("trace dump written to {}", path.display()),
+        None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+        None => {}
+    }
+}
+
 /// Force-policy config: a returned commit is durable, which lets the
 /// oracle reason exactly about what must survive a crash.
 fn force_cfg() -> RewindConfig {
@@ -97,12 +111,15 @@ fn probe(shards: usize, victim: usize, crash_at: u64) -> (Outcome, u64) {
     let got: Vec<Option<Value>> = keys.iter().map(|&k| store.get(k).unwrap()).collect();
     let all_old = keys.iter().zip(&got).all(|(&k, v)| *v == Some(old_val(k)));
     let all_new = keys.iter().zip(&got).all(|(&k, v)| *v == Some(new_val(k)));
-    assert!(
-        all_old || all_new,
-        "victim {victim} crash_at {crash_at}: partial cross-shard transaction \
-         visible after recovery: {got:?} (in_doubt {})",
-        report.in_doubt
-    );
+    if !(all_old || all_new) {
+        dump_trace(&store, &format!("cross_shard_v{victim}_c{crash_at}"));
+        panic!(
+            "REWIND_CRASH_SEED={} victim {victim} crash_at {crash_at}: partial \
+             cross-shard transaction visible after recovery: {got:?} (in_doubt {})",
+            crash_seed(),
+            report.in_doubt
+        );
+    }
 
     // The store must keep working after resolution.
     let probe_key = 77_777 + crash_at;
@@ -264,10 +281,13 @@ fn torn_word_crashes_keep_cross_shard_atomicity() {
         let got: Vec<Option<Value>> = keys.iter().map(|&k| store.get(k).unwrap()).collect();
         let all_old = keys.iter().zip(&got).all(|(&k, v)| *v == Some(old_val(k)));
         let all_new = keys.iter().zip(&got).all(|(&k, v)| *v == Some(new_val(k)));
-        assert!(
-            all_old || all_new,
-            "torn seed {torn}: partial transaction after recovery: {got:?}"
-        );
+        if !(all_old || all_new) {
+            dump_trace(&store, &format!("torn_words_t{torn}"));
+            panic!(
+                "REWIND_CRASH_SEED={seed} torn seed {torn}: partial transaction \
+                 after recovery: {got:?}"
+            );
+        }
     }
 }
 
@@ -543,11 +563,13 @@ fn concurrent_coordinators_crash_matrix() {
                 let got: Vec<Option<Value>> = pair.iter().map(|&k| store.get(k).unwrap()).collect();
                 let all_old = pair.iter().zip(&got).all(|(&k, v)| *v == Some(old_val(k)));
                 let all_new = pair.iter().zip(&got).all(|(&k, v)| *v == Some(new_val(k)));
-                assert!(
-                    all_old || all_new,
-                    "victim {victim} crash_at {crash_at}: partial transaction \
-                     {pair:?} after concurrent crash: {got:?}"
-                );
+                if !(all_old || all_new) {
+                    dump_trace(&store, &format!("concurrent_2pc_v{victim}_c{crash_at}"));
+                    panic!(
+                        "REWIND_CRASH_SEED={seed} victim {victim} crash_at {crash_at}: \
+                         partial transaction {pair:?} after concurrent crash: {got:?}"
+                    );
+                }
                 seen_abort |= all_old;
                 seen_commit |= all_new;
             }
@@ -610,11 +632,14 @@ fn concurrent_coordinators_conserve_money_across_crashes() {
                 .iter()
                 .map(|&k| store.get(k).unwrap().expect("account survived")[0])
                 .sum();
-            assert_eq!(
-                total,
-                keys.len() as u64 * opening,
-                "victim {victim} crash_at {crash_at}: money not conserved"
-            );
+            if total != keys.len() as u64 * opening {
+                dump_trace(&store, &format!("conservation_v{victim}_c{crash_at}"));
+                panic!(
+                    "REWIND_CRASH_SEED={seed} victim {victim} crash_at {crash_at}: \
+                     money not conserved (total {total}, expected {})",
+                    keys.len() as u64 * opening
+                );
+            }
             crash_at += step;
         }
     }
@@ -692,8 +717,8 @@ fn read_only_participants_are_never_prepared_or_in_doubt() {
             .expect("shard 0 went through recovery");
         assert_eq!(
             reader_recovery.in_doubt, 0,
-            "crash_at {crash_at}: a read-only participant was classified \
-             in doubt"
+            "REWIND_CRASH_SEED={seed} crash_at {crash_at}: a read-only \
+             participant was classified in doubt"
         );
         // Writers are all-or-nothing as ever; when one *was* in doubt the
         // persisted decision must have driven it forward.
@@ -706,7 +731,10 @@ fn read_only_participants_are_never_prepared_or_in_doubt() {
             .iter()
             .zip(&got)
             .all(|(&k, v)| *v == Some(new_val(k)));
-        assert!(all_old || all_new, "crash_at {crash_at}: partial writers");
+        if !(all_old || all_new) {
+            dump_trace(&store, &format!("read_only_c{crash_at}"));
+            panic!("REWIND_CRASH_SEED={seed} crash_at {crash_at}: partial writers");
+        }
         if report.in_doubt > 0 && all_new {
             saw_in_doubt_commit = true;
         }

@@ -20,6 +20,18 @@ fn crash_seed() -> u64 {
         .unwrap_or(0)
 }
 
+/// On oracle failure: write the store's merged trace dump (enabled under
+/// `REWIND_TRACE=1`, as in the CI crash-stress job) so the failing crash
+/// point explains itself; quiet when tracing was off.
+fn dump_trace(store: &ShardedStore, tag: &str) {
+    let dump = store.obs().dump();
+    match dump.write_file(tag) {
+        Some(path) => eprintln!("trace dump written to {}", path.display()),
+        None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+        None => {}
+    }
+}
+
 /// Force-policy config: a returned commit is durable, which lets the oracles
 /// below reason exactly about what must survive a crash.
 fn force_cfg() -> RewindConfig {
@@ -82,25 +94,33 @@ fn crash_mid_group_commit_on_one_shard_recovers_whole_store() {
         let report = store.recover().unwrap();
         assert!(
             report.log_cleared,
-            "crash {crash_at}: force-policy recovery clears every shard's log"
+            "REWIND_CRASH_SEED={} crash_at {crash_at}: force-policy recovery \
+             clears every shard's log",
+            crash_seed()
         );
 
         if let Some((k, v)) = straddler {
             let actual = store.get(k).unwrap();
             assert!(
                 actual == Some(v) || actual == Some(val(k)),
-                "crash {crash_at}: straddling key {k} is neither old nor new: {actual:?}"
+                "REWIND_CRASH_SEED={} crash_at {crash_at}: straddling key {k} is \
+                 neither old nor new: {actual:?}",
+                crash_seed()
             );
             oracle.insert(k, actual.unwrap());
         }
         for k in 0..120u64 {
             let expect = oracle.get(&k).copied().unwrap_or(val(k));
-            assert_eq!(
-                store.get(k).unwrap(),
-                Some(expect),
-                "crash {crash_at}: key {k} (shard {})",
-                store.shard_of(k)
-            );
+            let got = store.get(k).unwrap();
+            if got != Some(expect) {
+                dump_trace(&store, &format!("sharded_group_commit_c{crash_at}"));
+                panic!(
+                    "REWIND_CRASH_SEED={} crash_at {crash_at}: key {k} (shard {}) \
+                     recovered to {got:?}, expected {expect:?}",
+                    crash_seed(),
+                    store.shard_of(k)
+                );
+            }
         }
 
         // Every shard keeps working after recovery.
@@ -269,7 +289,11 @@ fn torn_word_crashes_do_not_corrupt_committed_shards() {
         store.power_cycle();
         store.recover().unwrap();
         for k in 0..200u64 {
-            assert_eq!(store.get(k).unwrap(), Some(val(k)), "seed {seed} key {k}");
+            assert_eq!(
+                store.get(k).unwrap(),
+                Some(val(k)),
+                "REWIND_CRASH_SEED={s} torn seed {seed} key {k}"
+            );
         }
     }
 }

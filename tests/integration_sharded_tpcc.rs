@@ -36,6 +36,28 @@ fn crash_seed() -> u64 {
         .unwrap_or(0)
 }
 
+/// Audits the (recovered) image; on any violation writes the store's merged
+/// trace dump (populated when the suite runs under `REWIND_TRACE=1`, as in
+/// the CI crash-stress job) and panics with the `REWIND_CRASH_SEED` and
+/// crash-point context so the failing matrix cell is reproducible verbatim.
+fn audit_clean_or_dump(db: &ShardedTpcc, tag: &str, context: &str) {
+    let audit = db.audit().unwrap();
+    if audit.is_clean() {
+        return;
+    }
+    let dump = db.store().obs().dump();
+    match dump.write_file(tag) {
+        Some(path) => eprintln!("trace dump written to {}", path.display()),
+        None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+        None => {}
+    }
+    panic!(
+        "REWIND_CRASH_SEED={} {context}: audit failed:\n{}",
+        crash_seed(),
+        audit.violations.join("\n")
+    );
+}
+
 /// Force-policy stores: a returned commit is durable, so the audit of a
 /// cleanly quiesced store must be bit-identical across a power cycle.
 fn force_store(shards: usize) -> ShardConfig {
@@ -157,12 +179,13 @@ fn crash_fuzz_matrix_audits_clean_after_every_recovery() {
             fuzz_burst(&db, seed);
             db.store().power_cycle();
             let report = db.store().recover().unwrap();
-            let audit = db.audit().unwrap();
-            assert!(
-                audit.is_clean(),
-                "victim {victim} crash_at {crash_at} (in_doubt {}): audit failed:\n{}",
-                report.in_doubt,
-                audit.violations.join("\n")
+            audit_clean_or_dump(
+                &db,
+                &format!("tpcc_fuzz_v{victim}_c{crash_at}"),
+                &format!(
+                    "victim {victim} crash_at {crash_at} (in_doubt {})",
+                    report.in_doubt
+                ),
             );
             // The database keeps taking transactions after resolution, and
             // stays consistent.
@@ -175,7 +198,7 @@ fn crash_fuzz_matrix_audits_clean_after_every_recovery() {
                 amount: 777,
             };
             assert!(db.payment(&p).unwrap().committed);
-            db.audit().unwrap().assert_clean();
+            db.assert_audit_clean(&format!("tpcc_fuzz_post_v{victim}_c{crash_at}"));
             crash_at += step;
         }
     }
@@ -224,11 +247,10 @@ fn concurrent_terminals_crash_fuzz_audits_clean() {
             });
             db.store().power_cycle();
             db.store().recover().unwrap();
-            let audit = db.audit().unwrap();
-            assert!(
-                audit.is_clean(),
-                "victim {victim} crash_at {crash_at}: concurrent fuzz audit failed:\n{}",
-                audit.violations.join("\n")
+            audit_clean_or_dump(
+                &db,
+                &format!("tpcc_concurrent_v{victim}_c{crash_at}"),
+                &format!("victim {victim} crash_at {crash_at} (concurrent fuzz)"),
             );
             crash_at += step;
         }
@@ -248,9 +270,9 @@ fn declared_payments_never_restart_under_contention() {
     assert_eq!(report.payments_committed, 200);
     assert_eq!(report.remote_payments, 200, "every payment was remote");
     assert_eq!(report.restarts, 0, "declared write sets must not restart");
-    let stats = db.store().coordinator_stats();
-    assert_eq!(stats.restarts, 0);
-    assert_eq!(stats.serial_fallbacks, 0);
+    let coord = db.store().stats().coord;
+    assert_eq!(coord.restarts, 0);
+    assert_eq!(coord.serial_fallbacks, 0);
     let audit = db.audit().unwrap();
     audit.assert_clean();
     assert_eq!(audit.payments, 200);
@@ -267,7 +289,7 @@ fn undeclared_remote_stock_takes_the_restart_path_and_still_audits() {
     // remote update applied.
     let db = Arc::new(tpcc(2));
     let stock_w1 = db.key(Table::Stock, 1, 0, 5);
-    let base = db.store().coordinator_stats().restarts;
+    let base = db.store().coord_stats().restarts;
     let (armed_tx, armed_rx) = std::sync::mpsc::channel::<()>();
     std::thread::scope(|s| {
         {
@@ -280,7 +302,7 @@ fn undeclared_remote_stock_takes_the_restart_path_and_still_audits() {
                         let v = tx.get(stock_w1)?.expect("stock loaded");
                         tx.put(stock_w1, v)?;
                         armed_tx.send(()).unwrap();
-                        while db.store().coordinator_stats().restarts == base {
+                        while db.store().coord_stats().restarts == base {
                             std::thread::yield_now();
                         }
                         Ok(())
@@ -303,7 +325,7 @@ fn undeclared_remote_stock_takes_the_restart_path_and_still_audits() {
             "a contended out-of-order stock discovery must re-run the closure"
         );
     });
-    assert!(db.store().coordinator_stats().restarts > base);
+    assert!(db.store().coord_stats().restarts > base);
     // The remote stock update survived the restart exactly once.
     assert_eq!(
         db.store()
@@ -376,7 +398,7 @@ fn every_warehouse_pair_commits_remote_payments_without_deadlock() {
             assert_eq!(o.attempts, 1, "({w},{cw}) restarted");
         }
     }
-    assert_eq!(db.store().coordinator_stats().restarts, 0);
+    assert_eq!(db.store().stats().coord.restarts, 0);
     let audit = db.audit().unwrap();
     audit.assert_clean();
     assert_eq!(audit.remote_payments, 12);

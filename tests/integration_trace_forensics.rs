@@ -1,0 +1,231 @@
+//! Forensic-trace acceptance: the `rewind-obs` per-gtid 2PC timeline.
+//!
+//! With tracing enabled, a cross-shard transaction must leave a merged
+//! timeline whose per-gtid view names every phase of the protocol — START,
+//! one PREPARE per participant, the persisted DECISION, the phase-2
+//! COMMITs, and the decision RETIRE — in global sequence order. The crash
+//! variant checks the same view *truncates honestly*: every event captured
+//! before an injected mid-protocol crash is named, nothing after the freeze
+//! point is invented, and recovery's resolution of the transaction shows up
+//! in the same timeline.
+//!
+//! `forensic_dump_demo` (ignored by default) is the deliberately-failing
+//! variant: it crashes a participant mid-2PC and then fails on purpose so
+//! the failure output demonstrates exactly what a tripped crash-matrix
+//! oracle ships — run `cargo test --test integration_trace_forensics -- --ignored`
+//! to see it.
+
+use rewind::core::{Policy, RewindConfig};
+use rewind::prelude::*;
+
+/// Seed from the environment (CI sweeps it); 0 when unset.
+fn crash_seed() -> u64 {
+    std::env::var("REWIND_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn mk_store(shards: usize) -> ShardedStore {
+    let store = ShardedStore::create(
+        ShardConfig::new(shards)
+            .shard_capacity(8 << 20)
+            .rewind(RewindConfig::batch().policy(Policy::Force)),
+    )
+    .unwrap();
+    store.obs().set_enabled(true);
+    store
+}
+
+/// One key per shard, so a transaction over these keys has every shard as a
+/// participant.
+fn one_key_per_shard(store: &ShardedStore) -> Vec<u64> {
+    (0..store.shard_count())
+        .map(|s| {
+            (0..10_000u64)
+                .find(|k| store.shard_of(*k) == s)
+                .expect("a key for every shard")
+        })
+        .collect()
+}
+
+#[test]
+fn committed_2pc_timeline_names_every_phase_in_order() {
+    let store = mk_store(3);
+    let keys = one_key_per_shard(&store);
+    for &k in &keys {
+        store.put(k, [k, 1, 2, 3]).unwrap();
+    }
+    store
+        .transact(|tx| {
+            for &k in &keys {
+                tx.put(k, [k, 4, 5, 6])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    let dump = store.obs().dump();
+    let gtids = dump.gtids();
+    assert!(!gtids.is_empty(), "a cross-shard commit must record a gtid");
+    let gtid = *gtids.last().unwrap();
+    let timeline = dump.render_gtid(gtid);
+
+    // Every phase is named: START, one PREPARE per participant shard, the
+    // persisted COMMIT decision, a phase-2 COMMIT per participant, RETIRE.
+    assert!(timeline.contains("2PC START"), "timeline:\n{timeline}");
+    for shard in 0..store.shard_count() {
+        assert!(
+            timeline.contains(&format!("2PC PREPARE gtid={gtid} shard={shard}")),
+            "missing PREPARE for shard {shard}:\n{timeline}"
+        );
+        assert!(
+            timeline.contains(&format!("2PC COMMIT gtid={gtid} shard={shard}")),
+            "missing phase-2 COMMIT for shard {shard}:\n{timeline}"
+        );
+    }
+    assert!(
+        timeline.contains(&format!("2PC DECISION gtid={gtid} COMMIT persisted")),
+        "timeline:\n{timeline}"
+    );
+    assert!(timeline.contains("2PC RETIRE"), "timeline:\n{timeline}");
+
+    // Global sequence order respects the protocol: every PREPARE precedes
+    // the DECISION, which precedes every phase-2 COMMIT.
+    let events: Vec<_> = dump.events.iter().filter(|e| e.gtid == gtid).collect();
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    let seq_of = |kind: rewind::obs::EventKind| -> Vec<u64> {
+        events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.seq)
+            .collect()
+    };
+    let prepares = seq_of(rewind::obs::EventKind::TwoPcPrepare);
+    let decisions = seq_of(rewind::obs::EventKind::TwoPcDecision);
+    let commits = seq_of(rewind::obs::EventKind::TwoPcCommitPart);
+    assert_eq!(prepares.len(), store.shard_count());
+    assert_eq!(decisions.len(), 1);
+    assert_eq!(commits.len(), store.shard_count());
+    assert!(prepares.iter().all(|&p| p < decisions[0]));
+    assert!(commits.iter().all(|&c| decisions[0] < c));
+
+    // The full forensic rendering embeds the same per-gtid section.
+    assert!(dump
+        .render_forensics()
+        .contains(&format!("--- gtid {gtid} timeline ---")));
+}
+
+#[test]
+fn crash_mid_2pc_timeline_truncates_at_the_crash_and_shows_resolution() {
+    // Sweep a few crash points over the decision host's persist window so
+    // the freeze lands inside the protocol; at every point the gtid
+    // timeline must name only protocol phases, in order, and recovery's
+    // resolution (or the surviving phase-2 commits) must appear in the same
+    // view — no invented events past the freeze.
+    for crash_at in [2 + crash_seed() % 5, 12, 25] {
+        let store = mk_store(3);
+        let keys = one_key_per_shard(&store);
+        for &k in &keys {
+            store.put(k, [k, 1, 2, 3]).unwrap();
+        }
+        store.shard_pool(0).crash_injector().arm_after(crash_at);
+        let _ = store.transact(|tx| {
+            for &k in &keys {
+                tx.put(k, [k, 7, 8, 9])?;
+            }
+            Ok(())
+        });
+        store.power_cycle();
+        store.recover().unwrap();
+
+        let dump = store.obs().dump();
+        assert!(
+            !dump.events.is_empty(),
+            "REWIND_CRASH_SEED={} crash_at {crash_at}: tracing was enabled, \
+             the dump must not be empty",
+            crash_seed()
+        );
+        for gtid in dump.gtids() {
+            let events: Vec<_> = dump.events.iter().filter(|e| e.gtid == gtid).collect();
+            assert!(
+                events.windows(2).all(|w| w[0].seq < w[1].seq),
+                "gtid {gtid}: timeline out of order"
+            );
+            // Phase-2 COMMITs and in-doubt resolutions only ever follow a
+            // persisted decision or a recovery resolution — a COMMIT line
+            // with no cause would mean the dump invented history.
+            let mut decided = false;
+            for e in &events {
+                match e.kind {
+                    rewind::obs::EventKind::TwoPcDecision
+                    | rewind::obs::EventKind::TwoPcResolve => decided = true,
+                    rewind::obs::EventKind::TwoPcCommitPart => assert!(
+                        decided,
+                        "REWIND_CRASH_SEED={} crash_at {crash_at} gtid {gtid}: \
+                         phase-2 COMMIT before any decision:\n{}",
+                        crash_seed(),
+                        dump.render_gtid(gtid)
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "deliberately failing: demonstrates the forensic dump a tripped \
+            crash-matrix oracle ships (run with -- --ignored)"]
+fn forensic_dump_demo() {
+    // Measure the decision host's persist window for this exact transaction
+    // on an un-armed twin, so the freeze below lands *after* the PREPAREs
+    // and the persisted COMMIT decision but *inside* phase 2.
+    let window = {
+        let twin = mk_store(3);
+        let keys = one_key_per_shard(&twin);
+        for &k in &keys {
+            twin.put(k, [k, 1, 2, 3]).unwrap();
+        }
+        let before = twin.shard_pool(0).crash_injector().observed_events();
+        twin.transact(|tx| {
+            for &k in &keys {
+                tx.put(k, [k, 7, 8, 9])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        twin.shard_pool(0).crash_injector().observed_events() - before
+    };
+
+    let store = mk_store(3);
+    let keys = one_key_per_shard(&store);
+    for &k in &keys {
+        store.put(k, [k, 1, 2, 3]).unwrap();
+    }
+    store
+        .shard_pool(0)
+        .crash_injector()
+        .arm_after(window.saturating_sub(2).max(1));
+    let _ = store.transact(|tx| {
+        for &k in &keys {
+            tx.put(k, [k, 7, 8, 9])?;
+        }
+        Ok(())
+    });
+    store.power_cycle();
+    store.recover().unwrap();
+
+    let dump = store.obs().dump();
+    match dump.write_file("forensic_dump_demo") {
+        Some(path) => eprintln!("trace dump written to {}", path.display()),
+        None => eprintln!("{}", dump.render_forensics()),
+    }
+    panic!(
+        "REWIND_CRASH_SEED={} crash_at {}: deliberate failure — the dump \
+         above names every PREPARE, the decision, and every phase-2 COMMIT \
+         captured before the crash point",
+        crash_seed(),
+        window.saturating_sub(2).max(1)
+    );
+}
