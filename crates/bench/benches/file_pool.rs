@@ -1,0 +1,5 @@
+//! File-backed pool: fsync-fenced commit throughput and dirty-reopen
+//! recovery cost (emits BENCH_file_pool.json for the CI perf gate).
+fn main() {
+    rewind_bench::file_pool(rewind_bench::scale_from_env());
+}

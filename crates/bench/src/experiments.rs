@@ -962,7 +962,7 @@ pub fn commit_path(scale: f64) {
         json.summary(&k, v);
     }
     json.summary("instrumentation_overhead_fraction", overhead);
-    json.write();
+    json.write_or_warn();
 }
 
 // ---------------------------------------------------------------------------
@@ -1144,7 +1144,7 @@ pub fn cross_shard(scale: f64) {
             json.summary("serial_fraction_at_coords_4", base / tps);
         }
     }
-    json.write();
+    json.write_or_warn();
 }
 
 // ---------------------------------------------------------------------------
@@ -1252,7 +1252,142 @@ pub fn sharded_tpcc(scale: f64) {
         tpmc_of("single_shard") / tpmc_of("one_warehouse_per_shard").max(1e-9),
     );
     json.summary("sharded_tpcc_audit_failures", audit_failures as f64);
-    json.write();
+    json.write_or_warn();
+}
+
+// ---------------------------------------------------------------------------
+// File-backed pools (beyond the paper: real durability on a disk file)
+// ---------------------------------------------------------------------------
+
+/// File-backed pool: commit throughput against real `fsync`-fenced files and
+/// the cost of reopening them — image load, per-line CRC verification, REWIND
+/// log recovery and in-doubt 2PC resolution — after a dirty close.
+///
+/// Three passes over the same workload (single-key puts plus a slice of
+/// cross-shard transactions on a 2-shard store): a heap-pool baseline, the
+/// same store on per-shard pool files, then a timed [`ShardedStore::open_file`]
+/// of the dirty files. The gated headline metric is `file_recovery_us_per_mb`
+/// — reopen wall-µs per MiB of surviving pool file, the recovery-throughput
+/// floor that catches an accidental O(capacity) rescan (the image loader and
+/// CRC walk are O(file), not O(capacity), so growing a pool's *capacity*
+/// must not slow reopening its mostly-empty *file*).
+pub fn file_pool(scale: f64) {
+    let puts = scaled(8_000, scale, 500);
+    let transfers = scaled(800, scale, 50);
+    let cfg = ShardConfig::new(2).shard_capacity(32 << 20);
+    header(
+        "File pool: fsync-fenced commits + dirty-reopen recovery",
+        &[
+            "backend",
+            "puts",
+            "transfers",
+            "wall_s",
+            "ops_per_s",
+            "file_mib",
+            "reopen_ms",
+            "recovery_us_per_mib",
+        ],
+    );
+    let mut json = BenchJson::new("file_pool");
+
+    let workload = |store: &ShardedStore| {
+        for k in 0..puts {
+            store.put(k, [k, !k, k ^ 0xff, 1]).expect("put");
+        }
+        for i in 0..transfers {
+            let (a, b) = (i % puts, (i * 7 + 1) % puts);
+            if store.shard_of(a) == store.shard_of(b) {
+                continue;
+            }
+            store
+                .transact_keys(&[a, b], |tx| {
+                    let mut va = tx.get(a)?.unwrap_or_default();
+                    let mut vb = tx.get(b)?.unwrap_or_default();
+                    va[3] += 1;
+                    vb[3] += 1;
+                    tx.put(a, va)?;
+                    tx.put(b, vb)?;
+                    Ok(())
+                })
+                .expect("cross-shard transfer");
+        }
+    };
+
+    // Heap baseline: the same simulated-NVM store every other bench uses.
+    let heap_wall = {
+        let store = ShardedStore::create(cfg).expect("create heap store");
+        let t = Instant::now();
+        workload(&store);
+        t.elapsed().as_secs_f64()
+    };
+    row(&[
+        "heap".to_string(),
+        puts.to_string(),
+        transfers.to_string(),
+        f(heap_wall),
+        f((puts + transfers) as f64 / heap_wall.max(1e-9)),
+        f(0.0),
+        f(0.0),
+        f(0.0),
+    ]);
+    json.row(&[
+        ("file", 0.0),
+        ("wall_s", heap_wall),
+        ("ops_per_s", (puts + transfers) as f64 / heap_wall.max(1e-9)),
+    ]);
+
+    // File backend: every fence writes dirty lines back and fsyncs.
+    let dir = std::env::temp_dir().join(format!("rewind-bench-file-pool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let file_wall = {
+        let store = ShardedStore::create_file(cfg, &dir).expect("create file store");
+        let t = Instant::now();
+        workload(&store);
+        t.elapsed().as_secs_f64()
+        // Dropped WITHOUT shutdown: the reopen below runs real recovery.
+    };
+    let file_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("read store dir")
+        .flatten()
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    let file_mib = file_bytes as f64 / (1 << 20) as f64;
+
+    // Dirty reopen: image load + CRC walk + log recovery + 2PC resolution.
+    let t = Instant::now();
+    let store = ShardedStore::open_file(cfg, &dir).expect("reopen file store");
+    let reopen_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        store.get(0).expect("read back key 0").map(|v| v[0]),
+        Some(0),
+        "reopened store lost data"
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let recovery_us_per_mib = reopen_s * 1e6 / file_mib.max(1e-9);
+    row(&[
+        "file".to_string(),
+        puts.to_string(),
+        transfers.to_string(),
+        f(file_wall),
+        f((puts + transfers) as f64 / file_wall.max(1e-9)),
+        f(file_mib),
+        f(reopen_s * 1e3),
+        f(recovery_us_per_mib),
+    ]);
+    json.row(&[
+        ("file", 1.0),
+        ("wall_s", file_wall),
+        ("ops_per_s", (puts + transfers) as f64 / file_wall.max(1e-9)),
+        ("file_mib", file_mib),
+        ("reopen_ms", reopen_s * 1e3),
+        ("recovery_us_per_mib", recovery_us_per_mib),
+    ]);
+    json.summary("file_put_slowdown_vs_heap", file_wall / heap_wall.max(1e-9));
+    json.summary("file_recovery_us_per_mb", recovery_us_per_mib);
+    json.write_or_warn();
 }
 
 // ---------------------------------------------------------------------------

@@ -151,15 +151,29 @@ impl BenchJson {
         out
     }
 
-    /// Writes `BENCH_<name>.json`. Emission failures only warn: the bench's
-    /// primary output is the CSV on stdout.
-    pub fn write(&self) {
+    /// Writes `BENCH_<name>.json` under `REWIND_BENCH_JSON_DIR` (default:
+    /// the working directory), creating the directory if it does not exist
+    /// and going through a temp file + rename so an interrupted bench can
+    /// never leave a torn sidecar for the perf gate to choke on. Returns the
+    /// final path.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
         let dir = std::env::var("REWIND_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
-        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
-        if let Err(e) = std::fs::write(&path, self.render()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        } else {
-            eprintln!("wrote {}", path.display());
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let tmp = dir.join(format!(".BENCH_{}.json.tmp", self.name));
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// [`BenchJson::write`], downgraded to a warning on failure — the
+    /// benches' primary output is the CSV on stdout, so a read-only working
+    /// directory should not fail the run.
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", self.name),
         }
     }
 }

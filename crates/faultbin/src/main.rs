@@ -1,0 +1,304 @@
+//! `rewind-faultbin` — the child side of the real-process crash harness.
+//!
+//! The simulated crash matrices freeze a pool in place and recover inside
+//! one process; this binary closes the remaining gap to *real* durability:
+//! it runs a workload against a **file-backed** [`ShardedStore`] so that a
+//! parent test can `kill -9` the process at an arbitrary point (or let the
+//! I/O fault injector SIGKILL it at a seeded file operation via the
+//! `REWIND_IO_FAULTS` environment variable), then reopen the surviving pool
+//! files in a *fresh* process and check the ACID oracles.
+//!
+//! ## Subcommands
+//!
+//! * `init   --dir D --workload tpcc|bank [...]` — create the store files
+//!   and load the initial data, then shut down cleanly. Run without fault
+//!   injection; prints `INIT-OK`.
+//! * `run    --dir D --workload tpcc|bank --seed S --ops N` — reopen the
+//!   files and run `N` seeded transactions. Prints `READY` once the store
+//!   is open (the parent must only kill after `READY`, so the init data is
+//!   never at risk), `PROGRESS <n>` as the workload advances, `DONE` at the
+//!   end. Exits 3 with `DEAD <err>` if injected faults killed the store.
+//! * `verify --dir D --workload tpcc|bank [...]` — reopen the files
+//!   (running recovery and resolving in-doubt cross-shard transactions) and
+//!   check the workload's invariant: the full TPC-C audit, or the bank's
+//!   conservation-of-money balance sum. Prints `VERIFY-OK` or exits 4.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | subcommand completed |
+//! | 1    | unexpected error (bug in the harness itself) |
+//! | 2    | usage error |
+//! | 3    | the store died under injected faults mid-run (a valid crash point) |
+//! | 4    | **verification failure** — recovery lost or tore a transaction |
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rewind_shard::{RewindError, ShardConfig, ShardedStore};
+use rewind_tpcc::{NewOrder, Payment, ShardedTpcc, ShardedTpccConfig, TpccMix};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Initial balance of every bank account, in cents. Large enough that no
+/// seeded transfer sequence can overdraw an account.
+const BANK_INITIAL: u64 = 1_000_000;
+/// Largest single transfer, in cents.
+const BANK_MAX_TRANSFER: u64 = 1_000;
+
+#[derive(Debug, Clone)]
+struct Args {
+    command: String,
+    dir: PathBuf,
+    workload: String,
+    seed: u64,
+    ops: u64,
+    warehouses: u64,
+    shards: usize,
+    accounts: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rewind-faultbin <init|run|verify> --dir DIR \
+         [--workload tpcc|bank] [--seed N] [--ops N] \
+         [--warehouses N] [--shards N] [--accounts N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else { usage() };
+    if !matches!(command.as_str(), "init" | "run" | "verify") {
+        usage();
+    }
+    let mut args = Args {
+        command,
+        dir: PathBuf::new(),
+        workload: "bank".to_string(),
+        seed: 0,
+        ops: 1000,
+        warehouses: 4,
+        shards: 4,
+        accounts: 64,
+    };
+    while let Some(flag) = argv.next() {
+        let Some(value) = argv.next() else { usage() };
+        let num = || value.parse::<u64>().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--dir" => args.dir = PathBuf::from(&value),
+            "--workload" => args.workload = value.clone(),
+            "--seed" => args.seed = num(),
+            "--ops" => args.ops = num(),
+            "--warehouses" => args.warehouses = num(),
+            "--shards" => args.shards = num() as usize,
+            "--accounts" => args.accounts = num(),
+            _ => usage(),
+        }
+    }
+    if args.dir.as_os_str().is_empty() {
+        usage();
+    }
+    if !matches!(args.workload.as_str(), "tpcc" | "bank") {
+        usage();
+    }
+    args
+}
+
+/// Prints one protocol line and flushes, so the parent sees it even if the
+/// very next file operation SIGKILLs this process.
+fn say(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// `true` for errors meaning the store is gone (an injected fault fired),
+/// as opposed to a harness bug.
+fn store_died(e: &RewindError) -> bool {
+    matches!(
+        e,
+        RewindError::Offline(_) | RewindError::Io { .. } | RewindError::Corrupt { .. }
+    )
+}
+
+fn store_config(args: &Args) -> ShardConfig {
+    ShardConfig::new(args.shards).shard_capacity(16 << 20)
+}
+
+fn tpcc_config(args: &Args) -> ShardedTpccConfig {
+    ShardedTpccConfig::new(args.warehouses)
+        .items(100)
+        .customers(10)
+        .store(store_config(args))
+}
+
+/// The store key of bank account `a` (1-based). Plain small integers: the
+/// store's hash partitioning spreads them across all shards, so transfers
+/// between two accounts usually run as cross-shard 2PC.
+fn account_key(a: u64) -> u64 {
+    a
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let result = match args.command.as_str() {
+        "init" => cmd_init(&args),
+        "run" => cmd_run(&args),
+        "verify" => cmd_verify(&args),
+        _ => usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) if store_died(&e) => {
+            say(&format!("DEAD {e}"));
+            ExitCode::from(3)
+        }
+        Err(e) => {
+            eprintln!("rewind-faultbin: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_init(args: &Args) -> Result<ExitCode, RewindError> {
+    let store = ShardedStore::create_file(store_config(args), &args.dir)?;
+    match args.workload.as_str() {
+        "tpcc" => {
+            let db = ShardedTpcc::build_on(tpcc_config(args), store)?;
+            db.store().shutdown()?;
+        }
+        _ => {
+            for a in 1..=args.accounts {
+                store.put(account_key(a), [BANK_INITIAL, 0, 0, 0])?;
+            }
+            store.shutdown()?;
+        }
+    }
+    say("INIT-OK");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_run(args: &Args) -> Result<ExitCode, RewindError> {
+    let store = ShardedStore::open_file(store_config(args), &args.dir)?;
+    match args.workload.as_str() {
+        "tpcc" => run_tpcc(args, store),
+        _ => run_bank(args, store),
+    }
+}
+
+fn run_tpcc(args: &Args, store: ShardedStore) -> Result<ExitCode, RewindError> {
+    let cfg = tpcc_config(args);
+    let db = ShardedTpcc::attach(cfg, store);
+    let mix = TpccMix::spec();
+    let mut rng = SmallRng::seed_from_u64(args.seed ^ 0x7063_7074); // "tpcc"
+    say("READY");
+    for n in 0..args.ops {
+        let warehouse = rng.gen_range(1..=cfg.warehouses);
+        if rng.gen_range(0..100) < mix.new_order_pct {
+            let p = NewOrder::random(&mut rng, warehouse, &cfg, &mix);
+            db.new_order(&p)?;
+        } else {
+            let p = Payment::random(&mut rng, warehouse, &cfg, &mix);
+            db.payment(&p)?;
+        }
+        if (n + 1) % 16 == 0 {
+            say(&format!("PROGRESS {}", n + 1));
+        }
+    }
+    say("DONE");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_bank(args: &Args, store: ShardedStore) -> Result<ExitCode, RewindError> {
+    let mut rng = SmallRng::seed_from_u64(args.seed ^ 0x6261_6e6b); // "bank"
+    say("READY");
+    for n in 0..args.ops {
+        let from = rng.gen_range(1..=args.accounts);
+        let mut to = rng.gen_range(1..=args.accounts - 1);
+        if to >= from {
+            to += 1;
+        }
+        let requested = rng.gen_range(1..=BANK_MAX_TRANSFER);
+        let (fk, tk) = (account_key(from), account_key(to));
+        store.transact_keys(&[fk, tk], |tx| {
+            let mut f = tx.get(fk)?.ok_or(RewindError::Corrupt {
+                detail: format!("bank account {from} vanished"),
+            })?;
+            let mut t = tx.get(tk)?.ok_or(RewindError::Corrupt {
+                detail: format!("bank account {to} vanished"),
+            })?;
+            let amount = requested.min(f[0]); // never overdraw
+            f[0] -= amount;
+            f[1] += 1; // outgoing-transfer count
+            t[0] += amount;
+            t[2] += 1; // incoming-transfer count
+            tx.put(fk, f)?;
+            tx.put(tk, t)?;
+            Ok(())
+        })?;
+        if (n + 1) % 16 == 0 {
+            say(&format!("PROGRESS {}", n + 1));
+        }
+    }
+    say("DONE");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_verify(args: &Args) -> Result<ExitCode, RewindError> {
+    let store = ShardedStore::open_file(store_config(args), &args.dir)?;
+    match args.workload.as_str() {
+        "tpcc" => {
+            let db = ShardedTpcc::attach(tpcc_config(args), store);
+            let audit = db.audit()?;
+            if audit.is_clean() {
+                say(&format!(
+                    "VERIFY-OK workload=tpcc orders={} payments={}",
+                    audit.orders, audit.payments
+                ));
+                Ok(ExitCode::SUCCESS)
+            } else {
+                say(&format!(
+                    "VERIFY-FAIL workload=tpcc violations={}",
+                    audit.violations.len()
+                ));
+                for v in &audit.violations {
+                    eprintln!("audit violation: {v}");
+                }
+                Ok(ExitCode::from(4))
+            }
+        }
+        _ => {
+            let mut sum: u64 = 0;
+            let mut failures = Vec::new();
+            for a in 1..=args.accounts {
+                match store.get(account_key(a))? {
+                    Some(v) => sum += v[0],
+                    None => failures.push(format!("account {a} vanished")),
+                }
+            }
+            let expected = args.accounts * BANK_INITIAL;
+            if sum != expected && failures.is_empty() {
+                failures.push(format!(
+                    "balance sum {sum} != expected {expected} \
+                     (a transfer was torn across shards)"
+                ));
+            }
+            if failures.is_empty() {
+                say(&format!("VERIFY-OK workload=bank sum={sum}"));
+                Ok(ExitCode::SUCCESS)
+            } else {
+                say(&format!(
+                    "VERIFY-FAIL workload=bank issues={}",
+                    failures.len()
+                ));
+                for f in &failures {
+                    eprintln!("bank violation: {f}");
+                }
+                Ok(ExitCode::from(4))
+            }
+        }
+    }
+}

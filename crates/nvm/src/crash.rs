@@ -92,6 +92,15 @@ impl CrashInjector {
         self.remaining.store(DISARMED, Ordering::SeqCst);
     }
 
+    /// Freezes the pool immediately, exactly as a fired crash would. The
+    /// file backend uses this when an I/O failure makes further persistence
+    /// claims unsafe: once frozen, every participant ack and durability
+    /// read-back fails, so the 2PC layer treats the pool as a dead shard.
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::SeqCst);
+        self.remaining.store(DISARMED, Ordering::SeqCst);
+    }
+
     /// Clears the frozen flag. Called by the pool during `power_cycle`.
     pub(crate) fn reset(&self) {
         self.frozen.store(false, Ordering::SeqCst);

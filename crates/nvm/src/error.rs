@@ -39,6 +39,43 @@ pub enum NvmError {
     /// Free was called on an address that was never allocated or was already
     /// freed.
     InvalidFree(u64),
+    /// On-medium pool state failed validation: bad file magic/version, a
+    /// checksum mismatch on the file header, or an impossible geometry.
+    /// Unlike [`NvmError::InvalidHeader`] (the in-memory pool image), this
+    /// is about the on-disk representation of a file-backed pool.
+    Corrupt {
+        /// What failed validation and where.
+        detail: String,
+    },
+    /// An I/O error from a file-backed pool. The payload keeps the
+    /// [`std::io::ErrorKind`] plus a rendered message so the error stays
+    /// cloneable and comparable across the crate boundary.
+    Io {
+        /// Kind of the underlying I/O error.
+        kind: std::io::ErrorKind,
+        /// Rendered message with context (operation + path/offset).
+        detail: String,
+    },
+}
+
+impl NvmError {
+    /// Wraps an [`std::io::Error`] with a description of the failed
+    /// operation.
+    pub fn from_io(err: &std::io::Error, what: &str) -> NvmError {
+        NvmError::Io {
+            kind: err.kind(),
+            detail: format!("{what}: {err}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for NvmError {
+    fn from(err: std::io::Error) -> NvmError {
+        NvmError::Io {
+            kind: err.kind(),
+            detail: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for NvmError {
@@ -65,6 +102,8 @@ impl fmt::Display for NvmError {
             NvmError::InvalidHeader(msg) => write!(f, "invalid NVM pool header: {msg}"),
             NvmError::InvalidConfig(msg) => write!(f, "invalid NVM pool configuration: {msg}"),
             NvmError::InvalidFree(addr) => write!(f, "invalid free of NVM address {addr:#x}"),
+            NvmError::Corrupt { detail } => write!(f, "corrupt pool file: {detail}"),
+            NvmError::Io { kind, detail } => write!(f, "pool I/O error ({kind:?}): {detail}"),
         }
     }
 }
@@ -99,6 +138,31 @@ mod tests {
 
         let e = NvmError::InvalidFree(0x99);
         assert!(e.to_string().contains("0x99"));
+
+        let e = NvmError::Corrupt {
+            detail: "bad file magic".into(),
+        };
+        assert!(e.to_string().contains("bad file magic"));
+
+        let io = std::io::Error::other("disk on fire");
+        let e = NvmError::from_io(&io, "write line 7");
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(e.to_string().contains("write line 7"));
+    }
+
+    #[test]
+    fn io_conversion_keeps_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope");
+        let e = NvmError::from(io);
+        assert!(matches!(
+            e,
+            NvmError::Io {
+                kind: std::io::ErrorKind::PermissionDenied,
+                ..
+            }
+        ));
+        // The payload is cloneable and comparable (needed by RewindError).
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

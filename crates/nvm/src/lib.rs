@@ -62,15 +62,22 @@
 #![warn(rust_2018_idioms)]
 
 mod alloc;
+mod backend;
 mod cost;
 mod crash;
 mod error;
+mod file;
 mod paddr;
 mod pool;
 
 pub use alloc::{AllocStats, NvmAllocator};
+pub use backend::{HeapBackend, LineSnapshot, PoolBackend};
 pub use cost::{CostModel, NvmStats, StatsSnapshot, SLEEP_EMULATION_FLOOR_NS};
 pub use crash::{CrashInjector, CrashMode, CrashPoint};
 pub use error::{NvmError, Result};
+pub use file::{
+    crc32, FaultConfig, FileBackend, FileOpenReport, FILE_HEADER_SIZE, FILE_MAGIC, FILE_VERSION,
+    IO_FAULTS_ENV,
+};
 pub use paddr::{PAddr, CACHELINE, WORD};
 pub use pool::{NvmPool, PoolConfig, ROOT_SIZE, USER_ROOT_OFFSET};

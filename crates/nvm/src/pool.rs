@@ -13,14 +13,17 @@
 //! atomic with respect to failure.
 
 use crate::alloc::NvmAllocator;
+use crate::backend::{HeapBackend, PoolBackend};
 use crate::cost::{CostModel, NvmStats, StatsSnapshot};
 use crate::crash::{CrashInjector, CrashMode};
+use crate::file::{FaultConfig, FileBackend, FileOpenReport};
 use crate::paddr::{PAddr, CACHELINE, WORD};
 use crate::{AllocStats, NvmError, Result};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Size of the reserved root region at the start of the pool. The pool header
 /// occupies the first [`USER_ROOT_OFFSET`] bytes; the rest of the root region
@@ -111,29 +114,170 @@ pub struct NvmPool {
     stats: NvmStats,
     crash: CrashInjector,
     alloc: NvmAllocator,
+    /// What stands behind the persistent image (heap no-op or a file).
+    backend: Box<dyn PoolBackend>,
+    /// `backend.needs_write_back()`, cached so the heap hot path pays one
+    /// branch and nothing else.
+    track_wb: bool,
+    /// Cachelines whose persistent-image content changed since the last
+    /// completed backend flush (empty for heap pools).
+    wb_pending: Box<[AtomicU64]>,
+    /// First I/O error the backend hit; once set the pool is frozen and the
+    /// error sticks until the file is reopened.
+    io_error: Mutex<Option<NvmError>>,
+    /// What `open_file`/`create_file` learned about the backing file.
+    file_report: Option<FileOpenReport>,
 }
 
 impl std::fmt::Debug for NvmPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NvmPool")
             .field("capacity", &self.capacity)
+            .field("backend", &self.backend.kind())
             .field("cost", &self.cfg.cost)
             .field("crash_mode", &self.cfg.crash_mode)
             .finish_non_exhaustive()
     }
 }
 
+/// Rounds a requested capacity to the pool's invariants.
+fn round_capacity(capacity: usize) -> usize {
+    let capacity = capacity.max(2 * ROOT_SIZE);
+    capacity.div_ceil(CACHELINE) * CACHELINE
+}
+
 impl NvmPool {
-    /// Creates and formats a fresh pool.
+    /// Creates and formats a fresh heap-backed pool.
     pub fn new(cfg: PoolConfig) -> Arc<Self> {
-        let capacity = cfg.capacity.max(2 * ROOT_SIZE);
-        let capacity = capacity.div_ceil(CACHELINE) * CACHELINE;
+        let capacity = round_capacity(cfg.capacity);
+        let pool = Self::assemble(cfg, capacity, Box::new(HeapBackend), None);
+        pool.format_header();
+        Arc::new(pool)
+    }
+
+    /// Creates and formats a fresh pool backed by the file at `path`
+    /// (truncating anything already there). Fault injection is taken from
+    /// the `REWIND_IO_FAULTS` environment variable if set.
+    pub fn create_file(cfg: PoolConfig, path: impl AsRef<Path>) -> Result<Arc<Self>> {
+        Self::create_file_with_faults(cfg, path, FaultConfig::from_env().unwrap_or_default())
+    }
+
+    /// [`NvmPool::create_file`] with an explicit I/O fault plan.
+    pub fn create_file_with_faults(
+        cfg: PoolConfig,
+        path: impl AsRef<Path>,
+        faults: FaultConfig,
+    ) -> Result<Arc<Self>> {
+        let capacity = round_capacity(cfg.capacity);
+        let backend = FileBackend::create(path.as_ref(), capacity, faults)?;
+        let report = FileOpenReport {
+            path: path.as_ref().to_path_buf(),
+            generation: 1,
+            capacity,
+            ..FileOpenReport::default()
+        };
+        let pool = Self::assemble(cfg, capacity, Box::new(backend), Some(report));
+        pool.format_header();
+        // Make the formatted header durable before handing the pool out, so
+        // a crash at any later point leaves a reopenable file.
+        pool.flush_backend()?;
+        Ok(Arc::new(pool))
+    }
+
+    /// Opens an existing file-backed pool. The capacity is taken from the
+    /// file header (`cfg.capacity` is ignored); cost model and crash mode
+    /// come from `cfg`. Validation failures return
+    /// [`NvmError::Corrupt`]; the generation stamp is bumped so
+    /// forensics can tell process incarnations apart.
+    pub fn open_file(cfg: PoolConfig, path: impl AsRef<Path>) -> Result<Arc<Self>> {
+        Self::open_file_with_faults(cfg, path, FaultConfig::from_env().unwrap_or_default())
+    }
+
+    /// [`NvmPool::open_file`] with an explicit I/O fault plan.
+    pub fn open_file_with_faults(
+        cfg: PoolConfig,
+        path: impl AsRef<Path>,
+        faults: FaultConfig,
+    ) -> Result<Arc<Self>> {
+        let opened = FileBackend::open(path.as_ref(), faults, false)?;
+        Self::attach_opened(cfg, opened)
+    }
+
+    /// Opens a pool file **read-only**, tolerating header corruption: every
+    /// validation failure is downgraded to a note in the returned
+    /// [`FileOpenReport`] and write-backs are silently dropped. This is the
+    /// forensic last resort for a file that no longer passes
+    /// [`NvmPool::open_file`].
+    pub fn open_file_salvage(path: impl AsRef<Path>) -> Result<Arc<Self>> {
+        let opened = FileBackend::open(path.as_ref(), FaultConfig::default(), true)?;
+        Self::attach_opened(PoolConfig::small(), opened)
+    }
+
+    fn attach_opened(cfg: PoolConfig, opened: crate::file::OpenedFile) -> Result<Arc<Self>> {
+        let crate::file::OpenedFile {
+            backend,
+            image,
+            report,
+        } = opened;
+        let capacity = report.capacity;
+        let salvage = report.salvage;
+        let mut pool = Self::assemble(cfg, capacity, Box::new(backend), Some(report));
+        // Load both images from the file: after a restart, the CPU view is
+        // exactly what survived.
+        for (w, chunk) in image.chunks_exact(WORD).enumerate() {
+            let v = u64::from_le_bytes(chunk.try_into().unwrap());
+            pool.persistent[w].store(v, Ordering::Relaxed);
+            pool.volatile[w].store(v, Ordering::Relaxed);
+        }
+        if let Err(e) = pool.verify_header() {
+            if !salvage {
+                return Err(e);
+            }
+            if let Some(r) = pool.file_report.as_mut() {
+                r.salvage_notes.push(format!("pool image header: {e}"));
+            }
+        }
+        let frontier = pool.read_u64_persistent(PAddr::new(OFF_FRONTIER));
+        if frontier < ROOT_SIZE as u64 || frontier > capacity as u64 {
+            if !salvage {
+                return Err(NvmError::Corrupt {
+                    detail: format!(
+                        "allocator frontier {frontier} outside pool of {capacity} bytes"
+                    ),
+                });
+            }
+            if let Some(r) = pool.file_report.as_mut() {
+                r.salvage_notes.push(format!(
+                    "allocator frontier {frontier} implausible; clamped"
+                ));
+            }
+            pool.alloc.reset_to_frontier(capacity as u64);
+        } else {
+            pool.alloc.reset_to_frontier(frontier);
+        }
+        Ok(Arc::new(pool))
+    }
+
+    /// Allocates the images and assembles a pool around `backend`, without
+    /// formatting or loading anything.
+    fn assemble(
+        cfg: PoolConfig,
+        capacity: usize,
+        backend: Box<dyn PoolBackend>,
+        file_report: Option<FileOpenReport>,
+    ) -> NvmPool {
         let words = capacity / WORD;
         let lines = capacity / CACHELINE;
         let volatile: Box<[AtomicU64]> = (0..words).map(|_| AtomicU64::new(0)).collect();
         let persistent: Box<[AtomicU64]> = (0..words).map(|_| AtomicU64::new(0)).collect();
         let dirty: Box<[AtomicU64]> = (0..lines.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
-        let pool = NvmPool {
+        let track_wb = backend.needs_write_back();
+        let wb_pending: Box<[AtomicU64]> = if track_wb {
+            (0..lines.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Box::new([])
+        };
+        NvmPool {
             cfg,
             capacity,
             volatile,
@@ -143,15 +287,23 @@ impl NvmPool {
             stats: NvmStats::new(),
             crash: CrashInjector::new(),
             alloc: NvmAllocator::new(ROOT_SIZE as u64, capacity as u64, ROOT_SIZE as u64),
-        };
-        // Format the header. Header writes are persisted directly and are not
-        // charged to the cost model (a real pool would be formatted offline).
-        pool.raw_persist_u64(OFF_MAGIC, MAGIC);
-        pool.raw_persist_u64(OFF_VERSION, 1);
-        pool.raw_persist_u64(OFF_CAPACITY, capacity as u64);
-        pool.raw_persist_u64(OFF_FRONTIER, ROOT_SIZE as u64);
-        pool.raw_persist_u64(OFF_CLEAN_SHUTDOWN, 1);
-        Arc::new(pool)
+            backend,
+            track_wb,
+            wb_pending,
+            io_error: Mutex::new(None),
+            file_report,
+        }
+    }
+
+    /// Formats the pool header. Header writes are persisted directly and are
+    /// not charged to the cost model (a real pool would be formatted
+    /// offline).
+    fn format_header(&self) {
+        self.raw_persist_u64(OFF_MAGIC, MAGIC);
+        self.raw_persist_u64(OFF_VERSION, 1);
+        self.raw_persist_u64(OFF_CAPACITY, self.capacity as u64);
+        self.raw_persist_u64(OFF_FRONTIER, ROOT_SIZE as u64);
+        self.raw_persist_u64(OFF_CLEAN_SHUTDOWN, 1);
     }
 
     /// Pool capacity in bytes.
@@ -273,6 +425,17 @@ impl NvmPool {
         let idx = (offset as usize) / WORD;
         self.volatile[idx].store(val, Ordering::SeqCst);
         self.persistent[idx].store(val, Ordering::SeqCst);
+        self.mark_wb(offset / CACHELINE as u64);
+    }
+
+    /// Marks a cacheline of the persistent image as needing write-back to
+    /// the backend. A no-op for heap pools.
+    #[inline]
+    fn mark_wb(&self, line: u64) {
+        if self.track_wb {
+            let idx = (line / 64) as usize;
+            self.wb_pending[idx].fetch_or(1 << (line % 64), Ordering::Release);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -348,6 +511,7 @@ impl NvmPool {
         if !interrupted {
             self.persistent[idx].store(val, Ordering::Release);
             self.charge_nvm_write(addr.cacheline());
+            self.mark_wb(addr.cacheline());
         }
     }
 
@@ -436,6 +600,14 @@ impl NvmPool {
         self.crash.on_persist_event();
         // A fence ends any same-line write-combining window.
         self.last_persist_line.store(u64::MAX, Ordering::Relaxed);
+        if self.track_wb && !self.crash.is_frozen() {
+            // File pools: the fence is where pending lines hit the medium
+            // (write-back + fsync). A frozen pool drops write-backs, exactly
+            // as it drops stores — the file stays at the crash point.
+            if let Err(e) = self.flush_backend() {
+                self.record_io_failure(e);
+            }
+        }
     }
 
     /// Convenience: flush the range and fence (the common "persist this
@@ -464,6 +636,37 @@ impl NvmPool {
             let v = self.volatile[w].load(Ordering::Acquire);
             self.persistent[w].store(v, Ordering::Release);
         }
+        self.mark_wb(line);
+    }
+
+    /// Copies one cacheline out of the persistent image (what the backend
+    /// writes to the medium).
+    fn snapshot_line(&self, line: u64) -> [u8; CACHELINE] {
+        let mut buf = [0u8; CACHELINE];
+        let start_word = line as usize * (CACHELINE / WORD);
+        for i in 0..CACHELINE / WORD {
+            let v = self.persistent[start_word + i].load(Ordering::Acquire);
+            buf[i * WORD..(i + 1) * WORD].copy_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Writes every pending line back to the backend and fences it. Returns
+    /// the backend's error without recording it (callers decide).
+    fn flush_backend(&self) -> Result<()> {
+        self.backend
+            .flush(&self.wb_pending, &|line| self.snapshot_line(line))
+    }
+
+    /// Records a backend I/O failure: the error sticks and the pool freezes,
+    /// so every later durability claim (participant acks, decision
+    /// read-backs) fails instead of lying about what is on the medium.
+    fn record_io_failure(&self, err: NvmError) {
+        let mut slot = self.io_error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.crash.freeze();
     }
 
     // ------------------------------------------------------------------
@@ -558,6 +761,7 @@ impl NvmPool {
                         if rng.gen_bool(0.5) {
                             let v = self.volatile[w].load(Ordering::Acquire);
                             self.persistent[w].store(v, Ordering::Release);
+                            self.mark_wb(line);
                         }
                     }
                 }
@@ -576,21 +780,123 @@ impl NvmPool {
         // A pool that went through a power cycle was by definition not shut
         // down cleanly unless the flag had been persisted beforehand; nothing
         // to do here — the flag already has the right persisted value.
+        if self.track_wb {
+            // Bring the file in line with the post-cycle persistent image
+            // (e.g. the words a torn crash persisted). Errors stick as usual.
+            if let Err(e) = self.flush_backend() {
+                self.record_io_failure(e);
+            }
+        }
     }
 
-    /// Verifies the pool header (magic/version/capacity). Mostly useful for
-    /// tests that simulate re-attachment.
+    /// Verifies the pool header (magic/version/capacity). Used on every
+    /// file re-attachment and by tests that simulate one. Failures are the
+    /// typed [`NvmError::Corrupt`] — never an assert.
     pub fn verify_header(&self) -> Result<()> {
-        if self.read_u64_persistent(PAddr::new(OFF_MAGIC)) != MAGIC {
-            return Err(NvmError::InvalidHeader("bad magic".into()));
+        let magic = self.read_u64_persistent(PAddr::new(OFF_MAGIC));
+        if magic != MAGIC {
+            return Err(NvmError::Corrupt {
+                detail: format!("bad pool magic {magic:#x} (want {MAGIC:#x})"),
+            });
         }
-        if self.read_u64_persistent(PAddr::new(OFF_VERSION)) != 1 {
-            return Err(NvmError::InvalidHeader("unsupported version".into()));
+        let version = self.read_u64_persistent(PAddr::new(OFF_VERSION));
+        if version != 1 {
+            return Err(NvmError::Corrupt {
+                detail: format!("unsupported pool version {version}"),
+            });
         }
-        if self.read_u64_persistent(PAddr::new(OFF_CAPACITY)) != self.capacity as u64 {
-            return Err(NvmError::InvalidHeader("capacity mismatch".into()));
+        let cap = self.read_u64_persistent(PAddr::new(OFF_CAPACITY));
+        if cap != self.capacity as u64 {
+            return Err(NvmError::Corrupt {
+                detail: format!(
+                    "capacity mismatch: header says {cap}, pool is {} bytes",
+                    self.capacity
+                ),
+            });
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Backend introspection
+    // ------------------------------------------------------------------
+
+    /// Short name of the persistence backend ("heap", "file", "file-ro").
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.kind()
+    }
+
+    /// `true` if this backend only persists data at an explicit fence
+    /// (file pools write dirty lines back and `fsync` in [`NvmPool::sfence`]).
+    /// Heap pools persist non-temporal stores eagerly, so for them this is
+    /// `false` and an NT store is durable the moment it lands. Callers that
+    /// acknowledge durability to the outside (transaction commit, 2PC acks)
+    /// must fence before answering when this is `true`.
+    pub fn explicit_write_back(&self) -> bool {
+        self.track_wb
+    }
+
+    /// The first I/O error the backend hit, if any. Once set, the pool is
+    /// frozen (like a fired crash injection) and the error sticks until the
+    /// file is reopened in a fresh pool.
+    pub fn io_error(&self) -> Option<NvmError> {
+        self.io_error.lock().unwrap().clone()
+    }
+
+    /// `true` if the cacheline containing `addr` has persistent-image
+    /// changes that have **not** been confirmed on the backend medium.
+    /// Always `false` for heap pools. Only meaningful after an
+    /// [`NvmPool::sfence`]: the fence either wrote the line back and
+    /// `fsync`ed (bit clear) or failed and restored the bit — so
+    /// "read-back matches **and** not pending" is a durability proof that
+    /// holds for both backends.
+    pub fn write_back_pending(&self, addr: PAddr) -> bool {
+        if !self.track_wb {
+            return false;
+        }
+        let line = addr.cacheline();
+        let idx = (line / 64) as usize;
+        self.wb_pending[idx].load(Ordering::Acquire) & (1 << (line % 64)) != 0
+    }
+
+    /// What `open_file`/`create_file` learned about the backing file
+    /// (`None` for heap pools).
+    pub fn file_report(&self) -> Option<&FileOpenReport> {
+        self.file_report.as_ref()
+    }
+
+    /// Current size of the backing file, if there is one. Grows lazily as
+    /// lines are first written back.
+    pub fn backend_file_len(&self) -> Option<u64> {
+        self.backend.file_len()
+    }
+
+    /// Number of backend I/O operations (writes + fsyncs) issued so far, if
+    /// the backend counts them (`None` for heap pools). Deterministic for a
+    /// fixed workload — crash tests measure an operation window on an
+    /// un-faulted twin and then sweep fault injection across it.
+    pub fn backend_io_ops(&self) -> Option<u64> {
+        self.backend.io_ops()
+    }
+
+    /// Flushes pending write-backs and fences the backend, returning the
+    /// error instead of only recording it. Useful where the caller has a
+    /// `Result` channel (pool creation, clean shutdown paths, tests); the
+    /// error is recorded as sticky either way.
+    pub fn sync_backend(&self) -> Result<()> {
+        if !self.track_wb {
+            return Ok(());
+        }
+        if let Some(e) = self.io_error() {
+            return Err(e);
+        }
+        match self.flush_backend() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.record_io_failure(e.clone());
+                Err(e)
+            }
+        }
     }
 }
 
@@ -843,6 +1149,249 @@ mod tests {
         let t = std::time::Instant::now();
         p.write_u64_nt(a, 1);
         assert!(t.elapsed() >= std::time::Duration::from_micros(25));
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("rewind-nvm-{}-{name}-{n}.pool", std::process::id()))
+    }
+
+    #[test]
+    fn file_pool_roundtrip_across_reopen() {
+        let path = tmpfile("roundtrip");
+        let a;
+        {
+            let p = NvmPool::create_file(PoolConfig::small(), &path).unwrap();
+            assert_eq!(p.backend_kind(), "file");
+            assert_eq!(p.file_report().unwrap().generation, 1);
+            a = p.alloc(64).unwrap();
+            p.write_u64_nt(a, 4242);
+            p.sfence();
+            p.mark_clean_shutdown();
+        }
+        let p = NvmPool::open_file(PoolConfig::small(), &path).unwrap();
+        assert!(p.was_clean_shutdown());
+        assert_eq!(p.read_u64(a), 4242);
+        let r = p.file_report().unwrap();
+        assert_eq!(r.generation, 2, "read-write open bumps the generation");
+        assert!(r.suspect_lines.is_empty(), "clean file has no suspects");
+        // The recovered allocator must not re-hand-out live memory.
+        let b = p.alloc(64).unwrap();
+        assert!(b.offset() > a.offset());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_pool_unfenced_nt_store_is_lost_across_reopen() {
+        // Stricter than the heap model: an NT store only reaches the file at
+        // the next fence, so a process death between store and fence loses
+        // it — which is exactly what the hardware guarantees (nothing).
+        let path = tmpfile("unfenced");
+        let a;
+        {
+            let p = NvmPool::create_file(PoolConfig::small(), &path).unwrap();
+            a = p.alloc(64).unwrap();
+            p.write_u64_nt(a, 1);
+            p.sfence();
+            p.write_u64_nt(a.word(1), 2); // never fenced
+        }
+        let p = NvmPool::open_file(PoolConfig::small(), &path).unwrap();
+        assert_eq!(p.read_u64(a), 1, "fenced store survived the restart");
+        assert_eq!(p.read_u64(a.word(1)), 0, "unfenced store was lost");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_is_typed_error_and_salvage_tolerates_it() {
+        let path = tmpfile("corrupt");
+        {
+            let p = NvmPool::create_file(PoolConfig::small(), &path).unwrap();
+            let a = p.alloc(64).unwrap();
+            p.write_u64_nt(a, 99);
+            p.sfence();
+        }
+        // Flip a byte of the file magic.
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.write_all(&[0xFF]).unwrap();
+        drop(f);
+        match NvmPool::open_file(PoolConfig::small(), &path) {
+            Err(NvmError::Corrupt { detail }) => assert!(detail.contains("magic")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Salvage mode downgrades the failure to a note and opens read-only.
+        let p = NvmPool::open_file_salvage(&path).unwrap();
+        assert_eq!(p.backend_kind(), "file-ro");
+        let r = p.file_report().unwrap();
+        assert!(r.salvage);
+        assert!(!r.salvage_notes.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_injection_freezes_pool_and_reopen_flags_suspect_line() {
+        let path = tmpfile("torn");
+        let p = NvmPool::create_file_with_faults(
+            PoolConfig::small(),
+            &path,
+            FaultConfig {
+                seed: 1,
+                torn_at: 8,
+                ..FaultConfig::default()
+            },
+        )
+        .unwrap();
+        let a = p.alloc(64).unwrap();
+        for i in 0..8 {
+            p.write_u64_nt(a.word(i), 0xAB00 + i);
+        }
+        p.sfence(); // the torn write fires during this fence's write-back
+        assert!(p.io_error().is_some(), "torn write must surface as Io");
+        assert!(p.crash_injector().is_frozen(), "pool freezes on I/O death");
+        assert!(
+            p.write_back_pending(a),
+            "the failed fence must leave its lines pending"
+        );
+        drop(p);
+        let p = NvmPool::open_file(PoolConfig::small(), &path).unwrap();
+        let r = p.file_report().unwrap();
+        assert!(
+            !r.suspect_lines.is_empty(),
+            "half-written line must fail its CRC on reopen"
+        );
+        // The torn line holds only old-or-new words (single-word atomicity).
+        for i in 0..8 {
+            let v = p.read_u64(a.word(i));
+            assert!(v == 0 || v == 0xAB00 + i, "invalid torn word {v:#x}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transient_eio_heals_through_retry() {
+        let path = tmpfile("eio");
+        let a;
+        {
+            let p = NvmPool::create_file_with_faults(
+                PoolConfig::small(),
+                &path,
+                FaultConfig {
+                    eio_every: 3,
+                    eio_burst: 2,
+                    ..FaultConfig::default()
+                },
+            )
+            .unwrap();
+            a = p.alloc(64).unwrap();
+            for i in 0..8 {
+                p.write_u64_nt(a.word(i), 7000 + i);
+                p.sfence();
+            }
+            assert!(p.io_error().is_none(), "transient EIO must heal silently");
+            p.mark_clean_shutdown();
+        }
+        let p = NvmPool::open_file(PoolConfig::small(), &path).unwrap();
+        for i in 0..8 {
+            assert_eq!(p.read_u64(a.word(i)), 7000 + i);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_failure_is_fatal_for_that_fence() {
+        let path = tmpfile("fsync");
+        let p = NvmPool::create_file_with_faults(
+            PoolConfig::small(),
+            &path,
+            FaultConfig {
+                fsync_fail_at: 10,
+                ..FaultConfig::default()
+            },
+        )
+        .unwrap();
+        let a = p.alloc(64).unwrap();
+        let mut died = false;
+        for i in 0..16 {
+            p.write_u64_nt(a.word(i % 8), i);
+            p.sfence();
+            if p.io_error().is_some() {
+                died = true;
+                break;
+            }
+        }
+        assert!(died, "the injected fsync failure must surface");
+        assert!(p.crash_injector().is_frozen());
+        match p.io_error().unwrap() {
+            NvmError::Io { detail, .. } => assert!(detail.contains("fsync")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_grows_lazily_with_high_line_write_backs() {
+        let path = tmpfile("grow");
+        let p = NvmPool::create_file(PoolConfig::with_capacity(1 << 20), &path).unwrap();
+        let initial = p.backend_file_len().unwrap();
+        // Touch a line far into the pool; the data region extends to it.
+        let far = p.alloc(512 << 10).unwrap();
+        p.write_u64_nt(far.add((400 << 10) as u64), 1);
+        p.sfence();
+        let grown = p.backend_file_len().unwrap();
+        assert!(
+            grown > initial + (300 << 10) as u64,
+            "file must grow with the write-back frontier ({initial} -> {grown})"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_open_never_writes_the_file() {
+        let path = tmpfile("salvage-ro");
+        let a;
+        {
+            let p = NvmPool::create_file(PoolConfig::small(), &path).unwrap();
+            a = p.alloc(64).unwrap();
+            p.write_u64_nt(a, 31337);
+            p.sfence();
+        }
+        let before = std::fs::read(&path).unwrap();
+        let p = NvmPool::open_file_salvage(&path).unwrap();
+        assert_eq!(p.read_u64(a), 31337);
+        p.write_u64_nt(a, 0xDEAD);
+        p.sfence();
+        drop(p);
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(before, after, "salvage mode must not touch the file");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulated_crash_freeze_keeps_file_at_crash_point() {
+        // The simulated injector composes with the file backend: once
+        // frozen, fences stop writing back, so reopening the file shows the
+        // state as of the crash point.
+        let path = tmpfile("sim-crash");
+        let a;
+        {
+            let p = NvmPool::create_file(PoolConfig::small(), &path).unwrap();
+            a = p.alloc(64).unwrap();
+            p.write_u64_nt(a, 1);
+            p.sfence();
+            p.crash_injector().arm_after(1);
+            p.write_u64_nt(a.word(1), 2); // interrupted
+            p.sfence(); // dropped
+        }
+        let p = NvmPool::open_file(PoolConfig::small(), &path).unwrap();
+        assert_eq!(p.read_u64(a), 1);
+        assert_eq!(
+            p.read_u64(a.word(1)),
+            0,
+            "post-crash store never hit the file"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -129,11 +129,18 @@ impl TraceDump {
 
     /// Writes the full forensic rendering to `$REWIND_TRACE_DUMP_DIR/<tag>.txt`
     /// if that environment variable is set (how the CI crash-stress job
-    /// collects dumps from failing seeds). Returns the path on success.
-    pub fn write_file(&self, tag: &str) -> Option<PathBuf> {
-        let dir = std::env::var_os(DUMP_DIR_ENV)?;
+    /// collects dumps from failing seeds), creating the directory if needed.
+    ///
+    /// Returns `Ok(None)` when the variable is unset, `Ok(Some(path))` on a
+    /// successful write, and the underlying I/O error otherwise — dumps are
+    /// crash forensics, so a failure to write one must be visible to the
+    /// caller, not swallowed.
+    pub fn write_file(&self, tag: &str) -> std::io::Result<Option<PathBuf>> {
+        let Some(dir) = std::env::var_os(DUMP_DIR_ENV) else {
+            return Ok(None);
+        };
         let dir = PathBuf::from(dir);
-        std::fs::create_dir_all(&dir).ok()?;
+        std::fs::create_dir_all(&dir)?;
         let safe: String = tag
             .chars()
             .map(|c| {
@@ -145,7 +152,7 @@ impl TraceDump {
             })
             .collect();
         let path = dir.join(format!("{safe}.txt"));
-        std::fs::write(&path, self.render_forensics()).ok()?;
-        Some(path)
+        std::fs::write(&path, self.render_forensics())?;
+        Ok(Some(path))
     }
 }

@@ -41,6 +41,22 @@ pub enum RewindError {
     /// The store (or one of its shards) is powered off; it must be recovered
     /// before it accepts new work.
     Offline(&'static str),
+    /// Persistent state failed validation: a bad pool-file magic/version, a
+    /// header checksum mismatch, or an impossible on-disk geometry. Raised
+    /// by the file-backed pool open paths instead of panicking.
+    Corrupt {
+        /// What failed validation and where.
+        detail: String,
+    },
+    /// An I/O error from a file-backed pool, carried as
+    /// [`std::io::ErrorKind`] plus a rendered message so the error stays
+    /// cloneable and comparable through the facade.
+    Io {
+        /// Kind of the underlying I/O error.
+        kind: std::io::ErrorKind,
+        /// Rendered message with context.
+        detail: String,
+    },
     /// Internal control-flow marker of the lock-ordered cross-shard
     /// coordinator: the transaction touched the contained shard (contended,
     /// below the lock frontier) after a higher-numbered shard was already
@@ -65,6 +81,8 @@ impl fmt::Display for RewindError {
             RewindError::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
             RewindError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
             RewindError::Offline(what) => write!(f, "{what} is offline; recover it first"),
+            RewindError::Corrupt { detail } => write!(f, "corrupt persistent state: {detail}"),
+            RewindError::Io { kind, detail } => write!(f, "I/O error ({kind:?}): {detail}"),
             RewindError::LockOrderRestart(shard) => write!(
                 f,
                 "cross-shard lock-order restart (shard {shard}); \
@@ -85,7 +103,22 @@ impl std::error::Error for RewindError {
 
 impl From<NvmError> for RewindError {
     fn from(e: NvmError) -> Self {
-        RewindError::Nvm(e)
+        // Corruption and I/O failures keep their typed identity across the
+        // crate boundary; everything else stays a wrapped NVM error.
+        match e {
+            NvmError::Corrupt { detail } => RewindError::Corrupt { detail },
+            NvmError::Io { kind, detail } => RewindError::Io { kind, detail },
+            other => RewindError::Nvm(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for RewindError {
+    fn from(e: std::io::Error) -> Self {
+        RewindError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -105,6 +138,33 @@ mod tests {
             reason: "already committed",
         };
         assert!(e.to_string().contains("already committed"));
+    }
+
+    #[test]
+    fn corruption_and_io_keep_typed_identity() {
+        let e: RewindError = NvmError::Corrupt {
+            detail: "bad file magic".into(),
+        }
+        .into();
+        assert!(matches!(e, RewindError::Corrupt { .. }));
+        assert!(e.to_string().contains("bad file magic"));
+
+        let e: RewindError = NvmError::Io {
+            kind: std::io::ErrorKind::PermissionDenied,
+            detail: "fsync: nope".into(),
+        }
+        .into();
+        assert!(matches!(
+            e,
+            RewindError::Io {
+                kind: std::io::ErrorKind::PermissionDenied,
+                ..
+            }
+        ));
+
+        let e: RewindError = std::io::Error::other("disk gone").into();
+        assert!(matches!(e, RewindError::Io { .. }));
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

@@ -620,6 +620,19 @@ impl TransactionManager {
     fn commit_with(&self, tx: TxId, handle: &TxHandle) -> Result<()> {
         let mut end = LogRecord::end(self.next_lsn(), tx);
         self.append_with(tx, Some(handle), &mut end)?;
+        if self.pool.explicit_write_back() {
+            // Media with explicit write-back (file pools) only see an
+            // NT-stored END record at a fence — until then the commit is
+            // not an acknowledgeable fact, and a pool death would strand
+            // the transaction unfinished (or, worse, in doubt after a 2PC
+            // whose coordinator already retired the decision). Heap pools
+            // persist NT stores eagerly and keep the fence-free commit
+            // tail the paper's cost model assumes.
+            if let Backend::One(log) = &self.backend {
+                log.flush_pending()?;
+            }
+            self.pool.sfence();
+        }
         handle.lock().status = TxStatus::Finished;
         self.stats.committed.fetch_add(1, Ordering::Relaxed);
         if self.cfg.policy == Policy::Force {

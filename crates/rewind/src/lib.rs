@@ -61,7 +61,9 @@ pub mod prelude {
         LogLayers, LogStructure, Policy, Result, RewindConfig, RewindError, Transaction,
         TransactionManager, TxId,
     };
-    pub use rewind_nvm::{CostModel, CrashMode, NvmPool, PAddr, PoolConfig};
+    pub use rewind_nvm::{
+        CostModel, CrashMode, FaultConfig, FileOpenReport, NvmPool, PAddr, PoolConfig,
+    };
     pub use rewind_obs::{MetricsSnapshot, Obs, TraceDump};
     pub use rewind_pagestore::{KvStore, Personality};
     pub use rewind_pds::{Backing, PBTree, PList, PTable, TxToken, Value};

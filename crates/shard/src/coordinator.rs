@@ -153,6 +153,30 @@ impl DecisionLog {
         })
     }
 
+    /// Re-attaches to a decision table already present in `pool` (shard 0's
+    /// reopened file). Validation failures are typed
+    /// [`RewindError::Corrupt`] — a file that reopened fine at the pool
+    /// level can still have lost the coordinator root to a torn create.
+    pub(crate) fn attach(pool: Arc<NvmPool>) -> Result<DecisionLog> {
+        let root = pool.user_root();
+        if pool.read_u64(root.word(DW_MAGIC)) != DECISION_MAGIC {
+            return Err(RewindError::Corrupt {
+                detail: "shard 0's pool holds no decision table".to_string(),
+            });
+        }
+        let first = pool.read_u64(root.word(DW_ENTRIES));
+        if first == 0 {
+            return Err(RewindError::Corrupt {
+                detail: "decision table root points at no first page".to_string(),
+            });
+        }
+        Ok(DecisionLog {
+            pool,
+            first_page: PAddr::new(first),
+            mutate: Mutex::new(()),
+        })
+    }
+
     /// Allocates and zeroes one decision page. Fresh pool memory is never
     /// recycled, so the persistent image under the page is all-zero even if
     /// a dying pool drops these writes — a torn grow can leak a page, never
@@ -212,7 +236,12 @@ impl DecisionLog {
                     let fresh = Self::format_page(&self.pool)?;
                     self.pool.write_u64_nt(page, fresh.offset());
                     self.pool.sfence();
-                    if self.pool.read_u64_persistent(page) != fresh.offset() {
+                    // On a file pool the persistent image alone is not proof:
+                    // a failed write-back restores the line's pending bit, so
+                    // the link only counts once its line reached the medium.
+                    if self.pool.read_u64_persistent(page) != fresh.offset()
+                        || self.pool.write_back_pending(page)
+                    {
                         return Err(RewindError::Offline("decision log (pool failed)"));
                     }
                     return Ok(Self::entry_at(fresh, 0));
@@ -240,8 +269,15 @@ impl DecisionLog {
         self.pool.sfence();
         self.pool.write_u64_nt(e, gtid);
         self.pool.sfence();
+        // On heap pools the persistent-image read-back is the whole truth.
+        // On file pools the image may be ahead of the medium: a failed
+        // write-back restored the line's pending bit at the fence, so the
+        // decision additionally counts as durable only when nothing on its
+        // cacheline is still waiting to reach the file.
         let durable = self.pool.read_u64_persistent(e) == gtid
-            && self.pool.read_u64_persistent(e.word(1)) == DECIDE_COMMIT;
+            && self.pool.read_u64_persistent(e.word(1)) == DECIDE_COMMIT
+            && !self.pool.write_back_pending(e)
+            && !self.pool.write_back_pending(e.word(1));
         if durable {
             Ok(())
         } else {
@@ -301,6 +337,15 @@ impl DecisionLog {
         self.pool.sfence();
     }
 
+    /// Whether the decision table's pool died on a **medium I/O failure** —
+    /// the ambiguous death: a completed `write` survives a failed `fsync`
+    /// in the process-death model, so an unconfirmed entry may still sit on
+    /// the file. The simulated freeze is the unambiguous death (dropped
+    /// writes provably never reached the medium), and reports `false` here.
+    pub(crate) fn medium_failed(&self) -> bool {
+        self.pool.io_error().is_some()
+    }
+
     /// The missing acknowledgement of the crash model: the simulated pool
     /// reports a died-mid-write device by freezing (dropping writes while
     /// the code keeps running), where real hardware would simply never
@@ -355,6 +400,18 @@ impl Coordinator {
         Ok(Coordinator {
             gate: RwLock::new(()),
             decisions: DecisionLog::create(pool0)?,
+            restarts: AtomicU64::new(0),
+            serial_fallbacks: AtomicU64::new(0),
+            obs,
+        })
+    }
+
+    /// Re-attaches the coordinator of a reopened store to the decision
+    /// table persisted in `pool0` (shard 0's pool).
+    pub(crate) fn attach(pool0: Arc<NvmPool>, obs: Obs) -> Result<Coordinator> {
+        Ok(Coordinator {
+            gate: RwLock::new(()),
+            decisions: DecisionLog::attach(pool0)?,
             restarts: AtomicU64::new(0),
             serial_fallbacks: AtomicU64::new(0),
             obs,
@@ -620,7 +677,7 @@ impl<'a> StoreTx<'a> {
                 let released = Self::release(readers);
                 outcome.and(released)
             }
-            _ => Self::two_phase(obs, decisions, &writers, readers),
+            _ => Self::two_phase(obs, decisions, writers, readers),
         }
     }
 
@@ -641,7 +698,7 @@ impl<'a> StoreTx<'a> {
     fn two_phase(
         obs: &Obs,
         decisions: &DecisionLog,
-        writers: &[Participant<'a>],
+        mut writers: Vec<Participant<'a>>,
         readers: Vec<Participant<'a>>,
     ) -> Result<()> {
         let t0 = obs.clock();
@@ -659,7 +716,7 @@ impl<'a> StoreTx<'a> {
         let gtid = match decisions.allocate_gtid() {
             Ok(gtid) => gtid,
             Err(e) => {
-                abort_everything(0, writers, readers);
+                abort_everything(0, &writers, readers);
                 return Err(e);
             }
         };
@@ -672,11 +729,11 @@ impl<'a> StoreTx<'a> {
         // decision entry makes recovery presume abort, matching the live
         // rollbacks here. Read-only participants skip the phase: nothing to
         // make durable, nothing to leave in doubt.
-        for p in writers {
+        for p in &writers {
             let tp = obs.clock();
             if let Err(e) = p.prepare(gtid) {
                 obs.emit(EventKind::TwoPcDecision, gtid, 0, 0);
-                abort_everything(gtid, writers, readers);
+                abort_everything(gtid, &writers, readers);
                 return Err(e);
             }
             if tp.is_some() {
@@ -686,13 +743,30 @@ impl<'a> StoreTx<'a> {
             }
         }
 
-        // The commit point: persist the decision. If the decision pool
-        // failed, no participant has committed and none ever will — roll
-        // everyone back (presumed abort covers any participant that is
-        // beyond reach).
+        // The commit point: persist the decision. How a failure here is
+        // settled depends on *which way* the decision pool died:
+        //
+        // * Simulated freeze — the dropped writes provably never reached
+        //   the medium, so no recovery will ever find the entry: presumed
+        //   abort, roll everyone back live.
+        // * Medium I/O failure — ambiguous. In the process-death model a
+        //   completed `write` survives a failed `fsync`, so the entry may
+        //   sit on the file even though the fence never confirmed it.
+        //   Rolling writers back could contradict a surviving entry;
+        //   committing them could contradict a missing one. The only sound
+        //   move is the classic blocked-2PC one: fail every writer in place
+        //   (pool frozen, shard offline), preserving their durable PREPARE
+        //   records, and leave the whole transaction in doubt until the
+        //   store reopens from its files and resolves it — uniformly —
+        //   against whatever the table actually holds.
         if let Err(e) = decisions.record_commit(gtid) {
             obs.emit(EventKind::TwoPcDecision, gtid, 0, 0);
-            abort_everything(gtid, writers, readers);
+            if decisions.medium_failed() {
+                for q in writers.iter_mut() {
+                    q.fail_in_doubt();
+                }
+            }
+            abort_everything(gtid, &writers, readers);
             return Err(e);
         }
         obs.emit(EventKind::TwoPcDecision, gtid, 1, 0);
@@ -714,7 +788,7 @@ impl<'a> StoreTx<'a> {
         // decision to drive it forward.
         let mut all_acked = true;
         let mut first_err = readers_released.err();
-        for p in writers {
+        for p in &writers {
             match p.commit_prepared() {
                 Ok(acked) => {
                     all_acked &= acked;
@@ -759,11 +833,64 @@ impl<'a> StoreTx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rewind_nvm::PoolConfig;
+    use rewind_nvm::{FaultConfig, PoolConfig};
+    use std::path::{Path, PathBuf};
 
     fn log() -> DecisionLog {
         let pool = NvmPool::new(PoolConfig::with_capacity(8 << 20));
         DecisionLog::create(pool).unwrap()
+    }
+
+    /// A unique temp path per call, so concurrently running tests never
+    /// collide on a pool file.
+    fn tmpfile(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "rewind-coord-{name}-{}-{}.pool",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn file_log(path: &Path, faults: FaultConfig) -> DecisionLog {
+        let pool =
+            NvmPool::create_file_with_faults(PoolConfig::with_capacity(2 << 20), path, faults)
+                .unwrap();
+        DecisionLog::create(pool).unwrap()
+    }
+
+    /// Fills the first page exactly: one committed decision per slot.
+    fn fill_first_page(d: &DecisionLog) -> Vec<u64> {
+        let gtids: Vec<u64> = (0..PAGE_ENTRIES)
+            .map(|_| d.allocate_gtid().unwrap())
+            .collect();
+        for &g in &gtids {
+            d.record_commit(g).unwrap();
+        }
+        gtids
+    }
+
+    /// Every live gtid reachable by walking the page chain.
+    fn live_gtids(d: &DecisionLog) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut page = Some(d.first_page);
+        while let Some(p) = page {
+            for i in 0..PAGE_ENTRIES {
+                let g = d.pool.read_u64(DecisionLog::entry_at(p, i));
+                if g != 0 {
+                    out.push(g);
+                }
+            }
+            page = d.next_page(p);
+        }
+        out
+    }
+
+    fn crash_seed() -> u64 {
+        std::env::var("REWIND_CRASH_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
     }
 
     #[test]
@@ -849,6 +976,164 @@ mod tests {
         });
         for &g in &all {
             assert!(!d.decided_commit(g));
+        }
+    }
+
+    #[test]
+    fn decision_log_attach_round_trips_through_a_file() {
+        let path = tmpfile("attach");
+        let gtids: Vec<u64> = {
+            let d = file_log(&path, FaultConfig::default());
+            (0..10)
+                .map(|_| {
+                    let g = d.allocate_gtid().unwrap();
+                    d.record_commit(g).unwrap();
+                    g
+                })
+                .collect()
+        };
+        // A fresh process incarnation: reopen the file, re-attach the table.
+        let pool = NvmPool::open_file(PoolConfig::with_capacity(2 << 20), &path).unwrap();
+        let d = DecisionLog::attach(pool).unwrap();
+        for &g in &gtids {
+            assert!(d.decided_commit(g), "gtid {g} lost across reopen");
+        }
+        // Gtid monotonicity survives too: the next allocation is past every
+        // persisted one.
+        let fresh = d.allocate_gtid().unwrap();
+        assert!(fresh > *gtids.last().unwrap());
+        // A pool that never held a decision table is a typed corruption,
+        // not a panic.
+        let bare = NvmPool::create_file(PoolConfig::with_capacity(2 << 20), tmpfile("attach-bare"))
+            .unwrap();
+        assert!(matches!(
+            DecisionLog::attach(bare),
+            Err(RewindError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_grow_under_simulated_freeze_never_fabricates_a_decision() {
+        // The 129th commit grows the chain: fresh page zeroed and fenced,
+        // link word written and fenced, then the entry's two words across
+        // two more fences. Measure that persist-event window on an
+        // un-faulted heap twin (persist events are backend-independent).
+        let window = {
+            let d = log();
+            fill_first_page(&d);
+            let g = d.allocate_gtid().unwrap();
+            let before = d.pool.crash_injector().observed_events();
+            d.record_commit(g).unwrap();
+            d.pool.crash_injector().observed_events() - before
+        };
+        assert!(window > 4, "growth must span several persist points");
+
+        // Freeze the pool at points across the window (strided, plus every
+        // point near the tail where the link and entry words go in). The
+        // freeze is the *unambiguous* death — dropped writes provably never
+        // reach the file — so the oracle is exact: the decision is
+        // reachable after reopening the file iff record_commit said so.
+        let mut points: Vec<u64> = (1 + crash_seed() % 13..=window).step_by(13).collect();
+        points.extend(window.saturating_sub(8)..=window);
+        for k in points {
+            let path = tmpfile(&format!("freeze-{k}"));
+            let d = file_log(&path, FaultConfig::default());
+            let old = fill_first_page(&d);
+            let g = d.allocate_gtid().unwrap();
+            d.pool.crash_injector().arm_after(k);
+            let r = d.record_commit(g);
+            drop(d);
+
+            let pool = NvmPool::open_file(PoolConfig::with_capacity(2 << 20), &path).unwrap();
+            let d = DecisionLog::attach(pool).unwrap();
+            for &o in &old {
+                assert!(d.decided_commit(o), "freeze at {k}: gtid {o} lost");
+            }
+            assert_eq!(
+                d.decided_commit(g),
+                r.is_ok(),
+                "freeze at {k}: reopened file and record_commit disagree \
+                 about gtid {g}"
+            );
+            let live = live_gtids(&d);
+            assert!(
+                live.iter().all(|&x| x <= g),
+                "freeze at {k}: fabricated gtid in {live:?}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn torn_grow_across_two_fsyncs_never_fabricates_a_decision() {
+        // Measure the I/O-operation window (writes + fsyncs) of the growing
+        // 129th commit on an identical un-faulted file twin: the fill is
+        // deterministic, so operation numbers line up exactly.
+        let twin_path = tmpfile("grow-twin");
+        let (a, b) = {
+            let d = file_log(&twin_path, FaultConfig::default());
+            fill_first_page(&d);
+            let g = d.allocate_gtid().unwrap();
+            let a = d.pool.backend_io_ops().unwrap();
+            d.record_commit(g).unwrap();
+            (a, d.pool.backend_io_ops().unwrap())
+        };
+        std::fs::remove_file(&twin_path).ok();
+        assert!(
+            b - a >= 4,
+            "the grow must span several I/O ops (two fsyncs)"
+        );
+
+        // Sweep a torn write and a failed fsync across every operation of
+        // the grow. Medium faults are the *ambiguous* death — a completed
+        // write survives a failed fsync in the process-death model — so the
+        // oracle is one-sided plus structural: nothing already durable is
+        // lost, nothing unallocated becomes reachable, and an `Ok` from
+        // record_commit always means the decision survives the reopen.
+        for k in a + 1..=b {
+            for torn in [false, true] {
+                let faults = if torn {
+                    FaultConfig {
+                        seed: crash_seed(),
+                        torn_at: k,
+                        ..FaultConfig::default()
+                    }
+                } else {
+                    FaultConfig {
+                        fsync_fail_at: k,
+                        ..FaultConfig::default()
+                    }
+                };
+                let path = tmpfile(&format!("grow-{k}-{torn}"));
+                let d = file_log(&path, faults);
+                let old = fill_first_page(&d);
+                let g = d.allocate_gtid().unwrap();
+                let r = d.record_commit(g);
+                drop(d);
+
+                let pool = NvmPool::open_file(PoolConfig::with_capacity(2 << 20), &path).unwrap();
+                let d = DecisionLog::attach(pool).unwrap();
+                for &o in &old {
+                    assert!(
+                        d.decided_commit(o),
+                        "fault at op {k} (torn={torn}): gtid {o} lost"
+                    );
+                }
+                let live = live_gtids(&d);
+                assert!(
+                    live.iter().all(|&x| x <= g),
+                    "fault at op {k} (torn={torn}): fabricated gtid in {live:?}"
+                );
+                if r.is_ok() {
+                    assert!(
+                        d.decided_commit(g),
+                        "fault at op {k} (torn={torn}): durable-acked decision \
+                         {g} unreachable after reopen"
+                    );
+                }
+                std::fs::remove_file(&path).ok();
+            }
         }
     }
 }

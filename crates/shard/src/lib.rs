@@ -101,7 +101,7 @@ pub use config::ShardConfig;
 pub use coordinator::{CoordinatorStats, StoreTx};
 pub use group::GroupCommitSnapshot;
 pub use shard::ShardTx;
-pub use store::{ShardSnapshot, ShardStats, ShardedStore};
+pub use store::{shard_file_name, ShardSnapshot, ShardStats, ShardedStore};
 
 pub use rewind_core::{Result, RewindError};
 pub use rewind_obs::{Obs, TraceDump};

@@ -51,13 +51,26 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Creates shard `id` of `cfg.shards` with a fresh pool and tree.
+    /// Creates shard `id` of `cfg.shards` with a fresh heap pool and tree.
     pub(crate) fn create(id: usize, cfg: ShardConfig, obs: Obs) -> Result<Self> {
         let pool = NvmPool::new(
             PoolConfig::with_capacity(cfg.shard_capacity)
                 .cost(cfg.cost)
                 .crash_mode(cfg.crash_mode),
         );
+        Self::create_on(id, cfg, obs, pool)
+    }
+
+    /// Formats shard `id`'s durable state into `pool` (fresh and already
+    /// formatted at the pool level) and returns the live shard — the one
+    /// construction site behind the heap-backed [`Shard::create`] and the
+    /// file-backed store constructors.
+    pub(crate) fn create_on(
+        id: usize,
+        cfg: ShardConfig,
+        obs: Obs,
+        pool: Arc<NvmPool>,
+    ) -> Result<Self> {
         let tm = Arc::new(TransactionManager::create_with_obs(
             Arc::clone(&pool),
             cfg.rewind,
@@ -117,28 +130,67 @@ impl Shard {
             self.cfg.rewind,
             self.obs.clone(),
         )?);
-        let root = self.pool.user_root();
-        if self.pool.read_u64(root.word(SW_MAGIC)) != SHARD_MAGIC {
-            return Err(RewindError::CorruptLog(format!(
-                "shard {}: user root holds no shard header",
-                self.id
-            )));
-        }
-        let stored_id = self.pool.read_u64(root.word(SW_SHARD_ID));
-        let stored_count = self.pool.read_u64(root.word(SW_SHARD_COUNT));
-        if stored_id != self.id as u64 || stored_count != self.cfg.shards as u64 {
-            return Err(RewindError::ConfigMismatch(format!(
-                "pool belongs to shard {stored_id}/{stored_count}, \
-                 opened as shard {}/{}",
-                self.id, self.cfg.shards
-            )));
-        }
-        let header = PAddr::new(self.pool.read_u64(root.word(SW_TREE_HEADER)));
+        let header = Self::validate_root(&self.pool, self.id, &self.cfg)?;
         let report = tm.last_recovery();
         inner.tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), header);
         inner.tm = tm;
         inner.open = true;
         Ok(report)
+    }
+
+    /// Constructs shard `id` over a pool that already holds its durable
+    /// state (a reopened file): the construction-time mirror of
+    /// [`Shard::reopen`], running REWIND recovery if the pool was not shut
+    /// down cleanly. The recovery report is available through
+    /// [`Shard::last_recovery`].
+    pub(crate) fn attach(
+        id: usize,
+        cfg: ShardConfig,
+        obs: Obs,
+        pool: Arc<NvmPool>,
+    ) -> Result<Self> {
+        let tm = Arc::new(TransactionManager::open_with_obs(
+            Arc::clone(&pool),
+            cfg.rewind,
+            obs.clone(),
+        )?);
+        let header = Self::validate_root(&pool, id, &cfg)?;
+        let tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), header);
+        Ok(Shard {
+            id,
+            pool,
+            cfg,
+            inner: Mutex::new(ShardInner {
+                tm,
+                tree,
+                open: true,
+            }),
+            queue: Mutex::new(GroupQueue::default()),
+            queue_cv: Condvar::new(),
+            stats: GroupCommitStats::default(),
+            obs,
+        })
+    }
+
+    /// Validates the durable shard root in `pool` — magic, shard identity,
+    /// shard count — and returns the tree header address.
+    fn validate_root(pool: &NvmPool, id: usize, cfg: &ShardConfig) -> Result<PAddr> {
+        let root = pool.user_root();
+        if pool.read_u64(root.word(SW_MAGIC)) != SHARD_MAGIC {
+            return Err(RewindError::Corrupt {
+                detail: format!("shard {id}: user root holds no shard header"),
+            });
+        }
+        let stored_id = pool.read_u64(root.word(SW_SHARD_ID));
+        let stored_count = pool.read_u64(root.word(SW_SHARD_COUNT));
+        if stored_id != id as u64 || stored_count != cfg.shards as u64 {
+            return Err(RewindError::ConfigMismatch(format!(
+                "pool belongs to shard {stored_id}/{stored_count}, \
+                 opened as shard {id}/{}",
+                cfg.shards
+            )));
+        }
+        Ok(PAddr::new(pool.read_u64(root.word(SW_TREE_HEADER))))
     }
 
     /// Flushes and cleanly shuts down this shard (the next reopen skips
@@ -517,6 +569,19 @@ impl Participant<'_> {
     pub(crate) fn commit_prepared(&self) -> Result<bool> {
         self.inner.tm.commit_prepared(self.tx)?;
         Ok(!self.pool.crash_injector().is_frozen())
+    }
+
+    /// Fails this participant's shard in place: the pool is frozen (no
+    /// further write reaches the medium, preserving the durable PREPARE
+    /// record exactly as it stands) and the shard goes offline until the
+    /// next recovery. The coordinator uses this when the decision medium
+    /// died with the outcome unknowable — neither committing nor rolling
+    /// back is provably right, so the participant must stay in doubt on its
+    /// durable state and let recovery resolve it against whatever the
+    /// decision table actually holds.
+    pub(crate) fn fail_in_doubt(&mut self) {
+        self.pool.crash_injector().freeze();
+        self.inner.open = false;
     }
 
     /// Rolls the participant back through whichever path its state requires:

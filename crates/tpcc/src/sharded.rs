@@ -329,11 +329,19 @@ impl ShardedTpcc {
     /// parallel — each one's rows live on a single shard, so the loader
     /// batches them into a few single-shard transactions.
     pub fn build(cfg: ShardedTpccConfig) -> Result<ShardedTpcc> {
+        let store = ShardedStore::create(cfg.store)?;
+        Self::build_on(cfg, store)
+    }
+
+    /// Loads the initial database into an already-created store — the
+    /// file-backed path: create the store with
+    /// [`ShardedStore::create_file`], load through this constructor, and a
+    /// later process can [`ShardedTpcc::attach`] to the reopened files.
+    pub fn build_on(cfg: ShardedTpccConfig, store: ShardedStore) -> Result<ShardedTpcc> {
         assert!(
             (1..=MAX_WAREHOUSES).contains(&cfg.warehouses),
             "warehouses must be 1–{MAX_WAREHOUSES}"
         );
-        let store = ShardedStore::create(cfg.store)?;
         let db = ShardedTpcc { store, cfg };
         let mut outcomes: Vec<Option<Result<()>>> = (0..cfg.warehouses).map(|_| None).collect();
         std::thread::scope(|s| {
@@ -346,6 +354,14 @@ impl ShardedTpcc {
             outcome.expect("loader thread completed")?;
         }
         Ok(db)
+    }
+
+    /// Wraps an already-loaded store without touching any data — the reopen
+    /// path of the file-backed database. `cfg` must be the sizing the
+    /// database was originally built with (the audit derives its expected
+    /// totals from it).
+    pub fn attach(cfg: ShardedTpccConfig, store: ShardedStore) -> ShardedTpcc {
+        ShardedTpcc { store, cfg }
     }
 
     /// Loads one warehouse's rows in chunked single-shard transactions.
@@ -867,9 +883,13 @@ impl ShardedTpcc {
         }
         let dump = self.store.obs().dump();
         match dump.write_file(tag) {
-            Some(path) => eprintln!("trace dump written to {}", path.display()),
-            None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
-            None => {}
+            Ok(Some(path)) => eprintln!("trace dump written to {}", path.display()),
+            Ok(None) if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("failed to write trace dump: {e}");
+                eprintln!("{}", dump.render_forensics());
+            }
         }
         audit.assert_clean();
     }

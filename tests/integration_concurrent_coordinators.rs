@@ -208,9 +208,13 @@ fn assert_serializable_or_dump(
     if let Err(panic) = result {
         let dump = store.obs().dump();
         match dump.write_file(tag) {
-            Some(path) => eprintln!("trace dump written to {}", path.display()),
-            None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
-            None => {}
+            Ok(Some(path)) => eprintln!("trace dump written to {}", path.display()),
+            Ok(None) if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("failed to write trace dump: {e}");
+                eprintln!("{}", dump.render_forensics());
+            }
         }
         eprintln!("oracle failed under REWIND_CRASH_SEED={}", crash_seed());
         std::panic::resume_unwind(panic);

@@ -26,9 +26,13 @@ fn crash_seed() -> u64 {
 fn dump_trace(store: &ShardedStore, tag: &str) {
     let dump = store.obs().dump();
     match dump.write_file(tag) {
-        Some(path) => eprintln!("trace dump written to {}", path.display()),
-        None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
-        None => {}
+        Ok(Some(path)) => eprintln!("trace dump written to {}", path.display()),
+        Ok(None) if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write trace dump: {e}");
+            eprintln!("{}", dump.render_forensics());
+        }
     }
 }
 

@@ -47,9 +47,13 @@ fn audit_clean_or_dump(db: &ShardedTpcc, tag: &str, context: &str) {
     }
     let dump = db.store().obs().dump();
     match dump.write_file(tag) {
-        Some(path) => eprintln!("trace dump written to {}", path.display()),
-        None if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
-        None => {}
+        Ok(Some(path)) => eprintln!("trace dump written to {}", path.display()),
+        Ok(None) if !dump.events.is_empty() => eprintln!("{}", dump.render_forensics()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write trace dump: {e}");
+            eprintln!("{}", dump.render_forensics());
+        }
     }
     panic!(
         "REWIND_CRASH_SEED={} {context}: audit failed:\n{}",

@@ -218,8 +218,12 @@ fn forensic_dump_demo() {
 
     let dump = store.obs().dump();
     match dump.write_file("forensic_dump_demo") {
-        Some(path) => eprintln!("trace dump written to {}", path.display()),
-        None => eprintln!("{}", dump.render_forensics()),
+        Ok(Some(path)) => eprintln!("trace dump written to {}", path.display()),
+        Ok(None) => eprintln!("{}", dump.render_forensics()),
+        Err(e) => {
+            eprintln!("failed to write trace dump: {e}");
+            eprintln!("{}", dump.render_forensics());
+        }
     }
     panic!(
         "REWIND_CRASH_SEED={} crash_at {}: deliberate failure — the dump \

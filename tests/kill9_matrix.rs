@@ -1,0 +1,238 @@
+//! Real-process kill-9 crash matrix.
+//!
+//! The simulated crash matrices freeze a pool and recover inside one
+//! process; this suite kills a **real child process** with `SIGKILL` while
+//! it runs seeded workloads against file-backed pools, then reopens the
+//! surviving files in a fresh process and checks the ACID oracles:
+//!
+//! * the parent kills the child at a seeded point of the live workload
+//!   (after the child's `READY` handshake, so the initial load is never at
+//!   risk), covering arbitrary in-flight group commits and cross-shard 2PC;
+//! * the child kills *itself* via the I/O fault injector
+//!   (`REWIND_IO_FAULTS=kill_at=N` / `torn_kill_at=N`), pinning the death
+//!   to an exact file operation — including a half-written cacheline cut
+//!   short by the kill;
+//! * `rewind-faultbin verify` then reopens the directory — REWIND recovery
+//!   plus in-doubt 2PC resolution against shard 0's decision table — and
+//!   runs the TPC-C audit or the bank conservation-of-money check.
+//!
+//! `REWIND_CRASH_SEED` shifts every kill point (CI sweeps seeds 0–8).
+//! On a verification failure the surviving pool files are copied to
+//! `REWIND_KILL9_ARTIFACT_DIR` (when set) for post-mortem.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rewind-faultbin")
+}
+
+fn crash_seed() -> u64 {
+    std::env::var("REWIND_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "rewind-kill9-{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// A faultbin command with a clean fault environment (the verify and init
+/// phases must never inherit a kill spec from the test runner).
+fn faultbin(args: &[&str]) -> Command {
+    let mut c = Command::new(bin());
+    c.args(args);
+    c.env_remove("REWIND_IO_FAULTS");
+    c.stdout(Stdio::piped());
+    c
+}
+
+fn init(dir: &Path, workload: &str) {
+    let out = faultbin(&[
+        "init",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--workload",
+        workload,
+    ])
+    .output()
+    .expect("spawn faultbin init");
+    assert!(
+        out.status.success(),
+        "init({workload}) failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+/// Copies the surviving store files (and anything else the child left in
+/// the directory) to the artifact directory, if one is configured.
+fn preserve_artifacts(dir: &Path, tag: &str) {
+    let Some(root) = std::env::var_os("REWIND_KILL9_ARTIFACT_DIR") else {
+        return;
+    };
+    let dest = Path::new(&root).join(tag);
+    let _ = std::fs::create_dir_all(&dest);
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let _ = std::fs::copy(e.path(), dest.join(e.file_name()));
+        }
+    }
+    eprintln!("kill9 artifacts preserved under {}", dest.display());
+}
+
+/// Reopens the directory in a fresh process and checks the workload's
+/// invariant; preserves the files and panics if recovery lost or tore a
+/// transaction.
+fn verify(dir: &Path, workload: &str, tag: &str) {
+    let out = faultbin(&[
+        "verify",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--workload",
+        workload,
+    ])
+    .output()
+    .expect("spawn faultbin verify");
+    if !out.status.success() {
+        preserve_artifacts(dir, tag);
+        panic!(
+            "verification failed after {tag} (exit {:?}):\n{}{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+}
+
+/// The parent-driven kill: wait for `READY`, let a seeded number of
+/// `PROGRESS` lines go by, then `SIGKILL` the child mid-transaction.
+fn parent_kill_round(workload: &str, seed: u64, round: u64) {
+    let tag = format!("parent-kill-{workload}-s{seed}-r{round}");
+    let dir = tmpdir(&tag);
+    init(&dir, workload);
+
+    let mut child = faultbin(&[
+        "run",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--workload",
+        workload,
+        "--seed",
+        &(seed + round).to_string(),
+        "--ops",
+        "100000",
+    ])
+    .spawn()
+    .expect("spawn faultbin run");
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    // The handshake: killing before READY could hit the store-open path,
+    // which is the verifier's job to run, not the victim's.
+    loop {
+        match lines.next() {
+            Some(Ok(l)) if l == "READY" => break,
+            Some(Ok(_)) => {}
+            _ => {
+                let _ = child.kill();
+                panic!("{tag}: child exited before READY");
+            }
+        }
+    }
+    let target = (seed * 3 + round * 7) % 12;
+    let mut progressed = 0u64;
+    while progressed < target {
+        match lines.next() {
+            Some(Ok(l)) if l.starts_with("PROGRESS") => progressed += 1,
+            Some(Ok(_)) => {}
+            _ => break, // the child died on its own — also a crash point
+        }
+    }
+    child.kill().expect("SIGKILL the child");
+    let _ = child.wait();
+
+    verify(&dir, workload, &tag);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The child-driven kill: the injector SIGKILLs the process at file
+/// operation N — optionally right after persisting only half a cacheline
+/// (`torn_kill_at`), the classic torn write cut short by a crash.
+fn self_kill_round(workload: &str, seed: u64, round: u64, torn: bool) {
+    let kind = if torn { "torn_kill_at" } else { "kill_at" };
+    let tag = format!("self-kill-{workload}-{kind}-s{seed}-r{round}");
+    let dir = tmpdir(&tag);
+    init(&dir, workload);
+
+    let kill_at = 25 + (seed * 131 + round * 277) % 1200;
+    let out = faultbin(&[
+        "run",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--workload",
+        workload,
+        "--seed",
+        &(seed + round).to_string(),
+        "--ops",
+        "2000",
+    ])
+    .env("REWIND_IO_FAULTS", format!("seed={seed},{kind}={kill_at}"))
+    .output()
+    .expect("spawn faultbin run");
+    // Acceptable child fates: killed by the injector (signal death, no exit
+    // code), finished the whole workload before op N (0), or the store died
+    // in a non-kill way (3). Anything else is a harness bug.
+    let code = out.status.code();
+    assert!(
+        code.is_none() || code == Some(0) || code == Some(3),
+        "{tag}: unexpected exit {code:?}:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+
+    verify(&dir, workload, &tag);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parent_kill9_mid_bank_workload_recovers() {
+    let seed = crash_seed();
+    for round in 0..3 {
+        parent_kill_round("bank", seed, round);
+    }
+}
+
+#[test]
+fn parent_kill9_mid_tpcc_workload_recovers() {
+    let seed = crash_seed();
+    for round in 0..3 {
+        parent_kill_round("tpcc", seed, round);
+    }
+}
+
+#[test]
+fn seeded_self_kill9_at_exact_io_op_recovers() {
+    let seed = crash_seed();
+    for round in 0..2 {
+        self_kill_round("bank", seed, round, false);
+        self_kill_round("tpcc", seed, round, false);
+    }
+}
+
+#[test]
+fn seeded_torn_write_kill9_recovers() {
+    let seed = crash_seed();
+    for round in 0..2 {
+        self_kill_round("bank", seed, round, true);
+        self_kill_round("tpcc", seed, round, true);
+    }
+}
