@@ -1,0 +1,5 @@
+//! Async submission front-end: ops-in-flight per submitter thread and the
+//! max_group x fence-latency batching surface.
+fn main() {
+    rewind_bench::async_frontend(rewind_bench::scale_from_env());
+}

@@ -1,0 +1,99 @@
+//! Run-over-run benchmark trajectory: diffs the `summary` metrics of two
+//! directories of `BENCH_*.json` sidecars (a baseline — typically the
+//! previous main-branch CI artifact — against the current run) and prints a
+//! markdown table of the deltas. CI appends the output to the job summary,
+//! turning the write-only `BENCH_*.json` history into a visible trajectory.
+//!
+//! The baseline being absent is *not* an error (the first run on a branch,
+//! an expired artifact): the tool prints a note and exits 0 — only the
+//! current directory being unreadable fails.
+//!
+//! Usage: `bench_diff <baseline-dir> <current-dir>`
+
+use rewind_bench::util::scan_summary;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Reads every sidecar in `dir` into `bench name -> summary metrics`.
+fn read_dir_summaries(dir: &str) -> std::io::Result<BTreeMap<String, Vec<(String, f64)>>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)?.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        let Some(bench) = name
+            .strip_prefix("BENCH_")
+            .and_then(|n| n.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        if let Ok(text) = std::fs::read_to_string(entry.path()) {
+            out.insert(bench.to_string(), scan_summary(&text));
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(base_dir), Some(cur_dir)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_diff <baseline-dir> <current-dir>");
+        return ExitCode::FAILURE;
+    };
+
+    let current = match read_dir_summaries(&cur_dir) {
+        Ok(c) if !c.is_empty() => c,
+        Ok(_) => {
+            eprintln!("bench_diff: no BENCH_*.json in {cur_dir}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {cur_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = read_dir_summaries(&base_dir).unwrap_or_default();
+    if baseline.is_empty() {
+        println!(
+            "## Bench trajectory\n\n_No baseline artifact (first run on this \
+             branch, or the previous artifact expired) — nothing to diff._\n"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!("## Bench trajectory (vs previous main)\n");
+    println!("| bench | metric | baseline | current | delta |");
+    println!("|---|---|---:|---:|---:|");
+    for (bench, metrics) in &current {
+        let base_metrics = baseline.get(bench);
+        for (key, cur) in metrics {
+            let base = base_metrics.and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| *v));
+            match base {
+                Some(b) => {
+                    let delta = if b.abs() > 1e-12 {
+                        format!("{:+.1}%", (cur - b) / b.abs() * 100.0)
+                    } else if cur.abs() > 1e-12 {
+                        "new≠0".to_string()
+                    } else {
+                        "±0".to_string()
+                    };
+                    println!("| {bench} | `{key}` | {b:.3} | {cur:.3} | {delta} |");
+                }
+                None => println!("| {bench} | `{key}` | - | {cur:.3} | new |"),
+            }
+        }
+    }
+    // Metrics that vanished are worth a line too: a silently dropped gate
+    // reads as "all green" otherwise.
+    for (bench, metrics) in &baseline {
+        for (key, b) in metrics {
+            let gone = current
+                .get(bench)
+                .map(|m| !m.iter().any(|(k, _)| k == key))
+                .unwrap_or(true);
+            if gone {
+                println!("| {bench} | `{key}` | {b:.3} | - | removed |");
+            }
+        }
+    }
+    println!();
+    ExitCode::SUCCESS
+}

@@ -1,55 +1,39 @@
 //! CI perf-regression gate.
 //!
 //! Reads the checked-in thresholds (`ci/perf-thresholds.json`, a flat
-//! `"metric": max_value` object) and the `BENCH_*.json` sidecars the
-//! benchmark runs emitted, then fails (exit code 1) if any gated metric is
-//! missing or exceeds its threshold. Both files are flat `"key": number`
-//! collections with unique keys, so a dependency-free scanner is enough —
-//! no JSON crate exists in this offline workspace.
+//! `"metric": value` object) and the `BENCH_*.json` sidecars the benchmark
+//! runs emitted, then fails (exit code 1) if any gated metric is missing or
+//! lands on the wrong side of its threshold. Two kinds of threshold:
+//!
+//! * `"metric": max` — a **ceiling**: the measured value must be `<= max`
+//!   (regression = the cost grew past it).
+//! * `"metric_min": min` — a **floor** on `metric`: the measured value must
+//!   be `>= min` (regression = a capability shrank, e.g. the async
+//!   front-end no longer keeps enough operations in flight).
+//!
+//! Every gated metric is printed with its measured value, threshold and
+//! remaining margin even when it passes, so a PR's perf headroom is visible
+//! in the CI log without downloading artifacts. When `$GITHUB_STEP_SUMMARY`
+//! is set (as in GitHub Actions), the same table is appended there as
+//! markdown.
 //!
 //! Usage: `perf_gate [thresholds-file] [bench-json-dir]`
 //! (defaults: `ci/perf-thresholds.json`, `.`)
 
+use rewind_bench::util::scan_pairs;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-/// Extracts every `"key": number` pair from `text`. Nested structure is
-/// irrelevant because gated keys are globally unique by construction.
-fn scan_pairs(text: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    let bytes = text.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] != b'"' {
-            i += 1;
-            continue;
-        }
-        let Some(end) = text[i + 1..].find('"').map(|e| i + 1 + e) else {
-            break;
-        };
-        let key = &text[i + 1..end];
-        let mut j = end + 1;
-        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
-            j += 1;
-        }
-        if j >= bytes.len() || bytes[j] != b':' {
-            i = end + 1;
-            continue;
-        }
-        j += 1;
-        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
-            j += 1;
-        }
-        let start = j;
-        while j < bytes.len() && matches!(bytes[j], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
-        {
-            j += 1;
-        }
-        if let Ok(v) = text[start..j].parse::<f64>() {
-            out.push((key.to_string(), v));
-        }
-        i = j.max(end + 1);
-    }
-    out
+/// One gated metric's evaluation.
+struct Verdict {
+    metric: String,
+    kind: &'static str, // "max" or "min"
+    threshold: f64,
+    measured: Option<(f64, String)>, // (value, source file)
+    ok: bool,
+    /// Fraction of the threshold left before the gate trips (signed:
+    /// negative once it has).
+    margin: f64,
 }
 
 fn main() -> ExitCode {
@@ -93,30 +77,92 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut failed = false;
-    println!("{:<40} {:>12} {:>12}  verdict", "metric", "measured", "max");
-    for (key, max) in &thresholds {
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    for (key, threshold) in &thresholds {
+        // `*_min` keys gate the bare metric name from below.
+        let (metric, kind) = match key.strip_suffix("_min") {
+            Some(m) => (m, "min"),
+            None => (key.as_str(), "max"),
+        };
         // First match wins; gated keys are unique across benches.
-        match measured.iter().find(|(k, _, _)| k == key) {
-            None => {
-                println!(
-                    "{key:<40} {:>12} {max:>12.3}  MISSING (no bench emitted it)",
-                    "-"
-                );
-                failed = true;
+        let hit = measured.iter().find(|(k, _, _)| k == metric);
+        let (ok, margin) = match hit {
+            None => (false, f64::NEG_INFINITY),
+            Some((_, v, _)) => {
+                let span = threshold.abs().max(1e-12);
+                match kind {
+                    "min" => (*v >= *threshold, (v - threshold) / span),
+                    _ => (*v <= *threshold, (threshold - v) / span),
+                }
             }
-            Some((_, v, file)) => {
-                let ok = v <= max;
-                println!(
-                    "{key:<40} {v:>12.3} {max:>12.3}  {} ({file})",
-                    if ok { "ok" } else { "REGRESSION" }
-                );
-                failed |= !ok;
+        };
+        verdicts.push(Verdict {
+            metric: metric.to_string(),
+            kind,
+            threshold: *threshold,
+            measured: hit.map(|(_, v, f)| (*v, f.clone())),
+            ok,
+            margin,
+        });
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<40} {:>12} {:>4} {:>12} {:>9}  verdict",
+        "metric", "measured", "", "threshold", "margin"
+    );
+    let mut md = String::from(
+        "## Perf gate\n\n| metric | measured | threshold | margin | verdict |\n\
+         |---|---:|---:|---:|---|\n",
+    );
+    for v in &verdicts {
+        failed |= !v.ok;
+        let (val_s, src) = match &v.measured {
+            Some((val, file)) => (format!("{val:.3}"), file.clone()),
+            None => ("-".to_string(), "no bench emitted it".to_string()),
+        };
+        let verdict = match (&v.measured, v.ok) {
+            (None, _) => "MISSING",
+            (_, true) => "ok",
+            (_, false) => "REGRESSION",
+        };
+        let margin_s = if v.margin.is_finite() {
+            format!("{:+.1}%", v.margin * 100.0)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<40} {val_s:>12} {:>4} {:>12.3} {margin_s:>9}  {verdict} ({src})",
+            v.metric,
+            if v.kind == "min" { ">=" } else { "<=" },
+            v.threshold,
+        );
+        let _ = writeln!(
+            md,
+            "| `{}` | {val_s} | {} {:.3} | {margin_s} | {} |",
+            v.metric,
+            if v.kind == "min" { ">=" } else { "<=" },
+            v.threshold,
+            if v.ok {
+                "✅ ok".to_string()
+            } else {
+                format!("❌ {verdict}")
             }
+        );
+    }
+    md.push('\n');
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+        {
+            let _ = f.write_all(md.as_bytes());
         }
     }
     if failed {
-        eprintln!("perf_gate: FAILED — at least one metric regressed past its threshold");
+        eprintln!("perf_gate: FAILED — at least one gated metric is missing or out of bounds");
         ExitCode::FAILURE
     } else {
         println!("perf_gate: all gated metrics within thresholds");

@@ -1431,3 +1431,172 @@ pub fn ablation_log_tuning(scale: f64) {
         row(&[group.to_string(), f(m.total_s())]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Async front-end (beyond the paper: completion-based submission)
+// ---------------------------------------------------------------------------
+
+/// Asynchronous submission front-end: how many operations one submitter
+/// thread keeps in flight, and what that concurrency buys the group-commit
+/// pipeline.
+///
+/// **Sweep 1 — ops in flight per thread.** A single thread drives a 4-shard
+/// store whose pools emulate a 100 µs fence by *sleeping* (commit groups
+/// cost real wall time, as on hardware). The blocking path (`put`, one op
+/// outstanding) is compared against the async path (`submit_put` with a
+/// bounded window of outstanding completions). Concurrency is measured by
+/// Little's law — mean ops in flight `L = total residence time / wall` —
+/// which is ~1 for the blocking path *by construction*, so the gated
+/// summary metric `ops_in_flight_per_thread` (async L at the widest window
+/// divided by blocking L) reads directly as "×-fold more concurrency from
+/// one thread". The CI floor (`ops_in_flight_per_thread_min` in
+/// `ci/perf-thresholds.json`) fails the gate below 8.
+///
+/// **Sweep 2 — `max_group` × fence latency.** The async window is held at
+/// 256 while the group-commit cap and the fence cost vary: batching is
+/// worth little when fences are cheap and a lot when they are expensive,
+/// and the sweep prints the throughput surface that shows it. The paper's
+/// Batch log amortizes one fence across a transaction's records; this
+/// pipeline amortizes the whole commit protocol across user requests —
+/// multiplying the two is the point of the async front-end.
+pub fn async_frontend(scale: f64) {
+    use rewind_shard::Completion;
+    use std::collections::VecDeque;
+
+    let ops = scaled(40_000, scale, 2_000);
+    let shards = 4usize;
+    let slow_fence = CostModel::paper()
+        .with_fence_latency_ns(100_000)
+        .with_sleep_emulation();
+
+    // One submitter thread, a sliding window of `window` outstanding
+    // completions. Returns (wall seconds, mean ops in flight by Little's
+    // law). `window == 0` means the blocking path (`put`).
+    fn drive(store: &ShardedStore, ops: u64, window: usize) -> (f64, f64) {
+        let mut inflight: VecDeque<(Instant, Completion)> = VecDeque::new();
+        let mut residence = 0.0f64;
+        let start = Instant::now();
+        for i in 0..ops {
+            if window == 0 {
+                let t = Instant::now();
+                store.put(i, value_from_seed(i)).expect("blocking put");
+                residence += t.elapsed().as_secs_f64();
+                continue;
+            }
+            if inflight.len() == window {
+                let (t, c) = inflight.pop_front().expect("window non-empty");
+                c.wait().expect("async put");
+                residence += t.elapsed().as_secs_f64();
+            }
+            inflight.push_back((Instant::now(), store.submit_put(i, value_from_seed(i))));
+        }
+        for (t, c) in inflight.drain(..) {
+            c.wait().expect("async put");
+            residence += t.elapsed().as_secs_f64();
+        }
+        let wall = start.elapsed().as_secs_f64();
+        (wall, residence / wall.max(1e-12))
+    }
+
+    header(
+        "Async front-end: ops in flight from one submitter thread \
+         (4 shards, 100us sleep-emulated fences)",
+        &[
+            "window",
+            "wall_us_per_op",
+            "ops_per_s",
+            "ops_in_flight",
+            "mean_group",
+        ],
+    );
+    let mut json = BenchJson::new("async_frontend");
+    let mut blocking_l: Option<f64> = None;
+    let mut top: Option<(f64, f64)> = None; // (L, ops/s) at the widest window
+    let windows = [0usize, 1, 8, 64, 256];
+    for &window in &windows {
+        let store = ShardedStore::create(
+            ShardConfig::new(shards)
+                .shard_capacity(16 << 20)
+                .cost(slow_fence),
+        )
+        .expect("create sharded store");
+        store.obs().set_enabled(true);
+        let (wall, l) = drive(&store, ops, window);
+        let stats = store.stats();
+        let tps = ops as f64 / wall;
+        let mean_group = stats.group.mean_group_size();
+        row(&[
+            window.to_string(),
+            f(wall * 1e6 / ops as f64),
+            f(tps),
+            f(l),
+            f(mean_group),
+        ]);
+        json.row(&[
+            ("window", window as f64),
+            ("wall_us_per_op", wall * 1e6 / ops as f64),
+            ("ops_per_s", tps),
+            ("ops_in_flight", l),
+            ("mean_group", mean_group),
+        ]);
+        if window == 0 {
+            blocking_l = Some(l);
+        }
+        if window == *windows.last().expect("non-empty sweep") {
+            top = Some((l, tps));
+            // Queue-depth distribution of the widest window (raw op counts,
+            // recorded by the committer at every drain); the p99 is gated
+            // as a ceiling so a runaway backlog fails CI.
+            for (k, v) in store.obs().metrics_snapshot().summary_fields() {
+                if k.starts_with("group_queue_depth_") {
+                    json.summary(&k, v);
+                }
+            }
+        }
+    }
+    let blocking = blocking_l.expect("blocking row ran").max(1e-9);
+    let (async_l, async_tps) = top.expect("widest window ran");
+    json.summary("ops_in_flight_per_thread", async_l / blocking);
+    json.summary("async_ops_per_s", async_tps);
+
+    header(
+        "Async front-end: max_group x fence-latency sweep \
+         (window 256, sleep-emulated fences)",
+        &["fence_us", "max_group", "ops_per_s", "mean_group"],
+    );
+    for fence_ns in [10_000u64, 100_000] {
+        for max_group in [1usize, 8, 64] {
+            let store = ShardedStore::create(
+                ShardConfig::new(shards)
+                    .shard_capacity(16 << 20)
+                    .max_group(max_group)
+                    .cost(
+                        CostModel::paper()
+                            .with_fence_latency_ns(fence_ns)
+                            .with_sleep_emulation(),
+                    ),
+            )
+            .expect("create sharded store");
+            let (wall, _) = drive(&store, ops, 256);
+            let stats = store.stats();
+            let tps = ops as f64 / wall;
+            let mean_group = stats.group.mean_group_size();
+            row(&[
+                f(fence_ns as f64 / 1e3),
+                max_group.to_string(),
+                f(tps),
+                f(mean_group),
+            ]);
+            json.row(&[
+                ("fence_us", fence_ns as f64 / 1e3),
+                ("max_group", max_group as f64),
+                ("ops_per_s", tps),
+                ("mean_group", mean_group),
+            ]);
+            if fence_ns == 100_000 && max_group == 64 {
+                json.summary("mean_group_at_fence_100us", mean_group);
+            }
+        }
+    }
+    json.write_or_warn();
+}

@@ -67,6 +67,67 @@ pub fn f(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// Extracts every `"key": number` pair from `text`. Nested structure is
+/// irrelevant to the CI tooling because gated keys are globally unique by
+/// construction — and no JSON crate exists in this offline workspace, so
+/// the `BENCH_*.json` / `ci/perf-thresholds.json` consumers (`perf_gate`,
+/// `bench_diff`) share this dependency-free scanner instead. Keys whose
+/// value is not a bare number (e.g. the `_comment` strings in the
+/// thresholds file) are skipped.
+pub fn scan_pairs(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(end) = text[i + 1..].find('"').map(|e| i + 1 + e) else {
+            break;
+        };
+        let key = &text[i + 1..end];
+        let mut j = end + 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b':' {
+            i = end + 1;
+            continue;
+        }
+        j += 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < bytes.len() && matches!(bytes[j], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+        {
+            j += 1;
+        }
+        if let Ok(v) = text[start..j].parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+        i = j.max(end + 1);
+    }
+    out
+}
+
+/// Extracts only the `"summary": { ... }` object's `"key": number` pairs
+/// from a `BENCH_*.json` sidecar — the headline metrics, without the
+/// repeated per-row keys (`bench_diff` compares these across runs).
+pub fn scan_summary(text: &str) -> Vec<(String, f64)> {
+    let Some(pos) = text.find("\"summary\"") else {
+        return Vec::new();
+    };
+    let Some(open) = text[pos..].find('{').map(|o| pos + o) else {
+        return Vec::new();
+    };
+    let Some(close) = text[open..].find('}').map(|c| open + c) else {
+        return Vec::new();
+    };
+    scan_pairs(&text[open..=close])
+}
+
 /// Machine-readable sidecar for a benchmark: collects the same rows the CSV
 /// output prints plus a flat `summary` object of headline metrics, and
 /// writes them as `BENCH_<name>.json` — the artifact the CI perf-regression

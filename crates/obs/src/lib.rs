@@ -124,6 +124,15 @@ pub struct Metrics {
     pub serial_fallbacks: Counter,
     /// Current group-commit queue depth (last observed).
     pub group_queue_depth: Gauge,
+    /// Distribution of queue depths observed at every group formation —
+    /// **raw operation counts**, not nanoseconds. The p99 of this histogram
+    /// is what the async front-end bench gates: a pipeline whose committer
+    /// falls behind shows up as a fat queue-depth tail long before the
+    /// latency histograms notice.
+    pub queue_depth: Histogram,
+    /// Operations currently submitted but not yet completed (async front-end
+    /// in-flight window, last observed across all shards).
+    pub ops_in_flight: Gauge,
 }
 
 impl Metrics {
@@ -137,6 +146,8 @@ impl Metrics {
             recovery_ns: self.recovery_ns.snapshot(),
             restarts: self.restarts.get(),
             serial_fallbacks: self.serial_fallbacks.get(),
+            queue_depth: self.queue_depth.snapshot(),
+            ops_in_flight: self.ops_in_flight.get(),
         }
     }
 }
@@ -159,6 +170,11 @@ pub struct MetricsSnapshot {
     pub restarts: u64,
     /// Serial-gate fallbacks.
     pub serial_fallbacks: u64,
+    /// Queue depth at group formation (raw operation counts, not ns).
+    pub queue_depth: HistSnapshot,
+    /// Last observed in-flight operation count (gauges don't merge
+    /// meaningfully; `merge` takes the max).
+    pub ops_in_flight: u64,
 }
 
 impl MetricsSnapshot {
@@ -172,6 +188,8 @@ impl MetricsSnapshot {
             recovery_ns: self.recovery_ns.merge(&other.recovery_ns),
             restarts: self.restarts + other.restarts,
             serial_fallbacks: self.serial_fallbacks + other.serial_fallbacks,
+            queue_depth: self.queue_depth.merge(&other.queue_depth),
+            ops_in_flight: self.ops_in_flight.max(other.ops_in_flight),
         }
     }
 
@@ -194,6 +212,18 @@ impl MetricsSnapshot {
         hist("two_phase", &self.two_phase_ns);
         hist("group_flush", &self.group_flush_ns);
         hist("recovery", &self.recovery_ns);
+        // Queue depth is a count distribution, not a latency: no unit
+        // conversion, and only the tail quantiles are worth gating.
+        if !self.queue_depth.is_empty() {
+            out.push((
+                "group_queue_depth_p50".to_string(),
+                self.queue_depth.percentile(0.5) as f64,
+            ));
+            out.push((
+                "group_queue_depth_p99".to_string(),
+                self.queue_depth.percentile(0.99) as f64,
+            ));
+        }
         out
     }
 }

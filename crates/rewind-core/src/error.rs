@@ -57,6 +57,11 @@ pub enum RewindError {
         /// Rendered message with context.
         detail: String,
     },
+    /// An asynchronously submitted operation was cancelled before any
+    /// commit group claimed it (or its store shut down with the operation
+    /// still queued); nothing was applied. This is the ack a completion
+    /// handle delivers when the submission never reached a commit.
+    Canceled,
     /// Internal control-flow marker of the lock-ordered cross-shard
     /// coordinator: the transaction touched the contained shard (contended,
     /// below the lock frontier) after a higher-numbered shard was already
@@ -83,6 +88,9 @@ impl fmt::Display for RewindError {
             RewindError::Offline(what) => write!(f, "{what} is offline; recover it first"),
             RewindError::Corrupt { detail } => write!(f, "corrupt persistent state: {detail}"),
             RewindError::Io { kind, detail } => write!(f, "I/O error ({kind:?}): {detail}"),
+            RewindError::Canceled => {
+                write!(f, "operation cancelled before it joined a commit group")
+            }
             RewindError::LockOrderRestart(shard) => write!(
                 f,
                 "cross-shard lock-order restart (shard {shard}); \

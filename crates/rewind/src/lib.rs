@@ -17,7 +17,9 @@
 //! * [`tpcc`] — the modified TPC-C (new-order) workload of Section 5.3;
 //! * [`shard`] — the scale-out front-end: a [`ShardedStore`](shard::ShardedStore)
 //!   that hash-partitions keys across independent pool+manager+tree shards
-//!   and batches concurrent writes into per-shard group commits;
+//!   and batches concurrent writes into per-shard group commits, with a
+//!   completion-based async front-end (`submit_put` / `submit_transact`)
+//!   that keeps hundreds of operations in flight per submitter thread;
 //! * [`obs`] — the lock-free tracing and metrics layer: atomic latency
 //!   histograms, per-thread trace rings covering the transaction / group-
 //!   commit / 2PC lifecycle, and the [`TraceDump`](obs::TraceDump) forensic
@@ -67,6 +69,8 @@ pub mod prelude {
     pub use rewind_obs::{MetricsSnapshot, Obs, TraceDump};
     pub use rewind_pagestore::{KvStore, Personality};
     pub use rewind_pds::{Backing, PBTree, PList, PTable, TxToken, Value};
-    pub use rewind_shard::{CoordinatorStats, ShardConfig, ShardStats, ShardedStore, StoreTx};
+    pub use rewind_shard::{
+        Completion, CoordinatorStats, ShardConfig, ShardStats, ShardedStore, StoreTx, TxCompletion,
+    };
     pub use rewind_tpcc::{Layout, ShardedTpcc, ShardedTpccConfig, TpccDb, TpccMix, TpccRunner};
 }

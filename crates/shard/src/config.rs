@@ -16,6 +16,19 @@ pub struct ShardConfig {
     /// REWIND transaction). Larger groups amortize the commit protocol over
     /// more user requests at the price of a larger all-or-nothing unit.
     pub max_group: usize,
+    /// How long a shard's committer waits for a warm queue to fill before
+    /// committing a partial group, in microseconds. Applies only while the
+    /// pipeline is warm (the previous batch had company or left a backlog)
+    /// and stops early when the queue stalls — a lone synchronous writer
+    /// never pays this window. `0` disables the wait entirely.
+    pub group_wait_us: u64,
+    /// Whether a 2PC coordinator releases each writing participant's shard
+    /// lock as soon as the commit decision is durable, finishing phase 2
+    /// (END record, log clearing) without it — so group commits interleave
+    /// with the in-doubt window instead of stalling behind it. Safe because
+    /// a durably-decided transaction can never roll back; kept as a knob so
+    /// crash matrices can exercise both paths.
+    pub queued_prepare: bool,
     /// NVM cost model for every shard pool.
     pub cost: CostModel,
     /// How a simulated power failure treats in-flight cachelines on every
@@ -34,6 +47,8 @@ impl ShardConfig {
             shard_capacity: 32 << 20,
             rewind: RewindConfig::batch(),
             max_group: 64,
+            group_wait_us: 40,
+            queued_prepare: true,
             cost: CostModel::paper(),
             crash_mode: CrashMode::DropDirty,
         }
@@ -54,6 +69,19 @@ impl ShardConfig {
     /// Sets the maximum group-commit batch size (clamped to at least 1).
     pub fn max_group(mut self, ops: usize) -> Self {
         self.max_group = ops.max(1);
+        self
+    }
+
+    /// Sets the warm-queue batching window in microseconds (`0` disables).
+    pub fn group_wait_us(mut self, us: u64) -> Self {
+        self.group_wait_us = us;
+        self
+    }
+
+    /// Enables or disables queued prepare (early shard-lock release after
+    /// the 2PC commit decision is durable).
+    pub fn queued_prepare(mut self, on: bool) -> Self {
+        self.queued_prepare = on;
         self
     }
 
@@ -79,10 +107,18 @@ mod tests {
         let cfg = ShardConfig::new(8)
             .shard_capacity(4 << 20)
             .max_group(16)
+            .group_wait_us(10)
+            .queued_prepare(false)
             .cost(CostModel::free());
         assert_eq!(cfg.shards, 8);
         assert_eq!(cfg.shard_capacity, 4 << 20);
         assert_eq!(cfg.max_group, 16);
+        assert_eq!(cfg.group_wait_us, 10);
+        assert!(!cfg.queued_prepare);
+        assert!(
+            ShardConfig::new(1).queued_prepare,
+            "queued prepare defaults on"
+        );
         assert_eq!(ShardConfig::new(1).max_group(0).max_group, 1);
     }
 

@@ -1,0 +1,304 @@
+//! The transaction half of the asynchronous submission front-end: a
+//! generic completion handle plus the lazily-spawned worker pool that runs
+//! submitted transactions.
+//!
+//! Plain writes ([`ShardedStore::submit_put`](crate::ShardedStore::submit_put))
+//! need no threads at all — they ride the per-shard committer. Transactions
+//! are closures that must run *somewhere*, so the store keeps a small pool
+//! (at most one worker per shard: coordinators on disjoint shards are the
+//! only ones that can run in parallel anyway) which grows on demand and
+//! drains through [`Weak`] references — an idle worker holds no strong
+//! reference to the store, so dropping the last external handle shuts the
+//! pool down and fails still-queued submissions with
+//! [`RewindError::Canceled`](rewind_core::RewindError::Canceled).
+
+use crate::store::ShardedStore;
+use parking_lot::{Condvar, Mutex};
+use rewind_core::Result;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Waker};
+use std::thread::JoinHandle;
+
+/// A queued transaction: called with the store to run, or with `None` when
+/// the pool shut down before a worker claimed it (the job must then settle
+/// its handle with [`RewindError::Canceled`](rewind_core::RewindError::Canceled)).
+type Job = Box<dyn FnOnce(Option<&ShardedStore>) + Send>;
+
+#[derive(Debug)]
+struct TxState<T> {
+    result: Option<Result<T>>,
+    waker: Option<Waker>,
+}
+
+/// Shared slot between a [`TxCompletion`] handle and the worker that runs
+/// (or cancels) the transaction.
+#[derive(Debug)]
+pub(crate) struct TxSlot<T> {
+    m: Mutex<TxState<T>>,
+    cv: Condvar,
+}
+
+impl<T> TxSlot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TxSlot {
+            m: Mutex::new(TxState {
+                result: None,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn deliver(&self, result: Result<T>) {
+        let mut g = self.m.lock();
+        if g.result.is_some() {
+            return;
+        }
+        g.result = Some(result);
+        let waker = g.waker.take();
+        self.cv.notify_all();
+        drop(g);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Completion handle of an asynchronously submitted transaction
+/// ([`ShardedStore::submit_transact`](crate::ShardedStore::submit_transact)).
+///
+/// Consume it with [`TxCompletion::wait`] (blocking) or `.await` it — the
+/// handle is a [`Future`] needing no runtime support beyond an executor.
+/// Dropping the handle does **not** cancel the transaction: once queued it
+/// runs (and commits or aborts) regardless; only the store shutting down
+/// first settles it with [`RewindError::Canceled`](rewind_core::RewindError::Canceled).
+#[derive(Debug)]
+pub struct TxCompletion<T> {
+    slot: Arc<TxSlot<T>>,
+    taken: bool,
+}
+
+impl<T> TxCompletion<T> {
+    pub(crate) fn new(slot: Arc<TxSlot<T>>) -> Self {
+        TxCompletion { slot, taken: false }
+    }
+
+    /// Blocks until the transaction settles and returns its outcome.
+    pub fn wait(mut self) -> Result<T> {
+        let mut g = self.slot.m.lock();
+        loop {
+            if let Some(r) = g.result.take() {
+                self.taken = true;
+                return r;
+            }
+            self.slot.cv.wait(&mut g);
+        }
+    }
+
+    /// Whether the transaction has settled (the result is available).
+    pub fn is_done(&self) -> bool {
+        self.slot.m.lock().result.is_some()
+    }
+}
+
+impl<T> Future for TxCompletion<T> {
+    type Output = Result<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.taken, "TxCompletion polled after completion");
+        let mut g = this.slot.m.lock();
+        if let Some(r) = g.result.take() {
+            this.taken = true;
+            Poll::Ready(r)
+        } else {
+            g.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[derive(Default)]
+struct TxPoolState {
+    jobs: VecDeque<Job>,
+    workers: Vec<JoinHandle<()>>,
+    /// Workers currently parked on the condvar: a submission spawns a new
+    /// worker only when nobody idle can take it (lazy growth).
+    idle: usize,
+    shutdown: bool,
+}
+
+impl std::fmt::Debug for TxPoolState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxPoolState")
+            .field("jobs", &self.jobs.len())
+            .field("workers", &self.workers.len())
+            .field("idle", &self.idle)
+            .field("shutdown", &self.shutdown)
+            .finish()
+    }
+}
+
+/// The transaction worker pool of one store. Held by the store as an
+/// `Arc` and cloned into every worker: a parked worker keeps only the pool
+/// alive, never the store (it holds the store weakly, upgrading per job),
+/// so dropping the last external store handle triggers the shutdown path.
+#[derive(Debug, Default)]
+pub(crate) struct TxPool {
+    state: Mutex<TxPoolState>,
+    cv: Condvar,
+}
+
+impl TxPool {
+    /// Enqueues `job`, growing the pool (up to `max_workers`) when no idle
+    /// worker is available to claim it. `store` must be the owner of this
+    /// pool — workers only ever hold it weakly.
+    pub(crate) fn submit(
+        self: &Arc<Self>,
+        store: &Arc<ShardedStore>,
+        max_workers: usize,
+        job: Job,
+    ) {
+        let mut st = self.state.lock();
+        if st.shutdown {
+            drop(st);
+            job(None);
+            return;
+        }
+        st.jobs.push_back(job);
+        if st.idle == 0 && st.workers.len() < max_workers {
+            let pool = Arc::clone(self);
+            let weak: Weak<ShardedStore> = Arc::downgrade(store);
+            let worker = std::thread::Builder::new()
+                .name(format!("rewind-txworker-{}", st.workers.len()))
+                .spawn(move || Self::worker_loop(pool, weak))
+                .expect("spawn transaction worker");
+            st.workers.push(worker);
+        }
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn worker_loop(pool: Arc<TxPool>, weak: Weak<ShardedStore>) {
+        loop {
+            let job = {
+                let mut st = pool.state.lock();
+                loop {
+                    if let Some(job) = st.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if st.shutdown {
+                        break None;
+                    }
+                    st.idle += 1;
+                    pool.cv.wait(&mut st);
+                    st.idle -= 1;
+                }
+            };
+            let Some(job) = job else { return };
+            // A strong handle exists only for the duration of one job —
+            // while it does, the store cannot drop; once no submission and
+            // no job holds one, the store's drop shuts this pool down.
+            match weak.upgrade() {
+                Some(store) => job(Some(&store)),
+                None => job(None),
+            }
+        }
+    }
+
+    /// Store-drop half: stops every worker and cancels the backlog. Called
+    /// with no strong store references left anywhere (workers park without
+    /// one), so no submitted transaction can still be running.
+    pub(crate) fn shutdown(&self) {
+        let (jobs, workers) = {
+            let mut st = self.state.lock();
+            st.shutdown = true;
+            (
+                st.jobs.drain(..).collect::<Vec<_>>(),
+                std::mem::take(&mut st.workers),
+            )
+        };
+        self.cv.notify_all();
+        for job in jobs {
+            job(None);
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewind_core::RewindError;
+
+    #[test]
+    fn tx_completion_delivers_and_waits() {
+        let slot = TxSlot::<u32>::new();
+        let c = TxCompletion::new(Arc::clone(&slot));
+        assert!(!c.is_done());
+        slot.deliver(Ok(7));
+        slot.deliver(Ok(9)); // second deliver is a no-op
+        assert!(c.is_done());
+        assert_eq!(c.wait().unwrap(), 7);
+    }
+
+    #[test]
+    fn tx_completion_is_a_future() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::task::{RawWaker, RawWakerVTable};
+
+        static WOKEN: AtomicBool = AtomicBool::new(false);
+        fn raw() -> RawWaker {
+            fn wake(_: *const ()) {
+                WOKEN.store(true, Ordering::SeqCst);
+            }
+            fn clone(_: *const ()) -> RawWaker {
+                raw()
+            }
+            fn drop(_: *const ()) {}
+            RawWaker::new(
+                std::ptr::null(),
+                &RawWakerVTable::new(clone, wake, wake, drop),
+            )
+        }
+
+        let slot = TxSlot::<&'static str>::new();
+        let mut fut = TxCompletion::new(Arc::clone(&slot));
+        let waker = unsafe { Waker::from_raw(raw()) };
+        let mut cx = Context::from_waker(&waker);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        slot.deliver(Ok("done"));
+        assert!(WOKEN.load(Ordering::SeqCst), "deliver wakes the future");
+        match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Ready(Ok(s)) => assert_eq!(s, "done"),
+            other => panic!("expected ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs() {
+        let pool = TxPool::default();
+        let slot = TxSlot::<u32>::new();
+        let c = TxCompletion::new(Arc::clone(&slot));
+        // Enqueue directly (no store, no worker): shutdown must settle it.
+        pool.state.lock().jobs.push_back(Box::new(move |store| {
+            assert!(store.is_none());
+            slot.deliver(Err(RewindError::Canceled));
+        }));
+        pool.shutdown();
+        assert!(matches!(c.wait(), Err(RewindError::Canceled)));
+        // Submissions after shutdown cancel immediately.
+        let slot2 = TxSlot::<u32>::new();
+        let c2 = TxCompletion::new(Arc::clone(&slot2));
+        let st = pool.state.lock();
+        assert!(st.shutdown);
+        drop(st);
+        slot2.deliver(Err(RewindError::Canceled));
+        assert!(matches!(c2.wait(), Err(RewindError::Canceled)));
+    }
+}

@@ -12,14 +12,21 @@
 //! distributed log (which the paper's `OptimizedDistLog` TPC-C layout
 //! already exploits *within* one pool).
 //!
-//! On top of each shard sits a **group-commit pipeline**: concurrent `put`s
-//! and `delete`s are queued, and a leader thread drains the queue and commits
-//! the whole group as *one* REWIND transaction. The paper's Batch log
-//! (Section 3.3) amortizes one memory fence over a group of log records
-//! *within* a transaction; group commit extends the same idea one level up,
-//! amortizing the commit protocol (END record + fence + log clearing) over a
-//! group of *user requests*. A group is atomic: it commits as a whole, and a
-//! crash in the middle rolls the whole group back.
+//! On top of each shard sits a **group-commit pipeline**: `put`s and
+//! `delete`s are *enqueued* (the submitting thread never parks), and a
+//! dedicated per-shard committer thread drains the queue — waiting a little
+//! while it is warm so groups fill — and commits the whole group as *one*
+//! REWIND transaction. The paper's Batch log (Section 3.3) amortizes one
+//! memory fence over a group of log records *within* a transaction; group
+//! commit extends the same idea one level up, amortizing the commit
+//! protocol (END record + fence + log clearing) over a group of *user
+//! requests*. A group is atomic: it commits as a whole, and a crash in the
+//! middle rolls the whole group back. The **asynchronous front-end**
+//! ([`ShardedStore::submit_put`], [`ShardedStore::submit_transact`])
+//! returns a completion handle ([`Completion`] / [`TxCompletion`] — both
+//! blocking-waitable *and* `Future`s) instead of parking, so a single
+//! submitter thread keeps hundreds of operations in flight per shard and
+//! manufactures the concurrency batching feeds on.
 //!
 //! Transactions spanning shards go through a **two-phase-commit
 //! coordinator** (the `coordinator` module): each touched shard joins as a
@@ -93,13 +100,15 @@
 
 mod config;
 mod coordinator;
+mod frontend;
 mod group;
 mod shard;
 mod store;
 
 pub use config::ShardConfig;
 pub use coordinator::{CoordinatorStats, StoreTx};
-pub use group::GroupCommitSnapshot;
+pub use frontend::TxCompletion;
+pub use group::{Completion, GroupCommitSnapshot};
 pub use shard::ShardTx;
 pub use store::{shard_file_name, ShardSnapshot, ShardStats, ShardedStore};
 

@@ -1,8 +1,9 @@
 //! One shard: an NVM pool, a REWIND transaction manager, a persistent
-//! B+-tree, and the group-commit queue in front of them.
+//! B+-tree, the group-commit queue in front of them, and the committer
+//! thread that drains it.
 
 use crate::config::ShardConfig;
-use crate::group::{GroupCommitStats, GroupQueue, OpSlot, Pending, WriteOp};
+use crate::group::{Completion, GroupCommitStats, GroupQueue, Pending, WriteOp};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use rewind_core::{RecoveryReport, Result, RewindError, TransactionManager, TxId};
 use rewind_nvm::{NvmPool, PAddr, PoolConfig};
@@ -10,6 +11,8 @@ use rewind_obs::{EventKind, Obs};
 use rewind_pds::{Backing, PBTree, TxToken, Value};
 use std::cell::Cell;
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Durable shard root, stored in the pool's user-root region *after* the
 /// words the transaction manager owns (it uses the first five): `magic,
@@ -22,7 +25,7 @@ const SW_SHARD_ID: u64 = 18;
 const SW_SHARD_COUNT: u64 = 19;
 
 /// The live handles of a shard. Replaced wholesale by
-/// [`Shard::reopen`]; `open` is false between a power cycle and the
+/// [`ShardCore::reopen`]; `open` is false between a power cycle and the
 /// next recovery.
 #[derive(Debug)]
 struct ShardInner {
@@ -31,23 +34,34 @@ struct ShardInner {
     open: bool,
 }
 
-/// A single partition of a [`ShardedStore`](crate::ShardedStore).
+/// A single partition of a [`ShardedStore`](crate::ShardedStore): the
+/// shared [`ShardCore`] plus the committer thread draining its queue. All
+/// shard operations live on [`ShardCore`] (reached through `Deref`); this
+/// wrapper owns the thread's lifecycle — dropping the shard stops the
+/// committer, failing any still-queued ops with
+/// [`RewindError::Canceled`].
 #[derive(Debug)]
 pub(crate) struct Shard {
-    id: usize,
-    pool: Arc<NvmPool>,
-    cfg: ShardConfig,
-    /// Serializes every tree access: group commits, single-shard
-    /// transactions, reads and reopen. Within a shard REWIND's data
-    /// structures are single-writer (as in the paper); across shards there
-    /// is no shared state at all, which is where the scalability comes from.
-    inner: Mutex<ShardInner>,
-    queue: Mutex<GroupQueue>,
-    queue_cv: Condvar,
-    stats: GroupCommitStats,
-    /// Store-wide observability handle (shared with every other shard and
-    /// the coordinator, so the trace rings merge into one timeline).
-    obs: Obs,
+    core: Arc<ShardCore>,
+    committer: Option<JoinHandle<()>>,
+}
+
+impl std::ops::Deref for Shard {
+    type Target = ShardCore;
+
+    fn deref(&self) -> &ShardCore {
+        &self.core
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.core.queue.lock().shutdown = true;
+        self.core.queue_cv.notify_all();
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Shard {
@@ -84,7 +98,7 @@ impl Shard {
         pool.sfence();
         pool.write_u64_nt(root.word(SW_MAGIC), SHARD_MAGIC);
         pool.sfence();
-        Ok(Shard {
+        Self::start(ShardCore {
             id,
             pool,
             cfg,
@@ -100,6 +114,77 @@ impl Shard {
         })
     }
 
+    /// Constructs shard `id` over a pool that already holds its durable
+    /// state (a reopened file): the construction-time mirror of
+    /// [`ShardCore::reopen`], running REWIND recovery if the pool was not
+    /// shut down cleanly. The recovery report is available through
+    /// [`ShardCore::last_recovery`].
+    pub(crate) fn attach(
+        id: usize,
+        cfg: ShardConfig,
+        obs: Obs,
+        pool: Arc<NvmPool>,
+    ) -> Result<Self> {
+        let tm = Arc::new(TransactionManager::open_with_obs(
+            Arc::clone(&pool),
+            cfg.rewind,
+            obs.clone(),
+        )?);
+        let header = ShardCore::validate_root(&pool, id, &cfg)?;
+        let tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), header);
+        Self::start(ShardCore {
+            id,
+            pool,
+            cfg,
+            inner: Mutex::new(ShardInner {
+                tm,
+                tree,
+                open: true,
+            }),
+            queue: Mutex::new(GroupQueue::default()),
+            queue_cv: Condvar::new(),
+            stats: GroupCommitStats::default(),
+            obs,
+        })
+    }
+
+    /// Wraps `core` and spawns its committer thread.
+    fn start(core: ShardCore) -> Result<Shard> {
+        let core = Arc::new(core);
+        let worker = Arc::clone(&core);
+        let committer = std::thread::Builder::new()
+            .name(format!("rewind-committer-{}", core.id))
+            .spawn(move || worker.committer_loop())?;
+        Ok(Shard {
+            core,
+            committer: Some(committer),
+        })
+    }
+}
+
+/// The shared state of one shard, reached through the [`Shard`] wrapper by
+/// the store and by the shard's own committer thread.
+#[derive(Debug)]
+pub(crate) struct ShardCore {
+    id: usize,
+    pool: Arc<NvmPool>,
+    cfg: ShardConfig,
+    /// Serializes every tree access: group commits, single-shard
+    /// transactions, reads and reopen. Within a shard REWIND's data
+    /// structures are single-writer (as in the paper); across shards there
+    /// is no shared state at all, which is where the scalability comes from.
+    inner: Mutex<ShardInner>,
+    queue: Mutex<GroupQueue>,
+    /// Wakes the committer when ops arrive (submitters never wait here —
+    /// they wait, if at all, on their own [`Completion`]).
+    queue_cv: Condvar,
+    stats: GroupCommitStats,
+    /// Store-wide observability handle (shared with every other shard and
+    /// the coordinator, so the trace rings merge into one timeline).
+    obs: Obs,
+}
+
+impl ShardCore {
     pub(crate) fn pool(&self) -> &Arc<NvmPool> {
         &self.pool
     }
@@ -113,7 +198,7 @@ impl Shard {
     // ------------------------------------------------------------------
 
     /// Simulates a power failure on this shard's pool and takes it offline
-    /// until [`Shard::reopen`] runs.
+    /// until [`ShardCore::reopen`] runs.
     pub(crate) fn power_cycle(&self) {
         let mut inner = self.inner.lock();
         inner.open = false;
@@ -136,40 +221,6 @@ impl Shard {
         inner.tm = tm;
         inner.open = true;
         Ok(report)
-    }
-
-    /// Constructs shard `id` over a pool that already holds its durable
-    /// state (a reopened file): the construction-time mirror of
-    /// [`Shard::reopen`], running REWIND recovery if the pool was not shut
-    /// down cleanly. The recovery report is available through
-    /// [`Shard::last_recovery`].
-    pub(crate) fn attach(
-        id: usize,
-        cfg: ShardConfig,
-        obs: Obs,
-        pool: Arc<NvmPool>,
-    ) -> Result<Self> {
-        let tm = Arc::new(TransactionManager::open_with_obs(
-            Arc::clone(&pool),
-            cfg.rewind,
-            obs.clone(),
-        )?);
-        let header = Self::validate_root(&pool, id, &cfg)?;
-        let tree = PBTree::attach(Backing::rewind(Arc::clone(&tm)), header);
-        Ok(Shard {
-            id,
-            pool,
-            cfg,
-            inner: Mutex::new(ShardInner {
-                tm,
-                tree,
-                open: true,
-            }),
-            queue: Mutex::new(GroupQueue::default()),
-            queue_cv: Condvar::new(),
-            stats: GroupCommitStats::default(),
-            obs,
-        })
     }
 
     /// Validates the durable shard root in `pool` — magic, shard identity,
@@ -263,39 +314,108 @@ impl Shard {
     // Group-committed writes
     // ------------------------------------------------------------------
 
-    /// Enqueues `op` and blocks until the group it rides in commits (or
-    /// rolls back). Whichever waiting writer finds no leader active drains
-    /// the queue and commits the batch for everyone.
-    pub(crate) fn submit(&self, op: WriteOp) -> Result<bool> {
-        let slot = Arc::new(OpSlot::default());
+    /// Enqueues `op` and returns its completion handle immediately — the
+    /// submitting thread never parks. The shard's committer thread claims
+    /// the op into a group and delivers the outcome through the handle.
+    pub(crate) fn submit_async(&self, op: WriteOp) -> Completion {
+        let (completion, pending) = Completion::channel(op);
         let mut q = self.queue.lock();
-        q.ops.push_back(Pending {
-            op,
-            slot: Arc::clone(&slot),
-        });
+        if q.shutdown {
+            drop(q);
+            pending.slot.deliver(Err(RewindError::Canceled));
+            return completion;
+        }
+        q.ops.push_back(pending);
+        self.stats.inflight_add(1);
+        if self.obs.is_enabled() {
+            self.obs.metrics().ops_in_flight.set(self.stats.inflight());
+            self.obs.metrics().group_queue_depth.set(q.ops.len() as u64);
+        }
+        drop(q);
+        self.queue_cv.notify_one();
+        completion
+    }
+
+    /// Blocking flavour of [`ShardCore::submit_async`]: enqueues `op` and
+    /// waits for the group it rides in to commit (or roll back).
+    pub(crate) fn submit(&self, op: WriteOp) -> Result<bool> {
+        self.submit_async(op).wait()
+    }
+
+    /// The committer service loop: wait for work, batch adaptively, commit,
+    /// repeat. On shutdown, the backlog is failed with
+    /// [`RewindError::Canceled`] so no completion handle hangs.
+    fn committer_loop(&self) {
+        let mut q = self.queue.lock();
         loop {
-            if let Some(result) = slot.take() {
-                return result;
-            }
-            if q.leader_active {
+            while q.ops.is_empty() && !q.shutdown {
                 self.queue_cv.wait(&mut q);
-                continue;
             }
-            // Become the leader: drain one batch and commit it.
-            q.leader_active = true;
-            let n = q.ops.len().min(self.cfg.max_group);
-            let batch: Vec<Pending> = q.ops.drain(..n).collect();
+            if q.shutdown {
+                break;
+            }
+            // Adaptive batching: while the pipeline is warm (ops have been
+            // arriving with company), wait a little for the group to fill —
+            // but only while it keeps growing, so a stalled source commits
+            // what it has instead of idling out the whole window. A cold
+            // queue commits immediately: a lone synchronous writer never
+            // pays the window.
+            if q.warm && self.cfg.group_wait_us > 0 && q.ops.len() < self.cfg.max_group {
+                let budget = Duration::from_micros(self.cfg.group_wait_us);
+                let slice = Duration::from_micros((self.cfg.group_wait_us / 4).max(1));
+                let t0 = Instant::now();
+                let mut last = q.ops.len();
+                while q.ops.len() < self.cfg.max_group && !q.shutdown && t0.elapsed() < budget {
+                    self.queue_cv.wait_for(&mut q, slice);
+                    if q.ops.len() <= last {
+                        break;
+                    }
+                    last = q.ops.len();
+                }
+                if q.shutdown {
+                    break;
+                }
+            }
+            let depth = q.ops.len();
+            let n = depth.min(self.cfg.max_group);
+            let drained: Vec<Pending> = q.ops.drain(..n).collect();
+            q.warm = n > 1 || !q.ops.is_empty();
             if self.obs.is_enabled() {
                 self.obs.metrics().group_queue_depth.set(q.ops.len() as u64);
+                self.obs.metrics().queue_depth.record(depth as u64);
                 self.obs
-                    .emit(EventKind::GroupForm, 0, batch.len() as u64, self.id as u64);
+                    .emit(EventKind::GroupForm, 0, n as u64, self.id as u64);
             }
             drop(q);
-            self.commit_group(batch);
+            // Claim every op; cancellations that won their race are skipped
+            // (their handles already settled with `Canceled`).
+            let batch: Vec<Pending> = drained
+                .into_iter()
+                .filter(|p| {
+                    let claimed = p.slot.claim();
+                    if !claimed {
+                        self.stats.record_cancel();
+                    }
+                    claimed
+                })
+                .collect();
+            if !batch.is_empty() {
+                self.commit_group(&batch);
+            }
+            self.stats.inflight_sub(n as u64);
+            if self.obs.is_enabled() {
+                self.obs.metrics().ops_in_flight.set(self.stats.inflight());
+            }
             q = self.queue.lock();
-            q.leader_active = false;
-            self.queue_cv.notify_all();
+            q.warm = q.warm || !q.ops.is_empty();
         }
+        // Shutdown: nothing will commit anymore; settle the backlog.
+        let leftovers: Vec<Pending> = q.ops.drain(..).collect();
+        drop(q);
+        for p in &leftovers {
+            p.slot.deliver(Err(RewindError::Canceled));
+        }
+        self.stats.inflight_sub(leftovers.len() as u64);
     }
 
     /// Commits `batch` as one REWIND transaction and delivers every result.
@@ -306,11 +426,11 @@ impl Shard {
     /// clearing failed), in which case the group survives recovery despite
     /// the error — the same at-least-once caveat every group-committed
     /// system has on a failed commit acknowledgement.
-    fn commit_group(&self, batch: Vec<Pending>) {
+    fn commit_group(&self, batch: &[Pending]) {
         let inner = self.inner.lock();
         if !inner.open {
-            for p in &batch {
-                p.slot.put(Err(RewindError::Offline("shard")));
+            for p in batch {
+                p.slot.deliver(Err(RewindError::Offline("shard")));
             }
             return;
         }
@@ -318,7 +438,7 @@ impl Shard {
         let token = Some(TxToken(tx));
         let mut results: Vec<Result<bool>> = Vec::with_capacity(batch.len());
         let mut failure: Option<RewindError> = None;
-        for p in &batch {
+        for p in batch {
             let r = match p.op {
                 WriteOp::Put(key, value) => inner.tree.insert_in(token, key, value).map(|()| true),
                 WriteOp::Delete(key) => inner.tree.delete_in(token, key),
@@ -349,13 +469,13 @@ impl Shard {
                 }
                 self.stats.record_commit(batch.len());
                 for (p, r) in batch.iter().zip(results) {
-                    p.slot.put(r);
+                    p.slot.deliver(r);
                 }
             }
             Err(e) => {
                 self.stats.record_failure();
-                for p in &batch {
-                    p.slot.put(Err(e.clone()));
+                for p in batch {
+                    p.slot.deliver(Err(e.clone()));
                 }
             }
         }
@@ -407,7 +527,7 @@ impl Shard {
         self.participant_from(self.inner.lock())
     }
 
-    /// Non-blocking [`Shard::join`]: `None` when the shard lock is
+    /// Non-blocking [`ShardCore::join`]: `None` when the shard lock is
     /// currently held. The ordered coordinator uses this for shards
     /// discovered *below* its lock frontier — acquiring a free lock out of
     /// order cannot create a deadlock (a cycle needs a wait-for edge, and a
@@ -571,6 +691,32 @@ impl Participant<'_> {
         Ok(!self.pool.crash_injector().is_frozen())
     }
 
+    /// Queued prepare: releases the shard lock and returns an owned handle
+    /// that can finish phase 2 without it.
+    ///
+    /// Only sound **after the commit decision is durable**: from that point
+    /// the transaction can never roll back (recovery drives it forward from
+    /// the decision table), so the tree state it wrote is, in effect,
+    /// committed — group commits and reads that slip in behind the released
+    /// lock observe values that can no longer be revoked. What remains of
+    /// phase 2 (END record, fence, log clearing) only touches the
+    /// transaction's own log state through the internally-synchronized
+    /// transaction manager, never the tree. Releasing any *earlier* — with
+    /// the decision not yet persisted — would be unsound here: REWIND's
+    /// undo is physical (word-granular before-images), so rolling back a
+    /// prepared transaction after an interleaved group commit touched the
+    /// same nodes would clobber the committed writes.
+    pub(crate) fn detach_for_commit(self) -> PreparedCommit {
+        debug_assert!(self.prepared.get(), "detach before prepare");
+        PreparedCommit {
+            shard_id: self.shard_id,
+            pool: Arc::clone(self.pool),
+            tm: Arc::clone(&self.inner.tm),
+            tx: self.tx,
+        }
+        // `self.inner` (the shard lock) drops here.
+    }
+
     /// Fails this participant's shard in place: the pool is frozen (no
     /// further write reaches the medium, preserving the durable PREPARE
     /// record exactly as it stands) and the shard goes offline until the
@@ -595,6 +741,32 @@ impl Participant<'_> {
         } else {
             self.inner.tm.rollback(self.tx)
         }
+    }
+}
+
+/// A prepared participant whose commit decision is already durable,
+/// detached from its shard lock ([`Participant::detach_for_commit`]). The
+/// coordinator finishes phase 2 through this handle while group commits on
+/// the same shard proceed — the in-doubt window no longer stalls the
+/// shard's pipeline.
+#[derive(Debug)]
+pub(crate) struct PreparedCommit {
+    shard_id: usize,
+    pool: Arc<NvmPool>,
+    tm: Arc<TransactionManager>,
+    tx: TxId,
+}
+
+impl PreparedCommit {
+    pub(crate) fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// Phase 2, commit direction, without the shard lock. Same ack contract
+    /// as [`Participant::commit_prepared`].
+    pub(crate) fn commit_prepared(&self) -> Result<bool> {
+        self.tm.commit_prepared(self.tx)?;
+        Ok(!self.pool.crash_injector().is_frozen())
     }
 }
 

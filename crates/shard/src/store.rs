@@ -3,7 +3,8 @@
 
 use crate::config::ShardConfig;
 use crate::coordinator::{Coordinator, CoordinatorStats, StoreTx};
-use crate::group::{GroupCommitSnapshot, WriteOp};
+use crate::frontend::{TxCompletion, TxPool, TxSlot};
+use crate::group::{Completion, GroupCommitSnapshot, WriteOp};
 use crate::shard::{Shard, ShardTx};
 use rewind_core::{RecoveryReport, Result, TmStatsSnapshot};
 use rewind_nvm::{AllocStats, NvmPool, PoolConfig, StatsSnapshot};
@@ -53,6 +54,16 @@ pub struct ShardedStore {
     /// into a single sequence-ordered timeline. Enabled by the
     /// `REWIND_TRACE` environment variable or [`rewind_obs::Obs::set_enabled`].
     obs: Obs,
+    /// Worker pool behind [`ShardedStore::submit_transact`]: grows lazily
+    /// (at most one worker per shard), holds the store weakly, and cancels
+    /// its backlog when the store drops.
+    tx_pool: Arc<TxPool>,
+}
+
+impl Drop for ShardedStore {
+    fn drop(&mut self) {
+        self.tx_pool.shutdown();
+    }
 }
 
 impl ShardedStore {
@@ -67,6 +78,7 @@ impl ShardedStore {
             cfg,
             coord,
             obs,
+            tx_pool: Arc::new(TxPool::default()),
         })
     }
 
@@ -94,6 +106,7 @@ impl ShardedStore {
             cfg,
             coord,
             obs,
+            tx_pool: Arc::new(TxPool::default()),
         })
     }
 
@@ -128,6 +141,7 @@ impl ShardedStore {
             cfg,
             coord,
             obs,
+            tx_pool: Arc::new(TxPool::default()),
         };
         store.resolve_in_doubt()?;
         Ok(store)
@@ -315,6 +329,62 @@ impl ShardedStore {
     /// [`ShardedStore::put`].
     pub fn delete(&self, key: u64) -> Result<bool> {
         self.shards[self.shard_of(key)].submit(WriteOp::Delete(key))
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous submission
+    // ------------------------------------------------------------------
+
+    /// Asynchronous [`ShardedStore::put`]: enqueues the write on the owning
+    /// shard and returns its [`Completion`] immediately — the calling
+    /// thread never parks, so one thread can keep hundreds of operations in
+    /// flight per shard and commit groups fill from a single submitter.
+    /// Block on the handle with [`Completion::wait`], poll it, or `.await`
+    /// it. Dropping the handle does not cancel the write;
+    /// [`Completion::cancel`] does, while it is still queued.
+    pub fn submit_put(&self, key: u64, value: Value) -> Completion {
+        self.shards[self.shard_of(key)].submit_async(WriteOp::Put(key, value))
+    }
+
+    /// Asynchronous [`ShardedStore::delete`]; the completion resolves to
+    /// whether the key was present. See [`ShardedStore::submit_put`].
+    pub fn submit_delete(&self, key: u64) -> Completion {
+        self.shards[self.shard_of(key)].submit_async(WriteOp::Delete(key))
+    }
+
+    /// Asynchronous [`ShardedStore::transact`]: queues the closure for the
+    /// store's transaction worker pool and returns a [`TxCompletion`]
+    /// immediately. Workers spawn lazily, at most one per shard (disjoint
+    /// shard sets are the only parallelism cross-shard transactions have),
+    /// hold the store weakly, and cancel still-queued submissions with
+    /// [`RewindError::Canceled`](rewind_core::RewindError::Canceled) when
+    /// the last external store handle drops.
+    pub fn submit_transact<T, F>(self: &Arc<Self>, f: F) -> TxCompletion<T>
+    where
+        T: Send + 'static,
+        F: FnMut(&mut StoreTx<'_>) -> Result<T> + Send + 'static,
+    {
+        self.submit_transact_keys(Vec::new(), f)
+    }
+
+    /// Asynchronous [`ShardedStore::transact_keys`]: like
+    /// [`ShardedStore::submit_transact`] with a declared key set, locked in
+    /// shard order up front when the transaction runs.
+    pub fn submit_transact_keys<T, F>(self: &Arc<Self>, keys: Vec<u64>, mut f: F) -> TxCompletion<T>
+    where
+        T: Send + 'static,
+        F: FnMut(&mut StoreTx<'_>) -> Result<T> + Send + 'static,
+    {
+        let slot = TxSlot::new();
+        let job_slot = Arc::clone(&slot);
+        let job = Box::new(move |store: Option<&ShardedStore>| {
+            job_slot.deliver(match store {
+                Some(s) => s.transact_keys(&keys, &mut f),
+                None => Err(rewind_core::RewindError::Canceled),
+            });
+        });
+        self.tx_pool.submit(self, self.cfg.shards, job);
+        TxCompletion::new(slot)
     }
 
     // ------------------------------------------------------------------
