@@ -1,0 +1,5 @@
+//! Network service layer: wire throughput per pipeline depth and the
+//! open-loop simulator's tail latency at 10k logical connections.
+fn main() {
+    rewind_bench::net_bench(rewind_bench::scale_from_env());
+}

@@ -1600,3 +1600,144 @@ pub fn async_frontend(scale: f64) {
     }
     json.write_or_warn();
 }
+
+/// Network service layer: pipelined wire throughput against the blocking
+/// client, then the open-loop simulator — 10,000 logical connections with
+/// Poisson arrivals over a handful of real sockets — reporting the
+/// send→response latency distribution with queueing delay included (no
+/// coordinated omission). The simulated connection count is a floor, not
+/// scaled: the sim's whole point is holding tens of thousands of logical
+/// clients, so `scale` only shortens the load window.
+pub fn net_bench(scale: f64) {
+    use rewind_net::{run_sim, NetClient, NetServer, PipelinedClient, ServerConfig, SimConfig};
+    use rewind_net::{Request, Response};
+    use std::collections::VecDeque;
+    use std::time::Duration;
+
+    let shards = 4usize;
+    let store = Arc::new(
+        ShardedStore::create(ShardConfig::new(shards).shard_capacity(32 << 20))
+            .expect("create sharded store"),
+    );
+    store.obs().set_enabled(true);
+    let server =
+        NetServer::start(Arc::clone(&store), ServerConfig::default()).expect("bind server");
+    let addr = server.local_addr();
+
+    let mut json = BenchJson::new("net");
+
+    // Part 1: one connection, puts over the wire, pipeline depth sweep.
+    // Depth 0 is the blocking client (one request per round trip); deeper
+    // windows keep the group committers fed across the socket.
+    let ops = scaled(20_000, scale, 2_000);
+    header(
+        "Wire throughput: pipeline depth on one connection (4 shards)",
+        &["depth", "wall_us_per_op", "ops_per_s"],
+    );
+    for depth in [0usize, 16, 128] {
+        let start = Instant::now();
+        if depth == 0 {
+            let mut c = NetClient::connect(addr).expect("connect");
+            for i in 0..ops {
+                c.put(i, value_from_seed(i)).expect("wire put");
+            }
+        } else {
+            let p = PipelinedClient::connect(addr).expect("connect");
+            let mut window: VecDeque<rewind_net::NetCompletion> = VecDeque::new();
+            for i in 0..ops {
+                if window.len() == depth {
+                    let h = window.pop_front().expect("window non-empty");
+                    assert!(matches!(h.wait().expect("response"), Response::Done));
+                }
+                window.push_back(
+                    p.submit(&Request::Put {
+                        key: i,
+                        value: value_from_seed(i),
+                    })
+                    .expect("submit"),
+                );
+            }
+            for h in window {
+                assert!(matches!(h.wait().expect("response"), Response::Done));
+            }
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let tps = ops as f64 / wall;
+        row(&[depth.to_string(), f(wall * 1e6 / ops as f64), f(tps)]);
+        json.row(&[
+            ("depth", depth as f64),
+            ("wall_us_per_op", wall * 1e6 / ops as f64),
+            ("ops_per_s", tps),
+        ]);
+        if depth == 128 {
+            json.summary("net_pipelined_ops_per_s", tps);
+        }
+    }
+
+    // Part 2: the open-loop simulator. 10k logical connections regardless
+    // of scale; the load window and per-connection rate scale the total
+    // request count.
+    let connections = 10_000usize;
+    let duration = Duration::from_secs_f64((4.0 * scale).clamp(0.5, 4.0));
+    let cfg = SimConfig {
+        connections,
+        pipes: 4,
+        rate_per_conn: 2.0,
+        duration,
+        read_fraction: 0.9,
+        key_space: 1 << 16,
+        seed: 0x5eed,
+    };
+    let report = run_sim(addr, &cfg).expect("run sim");
+    assert!(report.drained, "sim must drain every in-flight request");
+    assert_eq!(
+        report.stats.submitted,
+        report.stats.completed + report.stats.busy + report.stats.errors,
+        "sim counters must reconcile"
+    );
+    header(
+        "Open-loop sim: 10k logical connections, Poisson arrivals",
+        &[
+            "connections",
+            "submitted",
+            "offered_per_s",
+            "busy",
+            "errors",
+            "p50_us",
+            "p99_us",
+        ],
+    );
+    let p50_us = report.latency.percentile(0.50) as f64 / 1e3;
+    let p99_us = report.latency.percentile(0.99) as f64 / 1e3;
+    row(&[
+        report.connections.to_string(),
+        report.stats.submitted.to_string(),
+        f(report.achieved_rate),
+        report.stats.busy.to_string(),
+        report.stats.errors.to_string(),
+        f(p50_us),
+        f(p99_us),
+    ]);
+    json.row(&[
+        ("connections", report.connections as f64),
+        ("submitted", report.stats.submitted as f64),
+        ("offered_per_s", report.achieved_rate),
+        ("busy", report.stats.busy as f64),
+        ("errors", report.stats.errors as f64),
+        ("p50_us", p50_us),
+        ("p99_us", p99_us),
+    ]);
+    json.summary("net_sim_connections", report.connections as f64);
+    json.summary("net_sim_errors", report.stats.errors as f64);
+    json.summary("net_p50_us", p50_us);
+    json.summary("net_p99_us", p99_us);
+
+    // Server-side request latencies (decode → response write) from the obs
+    // layer, as a cross-check against the client-side numbers above.
+    for (k, v) in store.obs().metrics_snapshot().summary_fields() {
+        if k.starts_with("net_") {
+            json.summary(&format!("server_{k}"), v);
+        }
+    }
+    json.write_or_warn();
+}

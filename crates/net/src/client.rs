@@ -1,0 +1,397 @@
+//! Client SDK: a blocking one-at-a-time handle and a pipelined handle.
+//!
+//! [`NetClient`] is the simple surface — one request on the wire at a time,
+//! each call blocks for its response. [`PipelinedClient`] keeps many
+//! requests in flight on one connection: `submit` returns a waitable
+//! [`NetCompletion`], `send_nowait` is fire-and-record (the response still
+//! arrives and is timed, but nobody blocks on it — what the open-loop
+//! simulator uses at scale). A background reader thread matches responses
+//! to requests by id, so responses may arrive in any order.
+
+use crate::protocol::{encode_request, read_response, BusyReason, FrameError, Request, Response};
+use parking_lot::{Condvar, Mutex};
+use rewind_obs::{HistSnapshot, Histogram};
+use rewind_pds::Value;
+use rewind_shard::KeyOp;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What can go wrong between a client call and its response.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure on this connection.
+    Io(io::Error),
+    /// The server broke framing (or we did); the connection is unusable.
+    Frame(FrameError),
+    /// The server executed the request and it failed; the store's error
+    /// message, rendered server-side.
+    Remote(String),
+    /// Admission control turned the request away; nothing was executed.
+    Busy(BusyReason),
+    /// The connection closed before the response arrived.
+    Closed,
+    /// The response decoded fine but was the wrong shape for the request —
+    /// a protocol bug, not a store error.
+    Unexpected,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "I/O: {e}"),
+            NetError::Frame(e) => write!(f, "framing: {e}"),
+            NetError::Remote(msg) => write!(f, "server error: {msg}"),
+            NetError::Busy(BusyReason::Window) => write!(f, "busy: connection window full"),
+            NetError::Busy(BusyReason::Store) => write!(f, "busy: store backpressure"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Unexpected => write!(f, "response shape did not match request"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+fn mismatch(resp: Response) -> NetError {
+    match resp {
+        Response::Error(msg) => NetError::Remote(msg),
+        Response::Busy(reason) => NetError::Busy(reason),
+        _ => NetError::Unexpected,
+    }
+}
+
+/// A blocking, sequential client: one request in flight at a time.
+pub struct NetClient {
+    out: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects with `TCP_NODELAY` set (requests are tiny frames).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let out = TcpStream::connect(addr)?;
+        let _ = out.set_nodelay(true);
+        let read_half = out.try_clone()?;
+        Ok(NetClient {
+            out,
+            reader: BufReader::new(read_half),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.out.write_all(&encode_request(id, req))?;
+        loop {
+            match read_response(&mut self.reader)? {
+                Some((rid, resp)) if rid == id => return Ok(resp),
+                // A response for an id we no longer care about (possible
+                // after an abandoned call); skip it.
+                Some(_) => continue,
+                None => return Err(NetError::Closed),
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: u64) -> Result<Option<Value>, NetError> {
+        match self.call(&Request::Get { key })? {
+            Response::Value(v) => Ok(v),
+            other => Err(mismatch(other)),
+        }
+    }
+
+    /// Durable insert/overwrite: returns once the commit group settled.
+    pub fn put(&mut self, key: u64, value: Value) -> Result<(), NetError> {
+        match self.call(&Request::Put { key, value })? {
+            Response::Done => Ok(()),
+            other => Err(mismatch(other)),
+        }
+    }
+
+    /// Durable delete: `true` when the key was present.
+    pub fn delete(&mut self, key: u64) -> Result<bool, NetError> {
+        match self.call(&Request::Delete { key })? {
+            Response::Deleted(b) => Ok(b),
+            other => Err(mismatch(other)),
+        }
+    }
+
+    /// Ordered scan of `[low, high]`, at most `limit` entries (server caps
+    /// at [`crate::protocol::MAX_SCAN_LIMIT`]).
+    pub fn scan(&mut self, low: u64, high: u64, limit: u32) -> Result<Vec<(u64, Value)>, NetError> {
+        match self.call(&Request::Scan { low, high, limit })? {
+            Response::Entries(e) => Ok(e),
+            other => Err(mismatch(other)),
+        }
+    }
+
+    /// Atomic declared-key transaction: all ops commit or none do.
+    pub fn transact(&mut self, ops: Vec<KeyOp>) -> Result<u32, NetError> {
+        match self.call(&Request::Transact { ops })? {
+            Response::Applied(n) => Ok(n),
+            other => Err(mismatch(other)),
+        }
+    }
+}
+
+struct NetSlot {
+    m: Mutex<Option<Result<Response, NetError>>>,
+    cv: Condvar,
+}
+
+impl NetSlot {
+    fn deliver(&self, r: Result<Response, NetError>) {
+        let mut g = self.m.lock();
+        if g.is_none() {
+            *g = Some(r);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A waitable handle to one pipelined request's response.
+pub struct NetCompletion {
+    slot: Arc<NetSlot>,
+}
+
+impl NetCompletion {
+    /// Blocks until the response arrives (or the connection dies).
+    pub fn wait(self) -> Result<Response, NetError> {
+        let mut g = self.slot.m.lock();
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            self.slot.cv.wait(&mut g);
+        }
+    }
+}
+
+struct PendingSlot {
+    t0: Instant,
+    waiter: Option<Arc<NetSlot>>,
+}
+
+struct PipeShared {
+    out: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, PendingSlot>>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+    closed: AtomicBool,
+}
+
+impl PipeShared {
+    fn fail_all_pending(&self) {
+        let drained: Vec<PendingSlot> = {
+            let mut p = self.pending.lock();
+            p.drain().map(|(_, slot)| slot).collect()
+        };
+        self.errors
+            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        for slot in drained {
+            if let Some(w) = slot.waiter {
+                w.deliver(Err(NetError::Closed));
+            }
+        }
+    }
+}
+
+/// Counters for one pipelined connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Requests written to the socket.
+    pub submitted: u64,
+    /// Responses received that were neither `BUSY` nor an error.
+    pub completed: u64,
+    /// `BUSY` rejections received.
+    pub busy: u64,
+    /// Error responses plus requests failed by a dying connection.
+    pub errors: u64,
+}
+
+/// A connection that keeps many requests in flight; a background reader
+/// matches responses by id and records per-request latency.
+pub struct PipelinedClient {
+    shared: Arc<PipeShared>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl PipelinedClient {
+    /// Connects and starts the response-reader thread.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
+        let out = TcpStream::connect(addr)?;
+        let _ = out.set_nodelay(true);
+        let read_half = out.try_clone()?;
+        let shared = Arc::new(PipeShared {
+            out: Mutex::new(out),
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Histogram::new(),
+            closed: AtomicBool::new(false),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("net-client-reader".to_string())
+                .spawn(move || reader_loop(read_half, shared))?
+        };
+        Ok(PipelinedClient {
+            shared,
+            reader: Some(reader),
+        })
+    }
+
+    fn register_and_send(
+        &self,
+        req: &Request,
+        waiter: Option<Arc<NetSlot>>,
+    ) -> Result<u64, NetError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let bytes = encode_request(id, req);
+        // Register before writing: the response can race back before this
+        // thread regains the CPU, and an unregistered id would be dropped.
+        self.shared.pending.lock().insert(
+            id,
+            PendingSlot {
+                t0: Instant::now(),
+                waiter,
+            },
+        );
+        let write = {
+            let mut out = self.shared.out.lock();
+            out.write_all(&bytes)
+        };
+        if let Err(e) = write {
+            self.shared.pending.lock().remove(&id);
+            return Err(NetError::Io(e));
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Sends a request without waiting; the response is matched, timed and
+    /// counted by the reader thread. This is what lets one OS thread keep
+    /// thousands of simulated connections in flight.
+    pub fn send_nowait(&self, req: &Request) -> Result<(), NetError> {
+        self.register_and_send(req, None).map(|_| ())
+    }
+
+    /// Sends a request and returns a handle to block on its response.
+    pub fn submit(&self, req: &Request) -> Result<NetCompletion, NetError> {
+        let slot = Arc::new(NetSlot {
+            m: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        self.register_and_send(req, Some(Arc::clone(&slot)))?;
+        Ok(NetCompletion { slot })
+    }
+
+    /// Requests currently awaiting a response.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.lock().len()
+    }
+
+    /// Blocks until every in-flight request has a response, or `timeout`
+    /// elapses. Returns whether the pipe fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.pending.lock().is_empty() {
+                return true;
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                return self.shared.pending.lock().is_empty();
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Point-in-time request counters.
+    pub fn stats(&self) -> PipeStats {
+        PipeStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            busy: self.shared.busy.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of send→response latency (nanoseconds) for every response
+    /// received so far, `BUSY` and errors included.
+    pub fn latency(&self) -> HistSnapshot {
+        self.shared.latency.snapshot()
+    }
+
+    /// Severs the connection and joins the reader; outstanding requests
+    /// fail with [`NetError::Closed`]. Idempotent (also runs on drop).
+    pub fn close(&mut self) {
+        if !self.shared.closed.swap(true, Ordering::AcqRel) {
+            let _ = self.shared.out.lock().shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PipelinedClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn reader_loop(read_half: TcpStream, shared: Arc<PipeShared>) {
+    let mut reader = BufReader::new(read_half);
+    while let Ok(Some((id, resp))) = read_response(&mut reader) {
+        let Some(p) = shared.pending.lock().remove(&id) else {
+            continue;
+        };
+        shared
+            .latency
+            .record(p.t0.elapsed().as_nanos().max(1) as u64);
+        match &resp {
+            Response::Busy(_) => shared.busy.fetch_add(1, Ordering::Relaxed),
+            Response::Error(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
+            _ => shared.completed.fetch_add(1, Ordering::Relaxed),
+        };
+        if let Some(w) = p.waiter {
+            w.deliver(Ok(resp));
+        }
+    }
+    shared.closed.store(true, Ordering::Release);
+    shared.fail_all_pending();
+}

@@ -1,0 +1,624 @@
+//! The wire protocol: little-endian, length-prefixed binary frames.
+//!
+//! Every frame — request or response — is
+//!
+//! ```text
+//! [u32 len][u64 id][u8 tag][payload ...]
+//! ```
+//!
+//! where `len` counts every byte *after* the length field (so `len >= 9`),
+//! `id` is the caller-chosen request id echoed verbatim in the response, and
+//! `tag` is the opcode (requests) or status (responses). Responses carry no
+//! ordering guarantee: the server answers reads inline and writes when their
+//! commit group settles, so a pipelined connection sees responses in
+//! whatever order the store produces them and must match on `id`.
+//!
+//! Request payloads:
+//!
+//! | opcode | payload |
+//! |---|---|
+//! | `GET` (1) | `u64 key` |
+//! | `PUT` (2) | `u64 key`, 32-byte value |
+//! | `DELETE` (3) | `u64 key` |
+//! | `SCAN` (4) | `u64 low`, `u64 high`, `u32 limit` |
+//! | `TRANSACT_KEYS` (5) | `u32 n`, then n × (`u8 0=put/1=delete`, `u64 key`[, value]) |
+//!
+//! Response payloads start with the echoed opcode under status `OK` (0), a
+//! UTF-8 message under `ERR` (1), and a one-byte reason under `BUSY` (2).
+//! Framing violations (length out of bounds, short payload, trailing bytes)
+//! are not recoverable mid-stream — the peer closes the connection; an
+//! unknown opcode inside a well-formed frame is recoverable and answered
+//! with `ERR`.
+
+use rewind_pds::Value;
+use rewind_shard::KeyOp;
+use std::io::{self, Read};
+
+/// Largest legal frame body (`len` value), requests and responses alike.
+/// Bounds per-connection memory against malicious or corrupt length words.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Largest `limit` a SCAN request is served with; keeps the largest possible
+/// response (40 bytes per entry) comfortably under [`MAX_FRAME`].
+pub const MAX_SCAN_LIMIT: u32 = 16_384;
+
+/// Frame header bytes after the length word: id (8) + tag (1).
+const HEADER: usize = 9;
+
+/// Request opcodes.
+pub mod opcode {
+    /// Point lookup.
+    pub const GET: u8 = 1;
+    /// Insert or overwrite.
+    pub const PUT: u8 = 2;
+    /// Remove a key.
+    pub const DELETE: u8 = 3;
+    /// Ordered range scan.
+    pub const SCAN: u8 = 4;
+    /// Atomic declared-key transaction.
+    pub const TRANSACT_KEYS: u8 = 5;
+}
+
+/// Response status bytes.
+pub mod status {
+    /// Request succeeded; payload echoes the opcode then carries the result.
+    pub const OK: u8 = 0;
+    /// Request failed; payload is a UTF-8 message.
+    pub const ERR: u8 = 1;
+    /// Request rejected by admission control; payload is a [`super::BusyReason`].
+    pub const BUSY: u8 = 2;
+}
+
+/// One decoded request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Insert or overwrite, group-committed.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: Value,
+    },
+    /// Remove a key, group-committed.
+    Delete {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Ordered scan of `[low, high]`, at most `limit` entries (the server
+    /// additionally caps at [`MAX_SCAN_LIMIT`]).
+    Scan {
+        /// Inclusive lower key bound.
+        low: u64,
+        /// Inclusive upper key bound.
+        high: u64,
+        /// Maximum entries returned.
+        limit: u32,
+    },
+    /// Atomic multi-key transaction with a declared write set
+    /// ([`rewind_shard::ShardedStore::submit_apply`] on the server).
+    Transact {
+        /// The operations, applied in order as one transaction.
+        ops: Vec<KeyOp>,
+    },
+}
+
+impl Request {
+    /// The opcode this request serializes under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Get { .. } => opcode::GET,
+            Request::Put { .. } => opcode::PUT,
+            Request::Delete { .. } => opcode::DELETE,
+            Request::Scan { .. } => opcode::SCAN,
+            Request::Transact { .. } => opcode::TRANSACT_KEYS,
+        }
+    }
+}
+
+/// Why a request was rejected with `BUSY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The connection exceeded its in-flight window
+    /// ([`crate::ServerConfig::max_inflight_per_conn`]); back off and retry
+    /// after some responses arrive.
+    Window,
+    /// The store's aggregate in-flight depth crossed
+    /// [`crate::ServerConfig::max_store_inflight`] — backpressure from the
+    /// `group_queue_depth` counter, shared by every connection.
+    Store,
+}
+
+/// One decoded response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET result.
+    Value(
+        /// The value, or `None` if the key is absent.
+        Option<Value>,
+    ),
+    /// PUT acknowledged (its commit group is durable).
+    Done,
+    /// DELETE result: whether the key was present.
+    Deleted(bool),
+    /// SCAN result, ascending by key.
+    Entries(Vec<(u64, Value)>),
+    /// TRANSACT_KEYS result: operations applied.
+    Applied(u32),
+    /// The store reported an error (message rendered server-side).
+    Error(String),
+    /// Rejected by admission control; nothing was executed.
+    Busy(BusyReason),
+}
+
+/// A framing violation: the stream can no longer be trusted and the
+/// connection must close. (I/O errors are carried through so callers handle
+/// both with one type.)
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure, including truncation mid-frame (`UnexpectedEof`).
+    Io(io::Error),
+    /// The length word is below the header size or above [`MAX_FRAME`].
+    BadLength(u32),
+    /// A well-framed payload did not parse for its tag.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "I/O: {e}"),
+            FrameError::BadLength(n) => write!(f, "bad frame length {n}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    for w in v {
+        put_u64(out, *w);
+    }
+}
+
+/// Serializes one request frame (ready for a single `write_all`).
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_u32(&mut out, 0); // length, patched below
+    put_u64(&mut out, id);
+    out.push(req.opcode());
+    match req {
+        Request::Get { key } | Request::Delete { key } => put_u64(&mut out, *key),
+        Request::Put { key, value } => {
+            put_u64(&mut out, *key);
+            put_value(&mut out, value);
+        }
+        Request::Scan { low, high, limit } => {
+            put_u64(&mut out, *low);
+            put_u64(&mut out, *high);
+            put_u32(&mut out, *limit);
+        }
+        Request::Transact { ops } => {
+            put_u32(&mut out, ops.len() as u32);
+            for op in ops {
+                match op {
+                    KeyOp::Put(k, v) => {
+                        out.push(0);
+                        put_u64(&mut out, *k);
+                        put_value(&mut out, v);
+                    }
+                    KeyOp::Delete(k) => {
+                        out.push(1);
+                        put_u64(&mut out, *k);
+                    }
+                }
+            }
+        }
+    }
+    patch_len(&mut out);
+    out
+}
+
+/// Serializes one response frame.
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_u32(&mut out, 0);
+    put_u64(&mut out, id);
+    match resp {
+        Response::Value(v) => {
+            out.push(status::OK);
+            out.push(opcode::GET);
+            match v {
+                Some(v) => {
+                    out.push(1);
+                    put_value(&mut out, v);
+                }
+                None => out.push(0),
+            }
+        }
+        Response::Done => {
+            out.push(status::OK);
+            out.push(opcode::PUT);
+        }
+        Response::Deleted(present) => {
+            out.push(status::OK);
+            out.push(opcode::DELETE);
+            out.push(*present as u8);
+        }
+        Response::Entries(entries) => {
+            out.push(status::OK);
+            out.push(opcode::SCAN);
+            put_u32(&mut out, entries.len() as u32);
+            for (k, v) in entries {
+                put_u64(&mut out, *k);
+                put_value(&mut out, v);
+            }
+        }
+        Response::Applied(n) => {
+            out.push(status::OK);
+            out.push(opcode::TRANSACT_KEYS);
+            put_u32(&mut out, *n);
+        }
+        Response::Error(msg) => {
+            out.push(status::ERR);
+            out.extend_from_slice(msg.as_bytes());
+        }
+        Response::Busy(reason) => {
+            out.push(status::BUSY);
+            out.push(matches!(reason, BusyReason::Store) as u8);
+        }
+    }
+    patch_len(&mut out);
+    out
+}
+
+fn patch_len(out: &mut [u8]) {
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// A little take-apart cursor over one frame's payload.
+struct Cur<'a>(&'a [u8]);
+
+impl<'a> Cur<'a> {
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        let (&b, rest) = self
+            .0
+            .split_first()
+            .ok_or(FrameError::Malformed("short payload"))?;
+        self.0 = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        if self.0.len() < 4 {
+            return Err(FrameError::Malformed("short payload"));
+        }
+        let (head, rest) = self.0.split_at(4);
+        self.0 = rest;
+        Ok(u32::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        if self.0.len() < 8 {
+            return Err(FrameError::Malformed("short payload"));
+        }
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn value(&mut self) -> Result<Value, FrameError> {
+        Ok([self.u64()?, self.u64()?, self.u64()?, self.u64()?])
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+/// Reads one whole frame body (after validating the length word). Returns
+/// `None` on a clean EOF at a frame boundary.
+fn read_frame(r: &mut impl Read) -> Result<Option<(u64, u8, Vec<u8>)>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "peer closed between frames" from "truncated frame":
+    // EOF on the first byte is a clean close, anywhere later is an error.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated frame length",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len < HEADER as u32 || len > MAX_FRAME {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let id = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let tag = body[8];
+    body.drain(..HEADER);
+    Ok(Some((id, tag, body)))
+}
+
+/// Reads one request frame. `Ok(None)` is a clean connection close at a
+/// frame boundary; `Ok(Some((id, Err(op))))` is a *well-formed* frame with
+/// an unknown opcode `op` — recoverable, the server answers it with an
+/// `ERR` response and keeps reading. Everything in `Err(_)` poisons the
+/// stream and must close the connection.
+#[allow(clippy::type_complexity)]
+pub fn read_request(r: &mut impl Read) -> Result<Option<(u64, Result<Request, u8>)>, FrameError> {
+    let Some((id, op, body)) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut c = Cur(&body);
+    let req = match op {
+        opcode::GET => Request::Get { key: c.u64()? },
+        opcode::PUT => Request::Put {
+            key: c.u64()?,
+            value: c.value()?,
+        },
+        opcode::DELETE => Request::Delete { key: c.u64()? },
+        opcode::SCAN => Request::Scan {
+            low: c.u64()?,
+            high: c.u64()?,
+            limit: c.u32()?,
+        },
+        opcode::TRANSACT_KEYS => {
+            let n = c.u32()?;
+            // 9 bytes is the smallest op encoding: a count the remaining
+            // payload cannot possibly hold is malformed, not an allocation.
+            if n as usize > body.len() / 9 + 1 {
+                return Err(FrameError::Malformed("transact op count"));
+            }
+            let mut ops = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                ops.push(match c.u8()? {
+                    0 => KeyOp::Put(c.u64()?, c.value()?),
+                    1 => KeyOp::Delete(c.u64()?),
+                    _ => return Err(FrameError::Malformed("transact op tag")),
+                });
+            }
+            Request::Transact { ops }
+        }
+        unknown => return Ok(Some((id, Err(unknown)))),
+    };
+    c.finish()?;
+    Ok(Some((id, Ok(req))))
+}
+
+/// Reads one response frame. `Ok(None)` is a clean close at a frame
+/// boundary; any `Err(_)` poisons the stream.
+pub fn read_response(r: &mut impl Read) -> Result<Option<(u64, Response)>, FrameError> {
+    let Some((id, st, body)) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut c = Cur(&body);
+    let resp = match st {
+        status::OK => match c.u8()? {
+            opcode::GET => Response::Value(match c.u8()? {
+                0 => None,
+                1 => Some(c.value()?),
+                _ => return Err(FrameError::Malformed("get presence byte")),
+            }),
+            opcode::PUT => Response::Done,
+            opcode::DELETE => Response::Deleted(c.u8()? != 0),
+            opcode::SCAN => {
+                let n = c.u32()?;
+                if n as usize > body.len() / 40 + 1 {
+                    return Err(FrameError::Malformed("scan entry count"));
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push((c.u64()?, c.value()?));
+                }
+                Response::Entries(entries)
+            }
+            opcode::TRANSACT_KEYS => Response::Applied(c.u32()?),
+            _ => return Err(FrameError::Malformed("ok opcode echo")),
+        },
+        status::ERR => {
+            let msg = String::from_utf8_lossy(c.0).into_owned();
+            return Ok(Some((id, Response::Error(msg))));
+        }
+        status::BUSY => Response::Busy(if c.u8()? == 1 {
+            BusyReason::Store
+        } else {
+            BusyReason::Window
+        }),
+        _ => return Err(FrameError::Malformed("response status")),
+    };
+    c.finish()?;
+    Ok(Some((id, resp)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = encode_request(7, &req);
+        let mut r = &bytes[..];
+        let (id, decoded) = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(decoded.unwrap(), req);
+        // The reader consumed exactly one frame.
+        assert!(r.is_empty());
+    }
+
+    fn round_trip_response(resp: Response) {
+        let bytes = encode_response(99, &resp);
+        let mut r = &bytes[..];
+        let (id, decoded) = read_response(&mut r).unwrap().unwrap();
+        assert_eq!(id, 99);
+        assert_eq!(decoded, resp);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Get { key: 42 });
+        round_trip_request(Request::Put {
+            key: u64::MAX,
+            value: [1, 2, 3, 4],
+        });
+        round_trip_request(Request::Delete { key: 0 });
+        round_trip_request(Request::Scan {
+            low: 5,
+            high: 500,
+            limit: 1000,
+        });
+        round_trip_request(Request::Transact {
+            ops: vec![
+                KeyOp::Put(1, [9, 9, 9, 9]),
+                KeyOp::Delete(2),
+                KeyOp::Put(u64::MAX, [0, 0, 0, 1]),
+            ],
+        });
+        round_trip_request(Request::Transact { ops: Vec::new() });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Value(None));
+        round_trip_response(Response::Value(Some([7, 8, 9, 10])));
+        round_trip_response(Response::Done);
+        round_trip_response(Response::Deleted(true));
+        round_trip_response(Response::Deleted(false));
+        round_trip_response(Response::Entries(vec![(1, [1; 4]), (2, [2; 4])]));
+        round_trip_response(Response::Entries(Vec::new()));
+        round_trip_response(Response::Applied(3));
+        round_trip_response(Response::Error("shard 2 is offline".into()));
+        round_trip_response(Response::Busy(BusyReason::Window));
+        round_trip_response(Response::Busy(BusyReason::Store));
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncation_is_error() {
+        let mut empty: &[u8] = &[];
+        assert!(read_request(&mut empty).unwrap().is_none());
+        let bytes = encode_request(1, &Request::Get { key: 9 });
+        // Truncation at every split point inside the frame is a hard error,
+        // never a silent None and never a partial decode.
+        for cut in 1..bytes.len() {
+            let mut r = &bytes[..cut];
+            assert!(
+                matches!(read_request(&mut r), Err(FrameError::Io(_))),
+                "cut at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_rejected() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        frame.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            read_request(&mut &frame[..]),
+            Err(FrameError::BadLength(_))
+        ));
+        let mut tiny = Vec::new();
+        tiny.extend_from_slice(&3u32.to_le_bytes());
+        tiny.extend_from_slice(&[0u8; 3]);
+        assert!(matches!(
+            read_request(&mut &tiny[..]),
+            Err(FrameError::BadLength(3))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_is_recoverable_with_id() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&9u32.to_le_bytes());
+        frame.extend_from_slice(&1234u64.to_le_bytes());
+        frame.push(200); // no such opcode
+        let (id, decoded) = read_request(&mut &frame[..]).unwrap().unwrap();
+        assert_eq!(id, 1234);
+        assert_eq!(decoded.unwrap_err(), 200);
+    }
+
+    #[test]
+    fn garbage_payloads_are_malformed() {
+        // A GET whose payload is too short for its key.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&13u32.to_le_bytes());
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.push(opcode::GET);
+        frame.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            read_request(&mut &frame[..]),
+            Err(FrameError::Malformed(_))
+        ));
+        // A PUT with trailing bytes after its value.
+        let mut bytes = encode_request(
+            1,
+            &Request::Put {
+                key: 1,
+                value: [0; 4],
+            },
+        );
+        bytes.push(0xFF);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            read_request(&mut &bytes[..]),
+            Err(FrameError::Malformed("trailing bytes"))
+        ));
+        // A transact count larger than the payload could hold.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&13u32.to_le_bytes());
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.push(opcode::TRANSACT_KEYS);
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_request(&mut &frame[..]),
+            Err(FrameError::Malformed("transact op count"))
+        ));
+    }
+
+    #[test]
+    fn pipelined_frames_parse_back_to_back() {
+        let mut bytes = Vec::new();
+        for id in 0..10u64 {
+            bytes.extend_from_slice(&encode_request(id, &Request::Get { key: id * 3 }));
+        }
+        let mut r = &bytes[..];
+        for id in 0..10u64 {
+            let (got, req) = read_request(&mut r).unwrap().unwrap();
+            assert_eq!(got, id);
+            assert_eq!(req.unwrap(), Request::Get { key: id * 3 });
+        }
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+}

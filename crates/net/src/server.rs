@@ -1,0 +1,445 @@
+//! The pipelined TCP server: threads, admission control, settlement.
+//!
+//! Each accepted connection gets two threads. The **reader** decodes frames
+//! off the socket, answers reads (GET/SCAN) inline, and hands writes to the
+//! store's completion-based front-end ([`submit_put`] / [`submit_delete`] /
+//! [`submit_apply`]) without waiting — the completion handle goes over an
+//! in-process channel to the connection's **settler** thread, which blocks
+//! on handles in submission order and writes each response the moment its
+//! commit group settles. Because reads bypass the settler entirely,
+//! responses leave the socket out of order and the client matches on
+//! request id; because the settler never touches the socket's read side, a
+//! slow commit group never stops the reader from accepting (or rejecting)
+//! more pipelined requests.
+//!
+//! Admission control is two gates, both checked before a write is
+//! submitted:
+//!
+//! - **window** — per-connection in-flight cap
+//!   ([`ServerConfig::max_inflight_per_conn`]). Protects the settler queue
+//!   and bounds how much a single pipelined connection can buffer.
+//! - **store** — global backpressure off the store's own in-flight counter
+//!   ([`ShardedStore::ops_in_flight`], the same quantity the
+//!   `group_queue_depth` gauge samples), capped by
+//!   [`ServerConfig::max_store_inflight`].
+//!
+//! A rejected request is answered with a typed `BUSY` response carrying the
+//! reason; nothing is executed, and the connection stays healthy.
+//!
+//! [`submit_put`]: ShardedStore::submit_put
+//! [`submit_delete`]: ShardedStore::submit_delete
+//! [`submit_apply`]: ShardedStore::submit_apply
+
+use crate::protocol::{
+    self, encode_response, read_request, BusyReason, FrameError, Request, Response, MAX_SCAN_LIMIT,
+};
+use parking_lot::Mutex;
+use rewind_obs::EventKind;
+use rewind_shard::{Completion, ShardedStore, TxCompletion};
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tunables for [`NetServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 to let the OS pick
+    /// (read it back with [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Per-connection in-flight write window: submitted-but-unsettled
+    /// requests beyond this are rejected with `BUSY` ([`BusyReason::Window`]).
+    pub max_inflight_per_conn: usize,
+    /// Store-wide backpressure threshold: when the store's aggregate
+    /// in-flight depth is at or above this, new writes on every connection
+    /// are rejected with `BUSY` ([`BusyReason::Store`]).
+    pub max_store_inflight: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight_per_conn: 256,
+            max_store_inflight: 8192,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config bound to `addr` with default admission limits.
+    pub fn bind(addr: impl Into<String>) -> Self {
+        ServerConfig {
+            addr: addr.into(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Sets the per-connection in-flight window.
+    pub fn max_inflight_per_conn(mut self, n: usize) -> Self {
+        self.max_inflight_per_conn = n;
+        self
+    }
+
+    /// Sets the store-wide backpressure threshold.
+    pub fn max_store_inflight(mut self, n: u64) -> Self {
+        self.max_store_inflight = n;
+        self
+    }
+}
+
+/// A completion handle in flight between reader and settler, FIFO per
+/// connection.
+enum Settle {
+    /// A group-committed single-key write (`op` is the request opcode, so
+    /// the settler knows whether to answer `Done` or `Deleted`).
+    Write {
+        id: u64,
+        op: u8,
+        t0: Option<Instant>,
+        c: Completion,
+    },
+    /// A declared-key transaction.
+    Tx {
+        id: u64,
+        t0: Option<Instant>,
+        c: TxCompletion<usize>,
+    },
+}
+
+struct ConnShared {
+    /// Write half of the socket, shared by reader (inline reads, BUSY/ERR)
+    /// and settler (write acks). One response is one locked `write_all`, so
+    /// frames never interleave.
+    out: Mutex<TcpStream>,
+    /// Submitted-but-unsettled writes on this connection.
+    inflight: AtomicUsize,
+}
+
+struct ServerShared {
+    store: Arc<ShardedStore>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    next_conn: AtomicU64,
+    open_conns: AtomicUsize,
+    /// Socket clones for every live connection, so shutdown can unblock
+    /// readers parked in `read`.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running network front-end over one [`ShardedStore`].
+///
+/// Dropping the handle shuts the server down (see [`NetServer::shutdown`]).
+pub struct NetServer {
+    shared: Arc<ServerShared>,
+    addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `cfg.addr` and starts serving `store`. Returns once the
+    /// listener is live; connections are handled on background threads
+    /// (two per connection).
+    pub fn start(store: Arc<ShardedStore>, cfg: ServerConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            store,
+            cfg,
+            stop: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            open_conns: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conn_handles = Arc::clone(&conn_handles);
+            std::thread::Builder::new()
+                .name("net-accept".to_string())
+                .spawn(move || accept_loop(listener, shared, conn_handles))?
+        };
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            conn_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs every open connection, and joins all server
+    /// threads. Writes already submitted to the store still settle (their
+    /// durability does not depend on the socket), but their responses are
+    /// lost with the connection. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the stop flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.conn_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Responses are small frames written as they settle; Nagle would
+        // batch them against the client's delayed ACKs and stall pipelines.
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let obs = shared.store.obs();
+        obs.emit(EventKind::NetAccept, 0, conn_id, 0);
+        let open = shared.open_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        obs.metrics().net_connections.set(open as u64);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push(clone);
+        }
+        let shared2 = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("net-conn-{conn_id}"))
+            .spawn(move || serve_conn(stream, conn_id, shared2));
+        match spawned {
+            Ok(h) => conn_handles.lock().push(h),
+            Err(_) => {
+                shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Writes one response frame under the connection's output lock.
+fn send(shared: &ConnShared, id: u64, resp: &Response) -> io::Result<()> {
+    let bytes = encode_response(id, resp);
+    let mut out = shared.out.lock();
+    out.write_all(&bytes)
+}
+
+fn settler_loop(
+    rx: mpsc::Receiver<Settle>,
+    conn: Arc<ConnShared>,
+    server: Arc<ServerShared>,
+    conn_id: u64,
+) {
+    let obs = server.store.obs().clone();
+    for settle in rx {
+        let (id, t0, resp) = match settle {
+            Settle::Write { id, op, t0, c } => {
+                let resp = match c.wait() {
+                    Ok(present) if op == protocol::opcode::DELETE => Response::Deleted(present),
+                    Ok(_) => Response::Done,
+                    Err(e) => Response::Error(e.to_string()),
+                };
+                (id, t0, resp)
+            }
+            Settle::Tx { id, t0, c } => {
+                let resp = match c.wait() {
+                    Ok(n) => Response::Applied(n as u32),
+                    Err(e) => Response::Error(e.to_string()),
+                };
+                (id, t0, resp)
+            }
+        };
+        conn.inflight.fetch_sub(1, Ordering::Release);
+        // A failed response write means the peer is gone; keep draining so
+        // every queued completion is still waited on (writes stay durable,
+        // counters stay balanced).
+        let _ = send(&conn, id, &resp);
+        let ns = rewind_obs::Obs::elapsed_ns(t0);
+        if ns != 0 {
+            obs.metrics().net_op_ns.record(ns);
+        }
+        obs.emit(EventKind::NetSettle, id, conn_id, ns);
+    }
+}
+
+fn serve_conn(stream: TcpStream, conn_id: u64, server: Arc<ServerShared>) {
+    let obs = server.store.obs().clone();
+    let mut served: u64 = 0;
+    if let Ok(write_half) = stream.try_clone() {
+        let conn = Arc::new(ConnShared {
+            out: Mutex::new(write_half),
+            inflight: AtomicUsize::new(0),
+        });
+        let (tx, rx) = mpsc::channel::<Settle>();
+        let settler = {
+            let conn = Arc::clone(&conn);
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name(format!("net-settle-{conn_id}"))
+                .spawn(move || settler_loop(rx, conn, server, conn_id))
+        };
+        let mut reader = BufReader::new(stream);
+        loop {
+            match read_request(&mut reader) {
+                Ok(Some((id, Ok(req)))) => {
+                    served += 1;
+                    if handle_request(id, req, &conn, &server, conn_id, &tx).is_err() {
+                        break;
+                    }
+                }
+                Ok(Some((id, Err(op)))) => {
+                    // Well-framed but unknown: answer and keep the stream.
+                    served += 1;
+                    obs.emit(EventKind::NetRecv, id, conn_id, op as u64);
+                    if send(&conn, id, &Response::Error(format!("unknown opcode {op}"))).is_err() {
+                        break;
+                    }
+                }
+                // Clean EOF, framing violation, or I/O error all end the
+                // connection; only the first is silent.
+                Ok(None) | Err(FrameError::Io(_)) => break,
+                Err(_) => break,
+            }
+        }
+        // Reader is done: drop our sender so the settler drains its queue
+        // and exits, then wait for it — in-flight writes settle before the
+        // connection's threads disappear.
+        drop(tx);
+        if let Ok(h) = settler {
+            let _ = h.join();
+        }
+        let _ = reader.get_ref().shutdown(Shutdown::Both);
+    }
+    let open = server.open_conns.fetch_sub(1, Ordering::Relaxed) - 1;
+    obs.metrics().net_connections.set(open as u64);
+    obs.emit(EventKind::NetClose, 0, conn_id, served);
+}
+
+/// Decodes → admits → executes one request. `Err` means the socket write
+/// side failed and the connection should close.
+fn handle_request(
+    id: u64,
+    req: Request,
+    conn: &Arc<ConnShared>,
+    server: &Arc<ServerShared>,
+    conn_id: u64,
+    settle_tx: &mpsc::Sender<Settle>,
+) -> io::Result<()> {
+    let obs = server.store.obs();
+    let t0 = obs.clock();
+    obs.emit(EventKind::NetRecv, id, conn_id, req.opcode() as u64);
+    let store = &server.store;
+    match req {
+        // Reads are answered inline by the reader thread itself: they take
+        // shard-local latches, not the group-commit path, so there is
+        // nothing to wait for and no reason to queue them behind writes.
+        Request::Get { key } => {
+            let resp = match store.get(key) {
+                Ok(v) => Response::Value(v),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            let ns = rewind_obs::Obs::elapsed_ns(t0);
+            if ns != 0 {
+                obs.metrics().net_op_ns.record(ns);
+            }
+            obs.emit(EventKind::NetSettle, id, conn_id, ns);
+            send(conn, id, &resp)
+        }
+        Request::Scan { low, high, limit } => {
+            let limit = limit.min(MAX_SCAN_LIMIT) as usize;
+            let resp = match store.scan(low, high, limit) {
+                Ok(entries) => Response::Entries(entries),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            let ns = rewind_obs::Obs::elapsed_ns(t0);
+            if ns != 0 {
+                obs.metrics().net_op_ns.record(ns);
+            }
+            obs.emit(EventKind::NetSettle, id, conn_id, ns);
+            send(conn, id, &resp)
+        }
+        Request::Put { .. } | Request::Delete { .. } | Request::Transact { .. } => {
+            if let Some(reason) = admit(conn, server) {
+                obs.metrics().net_busy.incr();
+                obs.emit(
+                    EventKind::NetBusy,
+                    id,
+                    conn_id,
+                    matches!(reason, BusyReason::Store) as u64,
+                );
+                return send(conn, id, &Response::Busy(reason));
+            }
+            conn.inflight.fetch_add(1, Ordering::Acquire);
+            obs.emit(EventKind::NetSubmit, id, conn_id, req.opcode() as u64);
+            let settle = match req {
+                Request::Put { key, value } => Settle::Write {
+                    id,
+                    op: protocol::opcode::PUT,
+                    t0,
+                    c: store.submit_put(key, value),
+                },
+                Request::Delete { key } => Settle::Write {
+                    id,
+                    op: protocol::opcode::DELETE,
+                    t0,
+                    c: store.submit_delete(key),
+                },
+                Request::Transact { ops } => Settle::Tx {
+                    id,
+                    t0,
+                    c: store.submit_apply(ops),
+                },
+                _ => unreachable!(),
+            };
+            // The settler owns the rest of this request's lifecycle. A send
+            // failure means the settler died (connection teardown racing a
+            // late request): roll the window back and end the connection.
+            if settle_tx.send(settle).is_err() {
+                conn.inflight.fetch_sub(1, Ordering::Release);
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "settler gone"));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Why a request was turned away, or `None` to admit it.
+fn admit(conn: &ConnShared, server: &ServerShared) -> Option<BusyReason> {
+    if conn.inflight.load(Ordering::Acquire) >= server.cfg.max_inflight_per_conn {
+        return Some(BusyReason::Window);
+    }
+    if server.store.ops_in_flight() >= server.cfg.max_store_inflight {
+        return Some(BusyReason::Store);
+    }
+    None
+}

@@ -86,6 +86,21 @@ impl TraceDump {
             RecoveryStart => format!("recovery START shard={}", e.a),
             RecoveryPhase => format!("recovery PHASE {} ({} ns)", e.a, e.b),
             RecoveryDone => format!("recovery DONE shard={} ({} ns)", e.a, e.b),
+            NetAccept => format!("net ACCEPT conn={}", e.a),
+            NetRecv => format!("net RECV req={} conn={} op={}", e.gtid, e.a, e.b),
+            NetSubmit => format!("net SUBMIT req={} conn={} op={}", e.gtid, e.a, e.b),
+            NetSettle => format!("net SETTLE req={} conn={} ({} ns)", e.gtid, e.a, e.b),
+            NetBusy => format!(
+                "net BUSY req={} conn={} ({})",
+                e.gtid,
+                e.a,
+                if e.b == 1 {
+                    "store backpressure"
+                } else {
+                    "window overflow"
+                }
+            ),
+            NetClose => format!("net CLOSE conn={} served={}", e.a, e.b),
         };
         format!("[{:>8}] t{:02} {}", e.seq, e.thread, what)
     }

@@ -133,6 +133,14 @@ pub struct Metrics {
     /// Operations currently submitted but not yet completed (async front-end
     /// in-flight window, last observed across all shards).
     pub ops_in_flight: Gauge,
+    /// End-to-end network request latency (server side: frame decoded →
+    /// response written).
+    pub net_op_ns: Histogram,
+    /// Network requests rejected with BUSY (admission-control window
+    /// overflow or store backpressure).
+    pub net_busy: Counter,
+    /// Network connections currently open (last observed).
+    pub net_connections: Gauge,
 }
 
 impl Metrics {
@@ -148,6 +156,9 @@ impl Metrics {
             serial_fallbacks: self.serial_fallbacks.get(),
             queue_depth: self.queue_depth.snapshot(),
             ops_in_flight: self.ops_in_flight.get(),
+            net_op_ns: self.net_op_ns.snapshot(),
+            net_busy: self.net_busy.get(),
+            net_connections: self.net_connections.get(),
         }
     }
 }
@@ -175,6 +186,12 @@ pub struct MetricsSnapshot {
     /// Last observed in-flight operation count (gauges don't merge
     /// meaningfully; `merge` takes the max).
     pub ops_in_flight: u64,
+    /// Network request latency distribution (decode → response).
+    pub net_op_ns: HistSnapshot,
+    /// Network BUSY rejections.
+    pub net_busy: u64,
+    /// Last observed open-connection count (`merge` takes the max).
+    pub net_connections: u64,
 }
 
 impl MetricsSnapshot {
@@ -190,6 +207,9 @@ impl MetricsSnapshot {
             serial_fallbacks: self.serial_fallbacks + other.serial_fallbacks,
             queue_depth: self.queue_depth.merge(&other.queue_depth),
             ops_in_flight: self.ops_in_flight.max(other.ops_in_flight),
+            net_op_ns: self.net_op_ns.merge(&other.net_op_ns),
+            net_busy: self.net_busy + other.net_busy,
+            net_connections: self.net_connections.max(other.net_connections),
         }
     }
 
@@ -212,6 +232,7 @@ impl MetricsSnapshot {
         hist("two_phase", &self.two_phase_ns);
         hist("group_flush", &self.group_flush_ns);
         hist("recovery", &self.recovery_ns);
+        hist("net", &self.net_op_ns);
         // Queue depth is a count distribution, not a latency: no unit
         // conversion, and only the tail quantiles are worth gating.
         if !self.queue_depth.is_empty() {
@@ -517,6 +538,45 @@ mod tests {
         assert!(!names.iter().any(|n| n.starts_with("group_flush")));
         let p99 = fields.iter().find(|(n, _)| n == "commit_p99_us").unwrap().1;
         assert!((7.7..=8.3).contains(&p99), "p99 ≈ 8 µs, got {p99}");
+    }
+
+    #[test]
+    fn net_metrics_flatten_and_merge() {
+        let a = Obs::enabled();
+        let b = Obs::enabled();
+        for v in [10_000, 20_000, 40_000u64] {
+            a.metrics().net_op_ns.record(v);
+        }
+        b.metrics().net_busy.add(3);
+        a.metrics().net_connections.set(128);
+        b.metrics().net_connections.set(64);
+        let merged = a.metrics_snapshot().merge(&b.metrics_snapshot());
+        assert_eq!(merged.net_op_ns.count, 3);
+        assert_eq!(merged.net_busy, 3);
+        assert_eq!(merged.net_connections, 128, "gauge merge takes the max");
+        let fields = merged.summary_fields();
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"net_p99_us"));
+        assert!(names.contains(&"net_mean_us"));
+        // The net lifecycle events decode and render.
+        let obs = Obs::enabled();
+        obs.emit(EventKind::NetAccept, 0, 1, 0);
+        obs.emit(EventKind::NetRecv, 42, 1, 2);
+        obs.emit(EventKind::NetSubmit, 42, 1, 2);
+        obs.emit(EventKind::NetSettle, 42, 1, 9000);
+        obs.emit(EventKind::NetBusy, 43, 1, 0);
+        obs.emit(EventKind::NetClose, 0, 1, 2);
+        let rendered = obs.dump().render();
+        for needle in [
+            "net ACCEPT conn=1",
+            "net RECV req=42",
+            "net SUBMIT req=42",
+            "net SETTLE req=42",
+            "net BUSY req=43 conn=1 (window overflow)",
+            "net CLOSE conn=1 served=2",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle:?}:\n{rendered}");
+        }
     }
 
     #[test]

@@ -81,6 +81,22 @@ pub enum EventKind {
     RecoveryPhase = 21,
     /// A recovery pass finished (`a` = shard, `b` = duration ns).
     RecoveryDone = 22,
+    /// The network server accepted a connection (`a` = connection id).
+    NetAccept = 23,
+    /// A request frame was decoded (`gtid` = request id, `a` = connection
+    /// id, `b` = opcode).
+    NetRecv = 24,
+    /// A request was submitted to the store (`gtid` = request id,
+    /// `a` = connection id, `b` = opcode).
+    NetSubmit = 25,
+    /// A response was written back (`gtid` = request id, `a` = connection
+    /// id, `b` = request latency ns, decode → response).
+    NetSettle = 26,
+    /// A request was rejected with BUSY (`gtid` = request id,
+    /// `a` = connection id, `b` = 0 window overflow / 1 store backpressure).
+    NetBusy = 27,
+    /// A connection closed (`a` = connection id, `b` = requests served).
+    NetClose = 28,
 }
 
 impl EventKind {
@@ -109,6 +125,12 @@ impl EventKind {
             20 => RecoveryStart,
             21 => RecoveryPhase,
             22 => RecoveryDone,
+            23 => NetAccept,
+            24 => NetRecv,
+            25 => NetSubmit,
+            26 => NetSettle,
+            27 => NetBusy,
+            28 => NetClose,
             _ => return None,
         })
     }

@@ -62,6 +62,11 @@ pub enum RewindError {
     /// still queued); nothing was applied. This is the ack a completion
     /// handle delivers when the submission never reached a commit.
     Canceled,
+    /// An asynchronously submitted transaction closure panicked. The worker
+    /// caught the unwind, rolled the transaction back (nothing committed),
+    /// and settled the completion handle with this error instead of dying —
+    /// the panic payload's message is carried when it was a string.
+    Panicked(String),
     /// Internal control-flow marker of the lock-ordered cross-shard
     /// coordinator: the transaction touched the contained shard (contended,
     /// below the lock frontier) after a higher-numbered shard was already
@@ -90,6 +95,9 @@ impl fmt::Display for RewindError {
             RewindError::Io { kind, detail } => write!(f, "I/O error ({kind:?}): {detail}"),
             RewindError::Canceled => {
                 write!(f, "operation cancelled before it joined a commit group")
+            }
+            RewindError::Panicked(msg) => {
+                write!(f, "transaction closure panicked (rolled back): {msg}")
             }
             RewindError::LockOrderRestart(shard) => write!(
                 f,
@@ -173,6 +181,14 @@ mod tests {
         let e: RewindError = std::io::Error::other("disk gone").into();
         assert!(matches!(e, RewindError::Io { .. }));
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn panicked_carries_the_payload_message() {
+        let e = RewindError::Panicked("index out of bounds".into());
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
+        assert!(e.to_string().contains("rolled back"));
     }
 
     #[test]

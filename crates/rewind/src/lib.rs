@@ -20,10 +20,18 @@
 //!   and batches concurrent writes into per-shard group commits, with a
 //!   completion-based async front-end (`submit_put` / `submit_transact`)
 //!   that keeps hundreds of operations in flight per submitter thread;
+//! * [`net`] — the network service layer: a pipelined length-prefixed
+//!   binary protocol served over TCP ([`NetServer`](net::NetServer)), a
+//!   blocking and a pipelined client ([`NetClient`](net::NetClient),
+//!   [`PipelinedClient`](net::PipelinedClient)), typed `BUSY` admission
+//!   control backed by the store's in-flight depth, and an open-loop
+//!   simulator ([`run_sim`](net::run_sim)) that drives tens of thousands
+//!   of logical connections;
 //! * [`obs`] — the lock-free tracing and metrics layer: atomic latency
 //!   histograms, per-thread trace rings covering the transaction / group-
-//!   commit / 2PC lifecycle, and the [`TraceDump`](obs::TraceDump) forensic
-//!   sink the crash-matrix suites print on oracle failure.
+//!   commit / 2PC / network-request lifecycle, and the
+//!   [`TraceDump`](obs::TraceDump) forensic sink the crash-matrix suites
+//!   print on oracle failure.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +58,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use rewind_core as core;
+pub use rewind_net as net;
 pub use rewind_nvm as nvm;
 pub use rewind_obs as obs;
 pub use rewind_pagestore as pagestore;
@@ -63,6 +72,9 @@ pub mod prelude {
         LogLayers, LogStructure, Policy, Result, RewindConfig, RewindError, Transaction,
         TransactionManager, TxId,
     };
+    pub use rewind_net::{
+        NetClient, NetError, NetServer, PipelinedClient, ServerConfig, SimConfig,
+    };
     pub use rewind_nvm::{
         CostModel, CrashMode, FaultConfig, FileOpenReport, NvmPool, PAddr, PoolConfig,
     };
@@ -70,7 +82,8 @@ pub mod prelude {
     pub use rewind_pagestore::{KvStore, Personality};
     pub use rewind_pds::{Backing, PBTree, PList, PTable, TxToken, Value};
     pub use rewind_shard::{
-        Completion, CoordinatorStats, ShardConfig, ShardStats, ShardedStore, StoreTx, TxCompletion,
+        Completion, CoordinatorStats, KeyOp, ShardConfig, ShardStats, ShardedStore, StoreTx,
+        TxCompletion,
     };
     pub use rewind_tpcc::{Layout, ShardedTpcc, ShardedTpccConfig, TpccDb, TpccMix, TpccRunner};
 }

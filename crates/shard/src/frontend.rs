@@ -169,6 +169,12 @@ impl TxPool {
             return;
         }
         st.jobs.push_back(job);
+        if st.idle == 0 && st.workers.len() >= max_workers {
+            // A worker that panicked out of its loop still occupies a slot
+            // in `workers` — drop finished handles so a burst of panics
+            // cannot permanently shrink the effective pool to zero.
+            st.workers.retain(|w| !w.is_finished());
+        }
         if st.idle == 0 && st.workers.len() < max_workers {
             let pool = Arc::clone(self);
             let weak: Weak<ShardedStore> = Arc::downgrade(store);
@@ -202,10 +208,20 @@ impl TxPool {
             // A strong handle exists only for the duration of one job —
             // while it does, the store cannot drop; once no submission and
             // no job holds one, the store's drop shuts this pool down.
-            match weak.upgrade() {
-                Some(store) => job(Some(&store)),
-                None => job(None),
-            }
+            //
+            // The job is run under `catch_unwind` so a panicking closure
+            // cannot unwind through the worker loop and kill the thread:
+            // each submission path settles its own completion handle from
+            // inside the job (converting the panic to a typed error), so
+            // by the time the unwind reaches here the waiter is already
+            // unblocked — swallowing it keeps the worker alive for the
+            // next job.
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match weak.upgrade() {
+                    Some(store) => job(Some(&store)),
+                    None => job(None),
+                }));
+            drop(caught);
         }
     }
 
@@ -278,6 +294,61 @@ mod tests {
             Poll::Ready(Ok(s)) => assert_eq!(s, "done"),
             other => panic!("expected ready, got {other:?}"),
         }
+    }
+
+    fn tiny_store() -> Arc<ShardedStore> {
+        Arc::new(ShardedStore::create(crate::ShardConfig::new(1).shard_capacity(4 << 20)).unwrap())
+    }
+
+    fn wait_with_watchdog<T: Send + 'static>(c: TxCompletion<T>, what: &str) -> Result<T> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || tx.send(c.wait()).ok());
+        rx.recv_timeout(std::time::Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("{what}"))
+    }
+
+    #[test]
+    fn finished_workers_are_pruned_not_counted() {
+        // Simulate a pool whose workers all died (what a panicking job did
+        // before the worker loop caught unwinds): submit must prune the
+        // dead handles and spawn a fresh worker instead of counting corpses
+        // toward `max_workers` and queueing the job forever.
+        let store = tiny_store();
+        let pool = Arc::new(TxPool::default());
+        {
+            let mut st = pool.state.lock();
+            for _ in 0..2 {
+                st.workers.push(std::thread::spawn(|| {}));
+            }
+        }
+        while pool.state.lock().workers.iter().any(|w| !w.is_finished()) {
+            std::thread::yield_now();
+        }
+        let slot = TxSlot::<u32>::new();
+        let c = TxCompletion::new(Arc::clone(&slot));
+        let job_slot = Arc::clone(&slot);
+        pool.submit(&store, 2, Box::new(move |_| job_slot.deliver(Ok(42))));
+        let r = wait_with_watchdog(c, "dead workers still count toward max_workers");
+        assert_eq!(r.unwrap(), 42);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        // A raw job that panics (bypassing the submit-path fences in
+        // `ShardedStore::submit_transact_keys`) must not take the worker
+        // thread down with it: with `max_workers == 1`, the follow-up job
+        // can only run if the same worker survived or was replaced.
+        let store = tiny_store();
+        let pool = Arc::new(TxPool::default());
+        pool.submit(&store, 1, Box::new(|_| panic!("raw job panic")));
+        let slot = TxSlot::<u32>::new();
+        let c = TxCompletion::new(Arc::clone(&slot));
+        let job_slot = Arc::clone(&slot);
+        pool.submit(&store, 1, Box::new(move |_| job_slot.deliver(Ok(7))));
+        let r = wait_with_watchdog(c, "worker died on a panicking job and was never replaced");
+        assert_eq!(r.unwrap(), 7);
+        pool.shutdown();
     }
 
     #[test]

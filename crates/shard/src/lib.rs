@@ -110,7 +110,7 @@ pub use coordinator::{CoordinatorStats, StoreTx};
 pub use frontend::TxCompletion;
 pub use group::{Completion, GroupCommitSnapshot};
 pub use shard::ShardTx;
-pub use store::{shard_file_name, ShardSnapshot, ShardStats, ShardedStore};
+pub use store::{shard_file_name, KeyOp, ShardSnapshot, ShardStats, ShardedStore};
 
 pub use rewind_core::{Result, RewindError};
 pub use rewind_obs::{Obs, TraceDump};

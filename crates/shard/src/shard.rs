@@ -193,6 +193,12 @@ impl ShardCore {
         self.stats.snapshot()
     }
 
+    /// Lock-free read of the shard's in-flight async-submission window (the
+    /// counter the `group_queue_depth` gauge samples).
+    pub(crate) fn ops_in_flight(&self) -> u64 {
+        self.stats.inflight()
+    }
+
     // ------------------------------------------------------------------
     // Lifecycle
     // ------------------------------------------------------------------

@@ -34,6 +34,39 @@ pub fn shard_file_name(id: usize) -> String {
     format!("shard-{id:03}.pool")
 }
 
+/// Renders a caught panic payload into a human-readable message. `&str` and
+/// `String` payloads (what `panic!` produces) carry their text; anything
+/// else is reported as opaque.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One write of a declared-key, data-driven transaction
+/// ([`ShardedStore::submit_apply`]): the form a transaction takes when its
+/// operations arrive over a wire instead of as a closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyOp {
+    /// Insert or overwrite a key.
+    Put(u64, Value),
+    /// Remove a key (removing an absent key is legal and a no-op).
+    Delete(u64),
+}
+
+impl KeyOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            KeyOp::Put(k, _) | KeyOp::Delete(k) => k,
+        }
+    }
+}
+
 /// A sharded, group-committed, crash-recoverable key/value store.
 ///
 /// Keys are hash-partitioned across independent shards, each owning its own
@@ -257,38 +290,68 @@ impl ShardedStore {
     /// Returns up to `limit` pairs with keys in `[low, high]`, in ascending
     /// key order, merged across all shards.
     ///
-    /// Each shard contributes at most `limit` candidates (hash partitioning
-    /// means any shard could own the `limit` smallest keys), but the k-way
-    /// merge below stops as soon as `limit` results are produced instead of
-    /// sorting and truncating the full `shards × limit` candidate set.
-    /// Pushing the cap further down with per-shard cursors is a ROADMAP
-    /// item.
+    /// Shards stream their runs through per-shard cursors: each starts with
+    /// a small chunk (`min(limit, 32)`) and refills from just past its last
+    /// delivered key — with geometrically growing chunks — only when the
+    /// merge actually drains it. A scan that stops early (small `limit`, or
+    /// skewed key ownership) therefore reads O(result) entries plus one
+    /// initial chunk per shard, not `shards × limit`.
     pub fn scan(&self, low: u64, high: u64, limit: usize) -> Result<Vec<(u64, Value)>> {
-        if limit == 0 {
+        if limit == 0 || low > high {
             return Ok(Vec::new());
         }
-        let mut runs: Vec<Vec<(u64, Value)>> = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            runs.push(shard.range(low, high, limit)?);
+        struct Cursor {
+            run: Vec<(u64, Value)>,
+            pos: usize,
+            /// Size of the most recent fetch; a run shorter than its
+            /// request means the shard has nothing further in range.
+            chunk: usize,
+            exhausted: bool,
         }
-        // Each run is already in ascending key order: merge with a heap of
-        // (next key, run index) cursors, stopping at `limit`.
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(runs.len());
-        let mut cursors = vec![0usize; runs.len()];
-        for (r, run) in runs.iter().enumerate() {
-            if let Some((k, _)) = run.first() {
+        let first = limit.min(32);
+        let mut cursors = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let run = shard.range(low, high, first)?;
+            cursors.push(Cursor {
+                exhausted: run.len() < first,
+                run,
+                pos: 0,
+                chunk: first,
+            });
+        }
+        // Each run is in ascending key order: merge with a heap of
+        // (next key, shard index) cursors, stopping at `limit`.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(cursors.len());
+        for (r, c) in cursors.iter().enumerate() {
+            if let Some((k, _)) = c.run.first() {
                 heap.push(Reverse((*k, r)));
             }
         }
         let mut out = Vec::with_capacity(limit.min(64));
         while let Some(Reverse((key, r))) = heap.pop() {
-            let pos = cursors[r];
-            out.push((key, runs[r][pos].1));
+            let c = &mut cursors[r];
+            out.push((key, c.run[c.pos].1));
             if out.len() == limit {
                 break;
             }
-            cursors[r] += 1;
-            if let Some((k, _)) = runs[r].get(cursors[r]) {
+            c.pos += 1;
+            if c.pos == c.run.len() && !c.exhausted {
+                // The merge drained this shard's chunk mid-scan: refill
+                // from just past the last delivered key, growing the chunk
+                // so a shard owning a long contiguous stretch converges to
+                // a few big fetches instead of many small ones.
+                match key.checked_add(1) {
+                    Some(next_low) if next_low <= high => {
+                        let want = c.chunk.saturating_mul(2).min(limit - out.len());
+                        c.run = self.shards[r].range(next_low, high, want)?;
+                        c.exhausted = c.run.len() < want;
+                        c.chunk = want;
+                        c.pos = 0;
+                    }
+                    _ => c.exhausted = true,
+                }
+            }
+            if let Some((k, _)) = c.run.get(c.pos) {
                 heap.push(Reverse((*k, r)));
             }
         }
@@ -375,16 +438,64 @@ impl ShardedStore {
         T: Send + 'static,
         F: FnMut(&mut StoreTx<'_>) -> Result<T> + Send + 'static,
     {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         let slot = TxSlot::new();
         let job_slot = Arc::clone(&slot);
         let job = Box::new(move |store: Option<&ShardedStore>| {
-            job_slot.deliver(match store {
-                Some(s) => s.transact_keys(&keys, &mut f),
-                None => Err(rewind_core::RewindError::Canceled),
+            let Some(s) = store else {
+                job_slot.deliver(Err(rewind_core::RewindError::Canceled));
+                return;
+            };
+            // Two unwind fences keep a panicking closure from hanging the
+            // completion handle or wedging a shard. The inner one converts
+            // the panic into `Err(Panicked)` *inside* the coordinator,
+            // whose ordinary error path rolls the attempt back
+            // (`abort_all`) before the error escapes — so a closure that
+            // wrote two shards and then panicked leaves neither write
+            // behind. The outer one catches anything else that unwinds out
+            // of the coordinator itself, so the handle settles no matter
+            // what.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                s.transact_keys(&keys, |tx| match catch_unwind(AssertUnwindSafe(|| f(tx))) {
+                    Ok(r) => r,
+                    Err(p) => Err(rewind_core::RewindError::Panicked(panic_message(
+                        p.as_ref(),
+                    ))),
+                })
+            }));
+            job_slot.deliver(match outcome {
+                Ok(r) => r,
+                Err(p) => Err(rewind_core::RewindError::Panicked(panic_message(
+                    p.as_ref(),
+                ))),
             });
         });
         self.tx_pool.submit(self, self.cfg.shards, job);
         TxCompletion::new(slot)
+    }
+
+    /// Applies `ops` as one atomic (cross-shard where needed) transaction,
+    /// submitted asynchronously: a data-driven
+    /// [`ShardedStore::submit_transact_keys`] whose declared key set *is*
+    /// the operation list, so callers that cannot ship closures — the
+    /// network server, most importantly — still get up-front shard-ordered
+    /// locking with no restarts. The completion resolves to the number of
+    /// operations applied (all of them, on success).
+    pub fn submit_apply(self: &Arc<Self>, ops: Vec<KeyOp>) -> TxCompletion<usize> {
+        let keys: Vec<u64> = ops.iter().map(KeyOp::key).collect();
+        self.submit_transact_keys(keys, move |tx| {
+            for op in &ops {
+                match *op {
+                    KeyOp::Put(k, v) => {
+                        tx.put(k, v)?;
+                    }
+                    KeyOp::Delete(k) => {
+                        tx.delete(k)?;
+                    }
+                }
+            }
+            Ok(ops.len())
+        })
     }
 
     // ------------------------------------------------------------------
@@ -555,6 +666,15 @@ impl ShardedStore {
     // ------------------------------------------------------------------
     // Statistics
     // ------------------------------------------------------------------
+
+    /// Total asynchronous submissions currently in flight (queued or inside
+    /// a committing group, not yet settled), summed across shards. This is
+    /// the counter behind the `group_queue_depth` observability gauge, read
+    /// directly: one relaxed atomic load per shard, no locks, so servers
+    /// can poll it on every request for store-level admission control.
+    pub fn ops_in_flight(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops_in_flight()).sum()
+    }
 
     /// Lock-free snapshot of just the cross-shard coordinator's
     /// restart/fallback counters (the `coord` component of [`Self::stats`]).
@@ -1236,6 +1356,148 @@ mod tests {
         assert_eq!(per.len(), 4);
         assert_eq!(per.iter().map(|s| s.entries).sum::<u64>(), 100);
         assert!(per.iter().all(|s| s.entries > 0), "all shards used");
+    }
+
+    #[test]
+    fn scan_reads_scale_with_results_not_shards() {
+        let store = small(4);
+        // 300 keys pinned to shard 0 at the bottom of the keyspace; 100
+        // keys on every other shard far above them — so a limited scan's
+        // whole result set lives on shard 0.
+        for i in 0..300u64 {
+            store.put(store.key_routed_to(0, i), val(i)).unwrap();
+        }
+        for s in 1..4 {
+            for i in 0..100u64 {
+                store
+                    .put(store.key_routed_to(s, (1 << 40) | i), val(i))
+                    .unwrap();
+            }
+        }
+        let before: Vec<u64> = (0..4).map(|s| store.shard_pool(s).stats().reads).collect();
+        let r = store.scan(0, u64::MAX, 200).unwrap();
+        assert_eq!(r.len(), 200);
+        assert!(
+            r.iter().all(|(k, _)| store.shard_of(*k) == 0),
+            "the 200 smallest keys all live on shard 0"
+        );
+        let deltas: Vec<u64> = (0..4)
+            .map(|s| store.shard_pool(s).stats().reads - before[s])
+            .collect();
+        // The owning shard streams ~200 entries; non-owning shards must
+        // stop after their one initial 32-entry chunk instead of fetching
+        // `limit` rows each as the pre-cursor implementation did.
+        for s in 1..4 {
+            assert!(
+                deltas[s] * 3 < deltas[0],
+                "shard {s} read {} vs owner {} — scan still amplifies reads by shard count",
+                deltas[s],
+                deltas[0]
+            );
+        }
+    }
+
+    #[test]
+    fn submit_apply_is_atomic_and_counts_ops() {
+        let store = Arc::new(small(4));
+        let keys: Vec<u64> = (0..4)
+            .map(|s| (0..200).find(|k| store.shard_of(*k) == s).unwrap())
+            .collect();
+        store.put(keys[3], val(3)).unwrap();
+        let ops = vec![
+            KeyOp::Put(keys[0], val(10)),
+            KeyOp::Put(keys[1], val(11)),
+            KeyOp::Delete(keys[3]),
+        ];
+        assert_eq!(store.submit_apply(ops).wait().unwrap(), 3);
+        assert_eq!(store.get(keys[0]).unwrap(), Some(val(10)));
+        assert_eq!(store.get(keys[1]).unwrap(), Some(val(11)));
+        assert_eq!(store.get(keys[3]).unwrap(), None);
+        // Declared keys mean no lock-order restarts, even cross-shard.
+        assert_eq!(store.stats().coord.restarts, 0);
+        // An empty batch settles immediately.
+        assert_eq!(store.submit_apply(Vec::new()).wait().unwrap(), 0);
+    }
+
+    #[test]
+    fn panicking_submit_transact_settles_with_typed_error() {
+        let store = Arc::new(small(2));
+        let c = store.submit_transact::<(), _>(|_tx| panic!("boom in closure"));
+        // Regression guard: this used to hang forever (the panic killed the
+        // worker with the slot undelivered), so wait via a watchdog channel
+        // instead of wedging the whole suite on a regression.
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || done_tx.send(c.wait()).ok());
+        let r = done_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("TxCompletion::wait hung after a panicking closure");
+        match r {
+            Err(RewindError::Panicked(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The pool survives and the store keeps working.
+        store.put(1, val(1)).unwrap();
+        assert_eq!(store.get(1).unwrap(), Some(val(1)));
+    }
+
+    #[test]
+    fn panicking_closure_rolls_back_its_writes() {
+        let store = Arc::new(small(4));
+        let a = (0..100).find(|k| store.shard_of(*k) == 0).unwrap();
+        let b = (0..100).find(|k| store.shard_of(*k) == 1).unwrap();
+        store.put(a, val(1)).unwrap();
+        let c = store.submit_transact::<(), _>(move |tx| {
+            tx.put(a, val(99))?;
+            tx.put(b, val(98))?;
+            panic!("after writing two shards");
+        });
+        assert!(matches!(c.wait(), Err(RewindError::Panicked(_))));
+        assert_eq!(store.get(a).unwrap(), Some(val(1)), "write rolled back");
+        assert_eq!(store.get(b).unwrap(), None, "write rolled back");
+        // Both shards' locks were released by the rollback.
+        store
+            .transact_keys(&[a, b], |tx| {
+                tx.put(a, val(2))?;
+                tx.put(b, val(3))?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(store.get(a).unwrap(), Some(val(2)));
+        assert_eq!(store.get(b).unwrap(), Some(val(3)));
+    }
+
+    #[test]
+    fn panic_burst_does_not_starve_the_worker_pool() {
+        let store = Arc::new(small(2));
+        // More panicking submissions than `max_workers` (= shards): before
+        // worker pruning, each panic burned a worker slot forever and this
+        // burst left the pool permanently unable to run anything.
+        let bad: Vec<_> = (0..8)
+            .map(|_| store.submit_transact::<(), _>(|_tx| panic!("die")))
+            .collect();
+        for c in bad {
+            assert!(matches!(c.wait(), Err(RewindError::Panicked(_))));
+        }
+        let good: Vec<_> = (0..8)
+            .map(|i| {
+                let k = 1000 + i;
+                store.submit_transact(move |tx| tx.put(k, val(k)))
+            })
+            .collect();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let ok = good.into_iter().all(|c| c.wait().is_ok());
+            done_tx.send(ok).ok();
+        });
+        assert!(
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("worker pool starved after a panic burst"),
+            "post-burst submissions must all succeed"
+        );
+        for i in 0..8u64 {
+            assert_eq!(store.get(1000 + i).unwrap(), Some(val(1000 + i)));
+        }
     }
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
