@@ -1732,6 +1732,95 @@ pub fn net_bench(scale: f64) {
     json.summary("net_p50_us", p50_us);
     json.summary("net_p99_us", p99_us);
 
+    // Part 3: connection churn — fresh socket per burst — on both backends.
+    // The default backend's numbers feed the perf gate; the PR-10 leak made
+    // exactly this workload degrade as the retained per-connection state
+    // piled up.
+    header(
+        "Connection churn: connect -> 8-req burst -> close, 4 workers",
+        &[
+            "backend",
+            "opened",
+            "errors",
+            "cycle_p50_us",
+            "cycle_p99_us",
+        ],
+    );
+    let churn_cfg = rewind_net::ChurnConfig {
+        cycles: scaled(150, scale, 30) as usize,
+        burst: 8,
+        threads: 4,
+        ..rewind_net::ChurnConfig::default()
+    };
+    let threaded_server = NetServer::start(
+        Arc::clone(&store),
+        ServerConfig::default().mode(rewind_net::ServerMode::ThreadPerConn),
+    )
+    .expect("bind threaded server");
+    for (label, gated, target) in [
+        ("default", true, &server),
+        ("thread-per-conn", false, &threaded_server),
+    ] {
+        let churn = rewind_net::run_churn(target.local_addr(), &churn_cfg).expect("run churn");
+        assert_eq!(churn.connect_failures, 0, "churn connects must succeed");
+        assert_eq!(churn.errors, 0, "churn must not observe errors");
+        let cycle_p50_us = churn.cycle_latency.percentile(0.50) as f64 / 1e3;
+        let cycle_p99_us = churn.cycle_latency.percentile(0.99) as f64 / 1e3;
+        let backend = if target.is_reactor() {
+            format!("{label} (reactor)")
+        } else {
+            format!("{label} (threaded)")
+        };
+        row(&[
+            backend,
+            churn.opened.to_string(),
+            churn.errors.to_string(),
+            f(cycle_p50_us),
+            f(cycle_p99_us),
+        ]);
+        json.row(&[
+            ("reactor", target.is_reactor() as u64 as f64),
+            ("opened", churn.opened as f64),
+            ("errors", churn.errors as f64),
+            ("cycle_p50_us", cycle_p50_us),
+            ("cycle_p99_us", cycle_p99_us),
+        ]);
+        if gated {
+            json.summary("net_churn_conns", churn.opened as f64);
+            json.summary("net_churn_p99_us", cycle_p99_us);
+        }
+    }
+    drop(threaded_server);
+
+    // Part 4: hold 1000 real sockets open at once on the default backend
+    // and verify they all get service from a thread pool whose size does
+    // not move. `net_open_sockets` is a gated floor.
+    let mut held = Vec::with_capacity(1000);
+    for _ in 0..1000u64 {
+        held.push(NetClient::connect(addr).expect("connect held socket"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.open_connections() < 1000 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let open_sockets = server.open_connections();
+    for (i, c) in held.iter_mut().enumerate().step_by(50) {
+        let k = (1u64 << 20) | i as u64;
+        c.put(k, value_from_seed(k)).expect("put on held socket");
+    }
+    header(
+        "Held-socket population (default backend)",
+        &["open_sockets", "server_threads", "reactor"],
+    );
+    row(&[
+        open_sockets.to_string(),
+        server.tracked_threads().to_string(),
+        server.is_reactor().to_string(),
+    ]);
+    json.summary("net_open_sockets", open_sockets as f64);
+    json.summary("net_server_threads", server.tracked_threads() as f64);
+    drop(held);
+
     // Server-side request latencies (decode → response write) from the obs
     // layer, as a cross-check against the client-side numbers above.
     for (k, v) in store.obs().metrics_snapshot().summary_fields() {

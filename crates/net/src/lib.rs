@@ -38,13 +38,15 @@
 
 pub mod client;
 pub mod protocol;
+#[cfg(all(feature = "reactor", target_os = "linux"))]
+mod reactor;
 pub mod server;
 pub mod sim;
 
 pub use client::{NetClient, NetCompletion, NetError, PipeStats, PipelinedClient};
 pub use protocol::{BusyReason, FrameError, Request, Response, MAX_FRAME, MAX_SCAN_LIMIT};
-pub use server::{NetServer, ServerConfig};
-pub use sim::{run_sim, SimConfig, SimReport};
+pub use server::{NetServer, ServerConfig, ServerMode};
+pub use sim::{run_churn, run_sim, ChurnConfig, ChurnReport, SimConfig, SimReport};
 
 #[cfg(test)]
 mod tests {
@@ -192,6 +194,67 @@ mod tests {
         let (id, resp) = protocol::read_response(&mut reader).unwrap().unwrap();
         assert_eq!(id, 78);
         assert_eq!(resp, Response::Value(None));
+    }
+
+    #[test]
+    fn both_backends_start_on_request_and_report_their_mode() {
+        let store =
+            Arc::new(ShardedStore::create(ShardConfig::new(1).shard_capacity(4 << 20)).unwrap());
+        let threaded = NetServer::start(
+            Arc::clone(&store),
+            ServerConfig::default().mode(ServerMode::ThreadPerConn),
+        )
+        .unwrap();
+        assert!(!threaded.is_reactor());
+        let mut c = NetClient::connect(threaded.local_addr()).unwrap();
+        c.put(1, [1; 4]).unwrap();
+        assert_eq!(c.get(1).unwrap(), Some([1; 4]));
+        drop(c);
+        let explicit = NetServer::start(
+            Arc::clone(&store),
+            ServerConfig::default().mode(ServerMode::Reactor),
+        );
+        #[cfg(all(feature = "reactor", target_os = "linux"))]
+        {
+            let r = explicit.unwrap();
+            assert!(r.is_reactor());
+            let mut c = NetClient::connect(r.local_addr()).unwrap();
+            assert_eq!(c.get(1).unwrap(), Some([1; 4]));
+        }
+        #[cfg(not(all(feature = "reactor", target_os = "linux")))]
+        match explicit {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::Unsupported),
+            Ok(_) => panic!("explicit reactor mode must fail when not compiled in"),
+        }
+    }
+
+    #[test]
+    fn churn_smoke_returns_all_counters_to_zero() {
+        let (_store, server) = serve();
+        let report = run_churn(
+            server.local_addr(),
+            &ChurnConfig {
+                cycles: 25,
+                burst: 4,
+                threads: 2,
+                ..ChurnConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.opened, 50);
+        assert_eq!(report.connect_failures, 0);
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.busy + report.errors, 0);
+        assert!(report.cycle_latency.count > 0);
+        // Every churned connection must be fully released by the server.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while (server.open_connections() > 0 || server.tracked_conns() > 0)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.open_connections(), 0);
+        assert_eq!(server.tracked_conns(), 0);
     }
 
     #[test]

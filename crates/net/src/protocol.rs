@@ -371,17 +371,11 @@ fn read_frame(r: &mut impl Read) -> Result<Option<(u64, u8, Vec<u8>)>, FrameErro
     Ok(Some((id, tag, body)))
 }
 
-/// Reads one request frame. `Ok(None)` is a clean connection close at a
-/// frame boundary; `Ok(Some((id, Err(op))))` is a *well-formed* frame with
-/// an unknown opcode `op` — recoverable, the server answers it with an
-/// `ERR` response and keeps reading. Everything in `Err(_)` poisons the
-/// stream and must close the connection.
-#[allow(clippy::type_complexity)]
-pub fn read_request(r: &mut impl Read) -> Result<Option<(u64, Result<Request, u8>)>, FrameError> {
-    let Some((id, op, body)) = read_frame(r)? else {
-        return Ok(None);
-    };
-    let mut c = Cur(&body);
+/// Parses one well-framed request payload for opcode `op`. `Ok(Err(op))`
+/// is the recoverable unknown-opcode case; `Err(_)` is a malformed payload
+/// that must sever the stream.
+fn parse_request(op: u8, body: &[u8]) -> Result<Result<Request, u8>, FrameError> {
+    let mut c = Cur(body);
     let req = match op {
         opcode::GET => Request::Get { key: c.u64()? },
         opcode::PUT => Request::Put {
@@ -411,10 +405,54 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<(u64, Result<Request, u8
             }
             Request::Transact { ops }
         }
-        unknown => return Ok(Some((id, Err(unknown)))),
+        unknown => return Ok(Err(unknown)),
     };
     c.finish()?;
-    Ok(Some((id, Ok(req))))
+    Ok(Ok(req))
+}
+
+/// Reads one request frame. `Ok(None)` is a clean connection close at a
+/// frame boundary; `Ok(Some((id, Err(op))))` is a *well-formed* frame with
+/// an unknown opcode `op` — recoverable, the server answers it with an
+/// `ERR` response and keeps reading. Everything in `Err(_)` poisons the
+/// stream and must close the connection.
+#[allow(clippy::type_complexity)]
+pub fn read_request(r: &mut impl Read) -> Result<Option<(u64, Result<Request, u8>)>, FrameError> {
+    let Some((id, op, body)) = read_frame(r)? else {
+        return Ok(None);
+    };
+    Ok(Some((id, parse_request(op, &body)?)))
+}
+
+/// Incrementally decodes one request frame from the front of `buf` — the
+/// nonblocking-socket counterpart of [`read_request`], for readers that
+/// accumulate whatever `read()` returned and parse what is complete.
+///
+/// * `Ok(None)` — `buf` does not yet hold a whole frame; read more bytes
+///   and call again with the same (grown) buffer. The length word is still
+///   validated as soon as its 4 bytes are present, so a hostile length is
+///   rejected before anything is buffered.
+/// * `Ok(Some((consumed, id, req)))` — one frame decoded; drop `consumed`
+///   bytes from the front of `buf`. `req` is `Err(op)` for the recoverable
+///   unknown-opcode case, exactly as in [`read_request`].
+/// * `Err(_)` — framing violation; the stream is poisoned.
+#[allow(clippy::type_complexity)]
+pub fn decode_request(buf: &[u8]) -> Result<Option<(usize, u64, Result<Request, u8>)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len < HEADER as u32 || len > MAX_FRAME {
+        return Err(FrameError::BadLength(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let op = buf[12];
+    let body = &buf[4 + HEADER..total];
+    Ok(Some((total, id, parse_request(op, body)?)))
 }
 
 /// Reads one response frame. `Ok(None)` is a clean close at a frame
@@ -605,6 +643,73 @@ mod tests {
             read_request(&mut &frame[..]),
             Err(FrameError::Malformed("transact op count"))
         ));
+    }
+
+    #[test]
+    fn incremental_decode_matches_blocking_reads_byte_by_byte() {
+        // Feed a pipelined byte stream to the incremental decoder one byte
+        // at a time: every prefix short of a frame boundary must report
+        // "incomplete", every boundary must yield exactly the next request.
+        let reqs = [
+            Request::Get { key: 3 },
+            Request::Put {
+                key: 9,
+                value: [1, 2, 3, 4],
+            },
+            Request::Transact {
+                ops: vec![KeyOp::Put(1, [7; 4]), KeyOp::Delete(2)],
+            },
+            Request::Scan {
+                low: 0,
+                high: 10,
+                limit: 5,
+            },
+        ];
+        let mut stream = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            stream.extend_from_slice(&encode_request(i as u64, r));
+        }
+        let mut buf = Vec::new();
+        let mut decoded = Vec::new();
+        for &b in &stream {
+            buf.push(b);
+            while let Some((consumed, id, req)) = decode_request(&buf).unwrap() {
+                decoded.push((id, req.unwrap()));
+                buf.drain(..consumed);
+            }
+        }
+        assert!(buf.is_empty(), "no leftover bytes at the last boundary");
+        assert_eq!(decoded.len(), reqs.len());
+        for (i, (id, req)) in decoded.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+            assert_eq!(req, &reqs[i]);
+        }
+    }
+
+    #[test]
+    fn incremental_decode_rejects_bad_lengths_before_buffering() {
+        // A hostile length word is rejected the moment its 4 bytes arrive,
+        // even though the claimed body never will.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert!(matches!(
+            decode_request(&huge),
+            Err(FrameError::BadLength(_))
+        ));
+        let tiny = 3u32.to_le_bytes();
+        assert!(matches!(
+            decode_request(&tiny),
+            Err(FrameError::BadLength(3))
+        ));
+        // Three bytes of length word: not yet decidable.
+        assert!(decode_request(&huge[..3]).unwrap().is_none());
+        // Unknown opcode stays recoverable through the incremental path.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&9u32.to_le_bytes());
+        frame.extend_from_slice(&55u64.to_le_bytes());
+        frame.push(250);
+        let (consumed, id, req) = decode_request(&frame).unwrap().unwrap();
+        assert_eq!((consumed, id), (frame.len(), 55));
+        assert_eq!(req.unwrap_err(), 250);
     }
 
     #[test]

@@ -1,0 +1,787 @@
+//! The epoll readiness reactor: a fixed pool of event-loop threads serving
+//! every connection, replacing the thread-per-connection reader + settler
+//! pair.
+//!
+//! One blocking accept thread round-robins accepted sockets across
+//! `reactor_threads` event loops. Each loop owns a slab of connection
+//! states — an accumulation buffer fed to the incremental frame decoder
+//! ([`protocol::decode_request`]), a pending-response write buffer flushed
+//! in one coalesced write per readiness cycle, and the per-connection
+//! in-flight window — and multiplexes all of them over a single `epoll`
+//! instance of nonblocking sockets. Reads (GET/SCAN) are answered inline on
+//! the loop thread; writes go to the store's completion front-end with an
+//! [`on_settle`] callback, so **no thread ever blocks on a completion**:
+//! when the commit group settles, the callback (running on a committer
+//! thread) encodes the response, pushes it to the owning loop's inbox, and
+//! rings that loop's eventfd to wake its `epoll_wait`.
+//!
+//! Slab slots are guarded by a per-connection generation counter: a settle
+//! message for a connection that died (and whose slot was reused) carries a
+//! stale generation and is dropped instead of being written to the wrong
+//! peer. Freed slots are only reused while draining the inbox at the top of
+//! a cycle, never mid-batch, so a readiness record can never observe a slot
+//! that changed hands inside its own `epoll_wait` batch.
+//!
+//! Admission control, BUSY semantics, acked-durability, and the
+//! observability surface (`NetAccept`‥`NetClose` events, `net_op_ns`,
+//! `net_connections`, `net_busy`) are identical to the thread-per-connection
+//! server in [`crate::server`].
+//!
+//! [`on_settle`]: rewind_shard::Completion::on_settle
+
+use crate::protocol::{
+    decode_request, encode_response, BusyReason, Request, Response, MAX_SCAN_LIMIT,
+};
+use crate::server::ServerConfig;
+use parking_lot::Mutex;
+use rewind_obs::EventKind;
+use rewind_shard::ShardedStore;
+use rewind_sys as sys;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// epoll cookie reserved for a loop's wakeup eventfd (slots are slab
+/// indices, which can never reach this).
+const WAKE_TOKEN: u64 = u64::MAX;
+/// How much socket data one `read` call may pull into the accumulation
+/// buffer before looping for more.
+const READ_CHUNK: usize = 16 * 1024;
+/// Flushed-prefix size beyond which a partially written response buffer is
+/// compacted instead of growing unboundedly behind a slow reader.
+const WBUF_COMPACT: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------------
+// Safe wrappers over the vendored raw syscall declarations.
+// ---------------------------------------------------------------------------
+
+/// An owned epoll instance.
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        // SAFETY: no pointers; returns an owned fd or -1.
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events, data };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `events` is a live mutable slice; the kernel writes at
+            // most `events.len()` records.
+            let rc = unsafe {
+                sys::epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own this fd and drop it exactly once.
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// A nonblocking eventfd used to wake a loop's `epoll_wait` from other
+/// threads (committer settle callbacks, the accept thread, shutdown).
+struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    fn new() -> io::Result<EventFd> {
+        // SAFETY: no pointers; returns an owned fd or -1.
+        let fd = unsafe { sys::eventfd(0, sys::EFD_NONBLOCK | sys::EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// Bumps the counter so the owning loop's `epoll_wait` returns. A full
+    /// counter (`EAGAIN`) already implies the fd is readable, so errors are
+    /// deliberately ignored.
+    fn ring(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live stack value.
+        let _ = unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Resets readiness; nonblocking, so an already-empty counter is a
+    /// harmless `EAGAIN`.
+    fn drain(&self) {
+        let mut count: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into a live stack value.
+        let _ = unsafe { sys::read(self.fd, (&mut count as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: we own this fd and drop it exactly once.
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Puts `fd` into nonblocking mode via the vendored `fcntl`.
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: plain integer fcntl round trip; no pointers.
+    unsafe {
+        let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread plumbing: per-loop inbox + wakeup.
+// ---------------------------------------------------------------------------
+
+/// A response whose commit group settled, en route from a committer thread
+/// back to the event loop that owns the connection.
+struct Settled {
+    slot: usize,
+    /// Generation the connection had at submit time; a mismatch means the
+    /// connection died and the slot was (or may be) reused — drop the frame.
+    gen: u64,
+    id: u64,
+    /// The fully encoded response frame (encoding happens on the committer
+    /// thread, off the event loop).
+    frame: Vec<u8>,
+    t0: Option<Instant>,
+}
+
+#[derive(Default)]
+struct Inbox {
+    new_conns: Vec<(TcpStream, u64)>,
+    settled: Vec<Settled>,
+}
+
+/// The handle other threads use to hand work to one event loop.
+struct LoopShared {
+    wake: EventFd,
+    inbox: Mutex<Inbox>,
+}
+
+/// State shared by the accept thread, every event loop, and the server
+/// handle.
+struct ReactorShared {
+    store: Arc<ShardedStore>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    next_conn: AtomicU64,
+    /// Accepted-and-not-yet-closed connections (the `net_connections`
+    /// quantity, kept as an atomic so churn tests can read it directly).
+    open_conns: AtomicUsize,
+    /// Slab-resident connection states across all loops; proves the slabs
+    /// don't leak entries under churn.
+    live_conns: AtomicUsize,
+}
+
+/// Everything an in-flight write needs to settle back to its event loop.
+struct SettleCtx {
+    lshared: Arc<LoopShared>,
+    inflight: Arc<AtomicUsize>,
+    slot: usize,
+    gen: u64,
+    id: u64,
+    t0: Option<Instant>,
+}
+
+impl SettleCtx {
+    /// Runs on a committer thread (or inline on the loop thread when the
+    /// completion had already settled): encode, enqueue, wake.
+    fn deliver(self, resp: &Response) {
+        self.inflight.fetch_sub(1, Ordering::Release);
+        let frame = encode_response(self.id, resp);
+        self.lshared.inbox.lock().settled.push(Settled {
+            slot: self.slot,
+            gen: self.gen,
+            id: self.id,
+            frame,
+            t0: self.t0,
+        });
+        self.lshared.wake.ring();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor proper.
+// ---------------------------------------------------------------------------
+
+/// A running epoll-backed server: accept thread + `reactor_threads` event
+/// loops. Constructed through [`crate::NetServer::start`].
+pub(crate) struct Reactor {
+    shared: Arc<ReactorShared>,
+    loops: Vec<Arc<LoopShared>>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Reactor {
+    pub(crate) fn start(store: Arc<ShardedStore>, cfg: ServerConfig) -> io::Result<Reactor> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let n_loops = cfg.reactor_threads.max(1);
+        let shared = Arc::new(ReactorShared {
+            store,
+            cfg,
+            stop: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            open_conns: AtomicUsize::new(0),
+            live_conns: AtomicUsize::new(0),
+        });
+        let mut loops = Vec::with_capacity(n_loops);
+        let mut threads = Vec::with_capacity(n_loops);
+        for i in 0..n_loops {
+            let lshared = Arc::new(LoopShared {
+                wake: EventFd::new()?,
+                inbox: Mutex::new(Inbox::default()),
+            });
+            let ep = Epoll::new()?;
+            ep.add(lshared.wake.fd, sys::EPOLLIN, WAKE_TOKEN)?;
+            loops.push(Arc::clone(&lshared));
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("net-loop-{i}"))
+                    .spawn(move || {
+                        EventLoop {
+                            shared,
+                            lshared,
+                            ep,
+                            conns: Vec::new(),
+                            free: Vec::new(),
+                            next_gen: 1,
+                        }
+                        .run()
+                    })?,
+            );
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let loops = loops.clone();
+            std::thread::Builder::new()
+                .name("net-accept".to_string())
+                .spawn(move || accept_loop(listener, shared, loops))?
+        };
+        Ok(Reactor {
+            shared,
+            loops,
+            addr,
+            accept: Some(accept),
+            threads,
+        })
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepted-and-not-yet-closed connections.
+    pub(crate) fn open_connections(&self) -> usize {
+        self.shared.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// Connection states resident in the loop slabs (leak canary).
+    pub(crate) fn tracked_conns(&self) -> usize {
+        self.shared.live_conns.load(Ordering::Relaxed)
+    }
+
+    /// Server threads in total: the fixed loop pool plus the acceptor —
+    /// independent of how many connections are open.
+    pub(crate) fn thread_count(&self) -> usize {
+        self.threads.len() + 1
+    }
+
+    pub(crate) fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection, then wake every
+        // loop so each sees the stop flag and tears down its slab.
+        let _ = TcpStream::connect(self.addr);
+        for l in &self.loops {
+            l.wake.ring();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ReactorShared>, loops: Vec<Arc<LoopShared>>) {
+    let mut rr = 0usize;
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Responses are small frames written as they settle; Nagle would
+        // batch them against the client's delayed ACKs and stall pipelines.
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let obs = shared.store.obs();
+        obs.emit(EventKind::NetAccept, 0, conn_id, 0);
+        shared.open_conns.fetch_add(1, Ordering::Relaxed);
+        obs.metrics().net_connections.incr();
+        let l = &loops[rr % loops.len()];
+        rr = rr.wrapping_add(1);
+        l.inbox.lock().new_conns.push((stream, conn_id));
+        l.wake.ring();
+    }
+}
+
+/// One connection's slab entry.
+struct Conn {
+    sock: TcpStream,
+    id: u64,
+    gen: u64,
+    /// Accumulation buffer for the incremental frame decoder.
+    rbuf: Vec<u8>,
+    /// Pending response bytes; `wpos` marks the already-flushed prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Submitted-but-unsettled writes (shared with settle callbacks).
+    inflight: Arc<AtomicUsize>,
+    served: u64,
+    /// Whether `EPOLLOUT` is currently armed.
+    want_write: bool,
+}
+
+struct EventLoop {
+    shared: Arc<ReactorShared>,
+    lshared: Arc<LoopShared>,
+    ep: Epoll,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+        let mut dirty: Vec<usize> = Vec::new();
+        loop {
+            // Drain the eventfd BEFORE taking the inbox: producers push then
+            // ring, so anything pushed after our take leaves the counter
+            // nonzero and the next epoll_wait returns immediately — no lost
+            // wakeups.
+            self.lshared.wake.drain();
+            let (new_conns, settled) = {
+                let mut ib = self.lshared.inbox.lock();
+                (
+                    std::mem::take(&mut ib.new_conns),
+                    std::mem::take(&mut ib.settled),
+                )
+            };
+            for (sock, conn_id) in new_conns {
+                self.adopt(sock, conn_id);
+            }
+            for s in settled {
+                if let Some(slot) = self.route_settled(s) {
+                    if !dirty.contains(&slot) {
+                        dirty.push(slot);
+                    }
+                }
+            }
+            for slot in dirty.drain(..) {
+                if !self.flush(slot) {
+                    self.close(slot);
+                }
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                for slot in 0..self.conns.len() {
+                    self.close(slot);
+                }
+                return;
+            }
+            let n = match self.ep.wait(&mut events, -1) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            for ev in &events[..n] {
+                // Copy out of the packed record before using the fields.
+                let (mask, data) = {
+                    let ev = *ev;
+                    (ev.events, ev.data)
+                };
+                if data == WAKE_TOKEN {
+                    continue; // inbox handled at the top of the cycle
+                }
+                let slot = data as usize;
+                if !self.conns.get(slot).is_some_and(|c| c.is_some()) {
+                    continue;
+                }
+                let mut alive = true;
+                if mask & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0 {
+                    alive = self.readable(slot);
+                }
+                if alive {
+                    alive = self.flush(slot);
+                }
+                if !alive {
+                    self.close(slot);
+                }
+            }
+        }
+    }
+
+    /// Registers a freshly accepted socket into the slab. Slots are reused
+    /// only here — at the top of a cycle — so readiness records from the
+    /// current batch can never land on a recycled slot.
+    fn adopt(&mut self, sock: TcpStream, conn_id: u64) {
+        let obs = self.shared.store.obs();
+        if set_nonblocking(sock.as_raw_fd()).is_err() {
+            self.shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+            obs.metrics().net_connections.decr();
+            obs.emit(EventKind::NetClose, 0, conn_id, 0);
+            return;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        if self
+            .ep
+            .add(
+                sock.as_raw_fd(),
+                sys::EPOLLIN | sys::EPOLLRDHUP,
+                slot as u64,
+            )
+            .is_err()
+        {
+            self.free.push(slot);
+            self.shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+            obs.metrics().net_connections.decr();
+            obs.emit(EventKind::NetClose, 0, conn_id, 0);
+            return;
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.shared.live_conns.fetch_add(1, Ordering::Relaxed);
+        self.conns[slot] = Some(Conn {
+            sock,
+            id: conn_id,
+            gen,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            served: 0,
+            want_write: false,
+        });
+    }
+
+    /// Appends a settled response to its connection's write buffer, or drops
+    /// it if the connection died (stale generation / freed slot).
+    fn route_settled(&mut self, s: Settled) -> Option<usize> {
+        let conn = self.conns.get_mut(s.slot)?.as_mut()?;
+        if conn.gen != s.gen {
+            return None;
+        }
+        let obs = self.shared.store.obs();
+        let ns = rewind_obs::Obs::elapsed_ns(s.t0);
+        if ns != 0 {
+            obs.metrics().net_op_ns.record(ns);
+        }
+        obs.emit(EventKind::NetSettle, s.id, conn.id, ns);
+        conn.wbuf.extend_from_slice(&s.frame);
+        Some(s.slot)
+    }
+
+    /// Pulls everything the socket has, then decodes and dispatches every
+    /// complete frame. Returns false when the connection should close.
+    fn readable(&mut self, slot: usize) -> bool {
+        // Take the conn out of the slab so dispatch can borrow `self`; the
+        // loop is single-threaded, so nothing observes the empty slot.
+        let Some(mut conn) = self.conns[slot].take() else {
+            return true;
+        };
+        let alive = self.read_and_dispatch(&mut conn, slot);
+        self.conns[slot] = Some(conn);
+        alive
+    }
+
+    fn read_and_dispatch(&mut self, conn: &mut Conn, slot: usize) -> bool {
+        let mut eof = false;
+        loop {
+            let start = conn.rbuf.len();
+            conn.rbuf.resize(start + READ_CHUNK, 0);
+            match (&conn.sock).read(&mut conn.rbuf[start..]) {
+                Ok(0) => {
+                    conn.rbuf.truncate(start);
+                    eof = true;
+                    break;
+                }
+                Ok(n) => conn.rbuf.truncate(start + n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.rbuf.truncate(start);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    conn.rbuf.truncate(start);
+                }
+                Err(_) => {
+                    conn.rbuf.truncate(start);
+                    return false;
+                }
+            }
+        }
+        let mut pos = 0usize;
+        let mut framing_ok = true;
+        loop {
+            match decode_request(&conn.rbuf[pos..]) {
+                Ok(Some((consumed, id, parsed))) => {
+                    pos += consumed;
+                    conn.served += 1;
+                    match parsed {
+                        Ok(req) => self.dispatch(conn, slot, id, req),
+                        Err(op) => {
+                            // Well-framed but unknown: answer and keep the
+                            // stream, same as the threaded server.
+                            let obs = self.shared.store.obs();
+                            obs.emit(EventKind::NetRecv, id, conn.id, op as u64);
+                            let resp = Response::Error(format!("unknown opcode {op}"));
+                            conn.wbuf.extend_from_slice(&encode_response(id, &resp));
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    framing_ok = false;
+                    break;
+                }
+            }
+        }
+        conn.rbuf.drain(..pos);
+        framing_ok && !eof
+    }
+
+    /// Admits and executes one decoded request. Reads answer inline; writes
+    /// submit to the store and settle back through the loop's inbox.
+    fn dispatch(&mut self, conn: &mut Conn, slot: usize, id: u64, req: Request) {
+        let store = Arc::clone(&self.shared.store);
+        let obs = store.obs();
+        let t0 = obs.clock();
+        obs.emit(EventKind::NetRecv, id, conn.id, req.opcode() as u64);
+        match req {
+            Request::Get { key } => {
+                let resp = match store.get(key) {
+                    Ok(v) => Response::Value(v),
+                    Err(e) => Response::Error(e.to_string()),
+                };
+                let ns = rewind_obs::Obs::elapsed_ns(t0);
+                if ns != 0 {
+                    obs.metrics().net_op_ns.record(ns);
+                }
+                obs.emit(EventKind::NetSettle, id, conn.id, ns);
+                conn.wbuf.extend_from_slice(&encode_response(id, &resp));
+            }
+            Request::Scan { low, high, limit } => {
+                let limit = limit.min(MAX_SCAN_LIMIT) as usize;
+                let resp = match store.scan(low, high, limit) {
+                    Ok(entries) => Response::Entries(entries),
+                    Err(e) => Response::Error(e.to_string()),
+                };
+                let ns = rewind_obs::Obs::elapsed_ns(t0);
+                if ns != 0 {
+                    obs.metrics().net_op_ns.record(ns);
+                }
+                obs.emit(EventKind::NetSettle, id, conn.id, ns);
+                conn.wbuf.extend_from_slice(&encode_response(id, &resp));
+            }
+            Request::Put { .. } | Request::Delete { .. } | Request::Transact { .. } => {
+                if let Some(reason) = self.admit(conn) {
+                    obs.metrics().net_busy.incr();
+                    obs.emit(
+                        EventKind::NetBusy,
+                        id,
+                        conn.id,
+                        matches!(reason, BusyReason::Store) as u64,
+                    );
+                    conn.wbuf
+                        .extend_from_slice(&encode_response(id, &Response::Busy(reason)));
+                    return;
+                }
+                conn.inflight.fetch_add(1, Ordering::Acquire);
+                obs.emit(EventKind::NetSubmit, id, conn.id, req.opcode() as u64);
+                let ctx = SettleCtx {
+                    lshared: Arc::clone(&self.lshared),
+                    inflight: Arc::clone(&conn.inflight),
+                    slot,
+                    gen: conn.gen,
+                    id,
+                    t0,
+                };
+                // The callbacks run on committer threads once the commit
+                // group settles (or inline right here if it already has —
+                // they only touch the inbox, never the slab).
+                match req {
+                    Request::Put { key, value } => {
+                        store.submit_put(key, value).on_settle(move |r| {
+                            let resp = match r {
+                                Ok(_) => Response::Done,
+                                Err(e) => Response::Error(e.to_string()),
+                            };
+                            ctx.deliver(&resp);
+                        });
+                    }
+                    Request::Delete { key } => {
+                        store.submit_delete(key).on_settle(move |r| {
+                            let resp = match r {
+                                Ok(present) => Response::Deleted(present),
+                                Err(e) => Response::Error(e.to_string()),
+                            };
+                            ctx.deliver(&resp);
+                        });
+                    }
+                    Request::Transact { ops } => {
+                        store.submit_apply(ops).on_settle(move |r| {
+                            let resp = match r {
+                                Ok(n) => match u32::try_from(n) {
+                                    Ok(n) => Response::Applied(n),
+                                    Err(_) => Response::Error(format!(
+                                        "applied count {n} exceeds wire range"
+                                    )),
+                                },
+                                Err(e) => Response::Error(e.to_string()),
+                            };
+                            ctx.deliver(&resp);
+                        });
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Why a request was turned away, or `None` to admit it. Same two gates
+    /// as the threaded server: per-connection window, then store-wide depth.
+    fn admit(&self, conn: &Conn) -> Option<BusyReason> {
+        if conn.inflight.load(Ordering::Acquire) >= self.shared.cfg.max_inflight_per_conn {
+            return Some(BusyReason::Window);
+        }
+        if self.shared.store.ops_in_flight() >= self.shared.cfg.max_store_inflight {
+            return Some(BusyReason::Store);
+        }
+        None
+    }
+
+    /// One coalesced write of everything pending, then arms or disarms
+    /// `EPOLLOUT` to match what's left. Returns false when the connection
+    /// should close.
+    fn flush(&mut self, slot: usize) -> bool {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return true;
+        };
+        while conn.wpos < conn.wbuf.len() {
+            match (&conn.sock).write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        } else if conn.wpos > WBUF_COMPACT {
+            conn.wbuf.drain(..conn.wpos);
+            conn.wpos = 0;
+        }
+        let want = !conn.wbuf.is_empty();
+        if want != conn.want_write {
+            let mask = sys::EPOLLIN | sys::EPOLLRDHUP | if want { sys::EPOLLOUT } else { 0 };
+            if self
+                .ep
+                .modify(conn.sock.as_raw_fd(), mask, slot as u64)
+                .is_err()
+            {
+                return false;
+            }
+            conn.want_write = want;
+        }
+        true
+    }
+
+    /// Tears down one slab entry. Closing the socket drops it from the epoll
+    /// interest list; in-flight writes still settle (durability never
+    /// depended on the socket), and their responses are dropped by the
+    /// generation check in [`route_settled`](Self::route_settled).
+    fn close(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        let obs = self.shared.store.obs();
+        self.shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+        self.shared.live_conns.fetch_sub(1, Ordering::Relaxed);
+        obs.metrics().net_connections.decr();
+        obs.emit(EventKind::NetClose, 0, conn.id, conn.served);
+        self.free.push(slot);
+    }
+}

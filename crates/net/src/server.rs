@@ -36,12 +36,28 @@ use crate::protocol::{
 use parking_lot::Mutex;
 use rewind_obs::EventKind;
 use rewind_shard::{Completion, ShardedStore, TxCompletion};
+use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Which server backend [`NetServer::start`] should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Use the epoll reactor when it's compiled in (`reactor` feature on a
+    /// Linux target), otherwise fall back to thread-per-connection.
+    Auto,
+    /// Require the epoll reactor; `start` fails with
+    /// [`io::ErrorKind::Unsupported`] when it isn't compiled in.
+    Reactor,
+    /// Force the thread-per-connection backend even when the reactor is
+    /// available (kept as the portable fallback and as a comparison
+    /// baseline).
+    ThreadPerConn,
+}
 
 /// Tunables for [`NetServer::start`].
 #[derive(Debug, Clone)]
@@ -56,6 +72,11 @@ pub struct ServerConfig {
     /// in-flight depth is at or above this, new writes on every connection
     /// are rejected with `BUSY` ([`BusyReason::Store`]).
     pub max_store_inflight: u64,
+    /// Backend selection; see [`ServerMode`].
+    pub mode: ServerMode,
+    /// Event-loop threads for the reactor backend (clamped to at least 1).
+    /// Ignored by the thread-per-connection backend.
+    pub reactor_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +85,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_inflight_per_conn: 256,
             max_store_inflight: 8192,
+            mode: ServerMode::Auto,
+            reactor_threads: 2,
         }
     }
 }
@@ -86,6 +109,18 @@ impl ServerConfig {
     /// Sets the store-wide backpressure threshold.
     pub fn max_store_inflight(mut self, n: u64) -> Self {
         self.max_store_inflight = n;
+        self
+    }
+
+    /// Sets the backend selection mode.
+    pub fn mode(mut self, mode: ServerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the reactor's event-loop thread count.
+    pub fn reactor_threads(mut self, n: usize) -> Self {
+        self.reactor_threads = n;
         self
     }
 }
@@ -124,26 +159,72 @@ struct ServerShared {
     stop: AtomicBool,
     next_conn: AtomicU64,
     open_conns: AtomicUsize,
-    /// Socket clones for every live connection, so shutdown can unblock
-    /// readers parked in `read`.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Socket clones for every live connection, keyed by connection id, so
+    /// shutdown can unblock readers parked in `read`. Each entry is removed
+    /// by its own `serve_conn` on exit — the map tracks live connections
+    /// only, it does not grow with churn.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// Whether the epoll reactor backend is compiled into this build.
+pub(crate) const REACTOR_AVAILABLE: bool = cfg!(all(feature = "reactor", target_os = "linux"));
+
+enum Backend {
+    Threaded {
+        shared: Arc<ServerShared>,
+        accept: Option<JoinHandle<()>>,
+        conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    #[cfg(all(feature = "reactor", target_os = "linux"))]
+    Reactor(crate::reactor::Reactor),
 }
 
 /// A running network front-end over one [`ShardedStore`].
 ///
+/// Two interchangeable backends serve the same protocol with the same
+/// admission control and durability semantics (selected by
+/// [`ServerConfig::mode`]):
+///
+/// - the **epoll reactor** (default when compiled in): a fixed pool of
+///   event-loop threads driving nonblocking sockets (`reactor` module);
+/// - **thread-per-connection**: two threads per accepted socket (reader +
+///   settler), the portable fallback.
+///
 /// Dropping the handle shuts the server down (see [`NetServer::shutdown`]).
 pub struct NetServer {
-    shared: Arc<ServerShared>,
     addr: std::net::SocketAddr,
-    accept: Option<JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    backend: Backend,
 }
 
 impl NetServer {
     /// Binds `cfg.addr` and starts serving `store`. Returns once the
-    /// listener is live; connections are handled on background threads
-    /// (two per connection).
+    /// listener is live; connections are handled on background threads.
     pub fn start(store: Arc<ShardedStore>, cfg: ServerConfig) -> io::Result<NetServer> {
+        let use_reactor = match cfg.mode {
+            ServerMode::ThreadPerConn => false,
+            ServerMode::Reactor if !REACTOR_AVAILABLE => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll reactor backend not compiled in (needs the `reactor` feature on Linux)",
+                ));
+            }
+            ServerMode::Reactor => true,
+            ServerMode::Auto => REACTOR_AVAILABLE,
+        };
+        if use_reactor {
+            #[cfg(all(feature = "reactor", target_os = "linux"))]
+            {
+                let r = crate::reactor::Reactor::start(store, cfg)?;
+                return Ok(NetServer {
+                    addr: r.local_addr(),
+                    backend: Backend::Reactor(r),
+                });
+            }
+        }
+        Self::start_threaded(store, cfg)
+    }
+
+    fn start_threaded(store: Arc<ShardedStore>, cfg: ServerConfig) -> io::Result<NetServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -152,7 +233,7 @@ impl NetServer {
             stop: AtomicBool::new(false),
             next_conn: AtomicU64::new(0),
             open_conns: AtomicUsize::new(0),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
         });
         let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -163,10 +244,12 @@ impl NetServer {
                 .spawn(move || accept_loop(listener, shared, conn_handles))?
         };
         Ok(NetServer {
-            shared,
             addr,
-            accept: Some(accept),
-            conn_handles,
+            backend: Backend::Threaded {
+                shared,
+                accept: Some(accept),
+                conn_handles,
+            },
         })
     }
 
@@ -175,26 +258,79 @@ impl NetServer {
         self.addr
     }
 
+    /// Whether this server is running the epoll reactor backend.
+    pub fn is_reactor(&self) -> bool {
+        match &self.backend {
+            Backend::Threaded { .. } => false,
+            #[cfg(all(feature = "reactor", target_os = "linux"))]
+            Backend::Reactor(_) => true,
+        }
+    }
+
+    /// Accepted-and-not-yet-closed connections (the `net_connections`
+    /// quantity, read directly rather than through the metrics registry).
+    pub fn open_connections(&self) -> usize {
+        match &self.backend {
+            Backend::Threaded { shared, .. } => shared.open_conns.load(Ordering::Relaxed),
+            #[cfg(all(feature = "reactor", target_os = "linux"))]
+            Backend::Reactor(r) => r.open_connections(),
+        }
+    }
+
+    /// Per-connection states the server currently tracks: shutdown-map
+    /// entries on the threaded backend, slab-resident entries on the
+    /// reactor. A churn test asserts this returns to zero — the PR-10 leak
+    /// was this number growing monotonically.
+    pub fn tracked_conns(&self) -> usize {
+        match &self.backend {
+            Backend::Threaded { shared, .. } => shared.conns.lock().len(),
+            #[cfg(all(feature = "reactor", target_os = "linux"))]
+            Backend::Reactor(r) => r.tracked_conns(),
+        }
+    }
+
+    /// Server threads currently tracked: retained join handles (plus the
+    /// acceptor) on the threaded backend; the fixed pool size on the
+    /// reactor, independent of connection count.
+    pub fn tracked_threads(&self) -> usize {
+        match &self.backend {
+            Backend::Threaded { conn_handles, .. } => conn_handles.lock().len() + 1,
+            #[cfg(all(feature = "reactor", target_os = "linux"))]
+            Backend::Reactor(r) => r.thread_count(),
+        }
+    }
+
     /// Stops accepting, severs every open connection, and joins all server
     /// threads. Writes already submitted to the store still settle (their
     /// durability does not depend on the socket), but their responses are
     /// lost with the connection. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.shared.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop with a throwaway connection; it checks
-        // the stop flag after every accept.
-        let _ = TcpStream::connect(self.addr);
-        for conn in self.shared.conns.lock().drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        let handles: Vec<_> = self.conn_handles.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        let addr = self.addr;
+        match &mut self.backend {
+            Backend::Threaded {
+                shared,
+                accept,
+                conn_handles,
+            } => {
+                if shared.stop.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                // Unblock the accept loop with a throwaway connection; it
+                // checks the stop flag after every accept.
+                let _ = TcpStream::connect(addr);
+                for (_, conn) in shared.conns.lock().drain() {
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+                if let Some(h) = accept.take() {
+                    let _ = h.join();
+                }
+                let handles: Vec<_> = conn_handles.lock().drain(..).collect();
+                for h in handles {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(all(feature = "reactor", target_os = "linux"))]
+            Backend::Reactor(r) => r.shutdown(),
         }
     }
 }
@@ -229,19 +365,31 @@ fn accept_loop(
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         let obs = shared.store.obs();
         obs.emit(EventKind::NetAccept, 0, conn_id, 0);
-        let open = shared.open_conns.fetch_add(1, Ordering::Relaxed) + 1;
-        obs.metrics().net_connections.set(open as u64);
+        shared.open_conns.fetch_add(1, Ordering::Relaxed);
+        // incr/decr, not set(): concurrent accepts and closes racing a
+        // read-then-set would otherwise leave the gauge permanently skewed.
+        obs.metrics().net_connections.incr();
         if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().push(clone);
+            shared.conns.lock().insert(conn_id, clone);
         }
         let shared2 = Arc::clone(&shared);
         let spawned = std::thread::Builder::new()
             .name(format!("net-conn-{conn_id}"))
             .spawn(move || serve_conn(stream, conn_id, shared2));
         match spawned {
-            Ok(h) => conn_handles.lock().push(h),
+            Ok(h) => {
+                // Reap finished connections' handles before retaining the
+                // new one, so the vector tracks live threads instead of
+                // growing monotonically with churn.
+                let mut handles = conn_handles.lock();
+                handles.retain(|h| !h.is_finished());
+                handles.push(h);
+            }
             Err(_) => {
+                shared.conns.lock().remove(&conn_id);
                 shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+                obs.metrics().net_connections.decr();
+                obs.emit(EventKind::NetClose, 0, conn_id, 0);
             }
         }
     }
@@ -273,7 +421,14 @@ fn settler_loop(
             }
             Settle::Tx { id, t0, c } => {
                 let resp = match c.wait() {
-                    Ok(n) => Response::Applied(n as u32),
+                    // Checked, not `as`: a silent truncation here would ack
+                    // a huge transaction with a wrong count. Unreachable
+                    // while MAX_FRAME bounds ops-per-transaction, but wire
+                    // code doesn't get to assume that.
+                    Ok(n) => match u32::try_from(n) {
+                        Ok(n) => Response::Applied(n),
+                        Err(_) => Response::Error(format!("applied count {n} exceeds wire range")),
+                    },
                     Err(e) => Response::Error(e.to_string()),
                 };
                 (id, t0, resp)
@@ -340,8 +495,12 @@ fn serve_conn(stream: TcpStream, conn_id: u64, server: Arc<ServerShared>) {
         }
         let _ = reader.get_ref().shutdown(Shutdown::Both);
     }
-    let open = server.open_conns.fetch_sub(1, Ordering::Relaxed) - 1;
-    obs.metrics().net_connections.set(open as u64);
+    // Drop this connection's shutdown-map entry: without this, the map kept
+    // one socket clone per connection *ever accepted* and churny workloads
+    // leaked fds until the process hit its rlimit.
+    server.conns.lock().remove(&conn_id);
+    server.open_conns.fetch_sub(1, Ordering::Relaxed);
+    obs.metrics().net_connections.decr();
     obs.emit(EventKind::NetClose, 0, conn_id, served);
 }
 

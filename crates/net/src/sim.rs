@@ -13,12 +13,13 @@
 //! hiding it (no coordinated omission).
 
 use crate::client::{PipeStats, PipelinedClient};
-use crate::protocol::Request;
+use crate::protocol::{Request, Response};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rewind_obs::HistSnapshot;
+use rewind_obs::{HistSnapshot, Histogram};
 use std::io;
 use std::net::ToSocketAddrs;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tunables for one [`run_sim`] call.
@@ -155,4 +156,153 @@ pub fn run_sim(addr: impl ToSocketAddrs + Clone, cfg: &SimConfig) -> io::Result<
         achieved_rate,
         drained,
     })
+}
+
+/// Tunables for one [`run_churn`] call.
+///
+/// Where [`run_sim`] holds a few sockets open and floods them, churn does
+/// the opposite: every cycle opens a **fresh real socket**, pipelines a
+/// small burst, waits for every response, and closes the socket. This is
+/// the workload that exposed the PR-10 server leaks (socket clones and join
+/// handles retained per connection *ever accepted*), and it is what the
+/// `net_churn_p99_us` perf gate measures.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Connect→burst→close cycles per worker thread.
+    pub cycles: usize,
+    /// Requests pipelined on each fresh connection.
+    pub burst: usize,
+    /// Concurrent churn workers (each churns its own sequence of sockets,
+    /// so connections also overlap in time).
+    pub threads: usize,
+    /// Fraction of burst requests that are GETs; the rest are PUTs.
+    pub read_fraction: f64,
+    /// Keys are drawn uniformly from `0..key_space`.
+    pub key_space: u64,
+    /// RNG seed (per-worker streams are derived from it).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            cycles: 200,
+            burst: 8,
+            threads: 4,
+            read_fraction: 0.5,
+            key_space: 1 << 12,
+            seed: 0xC4u64,
+        }
+    }
+}
+
+/// What one churn run measured.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Connections successfully opened (and closed) across all workers.
+    pub opened: u64,
+    /// Requests answered with a success response.
+    pub completed: u64,
+    /// Requests answered `BUSY`.
+    pub busy: u64,
+    /// Transport failures plus error responses.
+    pub errors: u64,
+    /// `connect` calls that failed outright (cycle skipped).
+    pub connect_failures: u64,
+    /// Full-cycle latency (ns): connect → burst → last response → close.
+    pub cycle_latency: HistSnapshot,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+}
+
+/// Runs the connection-churn workload against a server at `addr`.
+///
+/// Every burst waits for all of its responses before the socket closes, so
+/// a completed cycle proves the acked writes were settled while the
+/// connection was alive — reopening later must observe them.
+pub fn run_churn(addr: impl ToSocketAddrs, cfg: &ChurnConfig) -> io::Result<ChurnReport> {
+    assert!(cfg.cycles > 0 && cfg.burst > 0 && cfg.threads > 0 && cfg.key_space > 0);
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+    let hist = Arc::new(Histogram::new());
+    let start = Instant::now();
+    let mut workers = Vec::with_capacity(cfg.threads);
+    for w in 0..cfg.threads {
+        let cfg = cfg.clone();
+        let hist = Arc::clone(&hist);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(w as u64));
+            let mut r = ChurnReport {
+                opened: 0,
+                completed: 0,
+                busy: 0,
+                errors: 0,
+                connect_failures: 0,
+                cycle_latency: HistSnapshot::default(),
+                elapsed: Duration::ZERO,
+            };
+            for _ in 0..cfg.cycles {
+                let t0 = Instant::now();
+                let client = match PipelinedClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        r.connect_failures += 1;
+                        continue;
+                    }
+                };
+                r.opened += 1;
+                let mut waits = Vec::with_capacity(cfg.burst);
+                for _ in 0..cfg.burst {
+                    let key = rng.gen_range(0..cfg.key_space);
+                    let req = if rng.gen_bool(cfg.read_fraction) {
+                        Request::Get { key }
+                    } else {
+                        Request::Put {
+                            key,
+                            value: [key, w as u64, 0, 0],
+                        }
+                    };
+                    match client.submit(&req) {
+                        Ok(wait) => waits.push(wait),
+                        Err(_) => r.errors += 1,
+                    }
+                }
+                for wait in waits {
+                    match wait.wait() {
+                        Ok(Response::Busy(_)) => r.busy += 1,
+                        Ok(Response::Error(_)) => r.errors += 1,
+                        Ok(_) => r.completed += 1,
+                        Err(_) => r.errors += 1,
+                    }
+                }
+                drop(client);
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+            r
+        }));
+    }
+    let mut total = ChurnReport {
+        opened: 0,
+        completed: 0,
+        busy: 0,
+        errors: 0,
+        connect_failures: 0,
+        cycle_latency: HistSnapshot::default(),
+        elapsed: Duration::ZERO,
+    };
+    for h in workers {
+        let r = h
+            .join()
+            .map_err(|_| io::Error::other("churn worker panicked"))?;
+        total.opened += r.opened;
+        total.completed += r.completed;
+        total.busy += r.busy;
+        total.errors += r.errors;
+        total.connect_failures += r.connect_failures;
+    }
+    total.cycle_latency = hist.snapshot();
+    total.elapsed = start.elapsed();
+    Ok(total)
 }

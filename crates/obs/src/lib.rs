@@ -96,6 +96,25 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Adds one. For gauges tracking a live population (open connections,
+    /// in-flight ops) a paired `incr`/`decr` is churn-safe where read-then-
+    /// `set` from concurrent threads would race and drift.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero (a misordered decrement must not
+    /// wrap the gauge to 2^64).
+    #[inline]
+    pub fn decr(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)

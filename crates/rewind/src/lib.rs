@@ -73,7 +73,8 @@ pub mod prelude {
         TransactionManager, TxId,
     };
     pub use rewind_net::{
-        NetClient, NetError, NetServer, PipelinedClient, ServerConfig, SimConfig,
+        ChurnConfig, NetClient, NetError, NetServer, PipelinedClient, ServerConfig, ServerMode,
+        SimConfig,
     };
     pub use rewind_nvm::{
         CostModel, CrashMode, FaultConfig, FileOpenReport, NvmPool, PAddr, PoolConfig,

@@ -27,10 +27,26 @@ use std::thread::JoinHandle;
 /// its handle with [`RewindError::Canceled`](rewind_core::RewindError::Canceled)).
 type Job = Box<dyn FnOnce(Option<&ShardedStore>) + Send>;
 
-#[derive(Debug)]
 struct TxState<T> {
     result: Option<Result<T>>,
     waker: Option<Waker>,
+    /// Settle hook ([`TxCompletion::on_settle`]): consumes the result
+    /// instead of parking a waiter; invoked after the slot lock drops.
+    callback: Option<Box<dyn FnOnce(Result<T>) + Send>>,
+    /// Whether `deliver` already ran. Distinct from `result.is_some()`:
+    /// a callback consumes the result without leaving it behind, and a
+    /// `wait()` takes it — in both cases later delivers must stay no-ops.
+    settled: bool,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TxState<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxState")
+            .field("result", &self.result)
+            .field("callback", &self.callback.is_some())
+            .field("settled", &self.settled)
+            .finish()
+    }
 }
 
 /// Shared slot between a [`TxCompletion`] handle and the worker that runs
@@ -47,6 +63,8 @@ impl<T> TxSlot<T> {
             m: Mutex::new(TxState {
                 result: None,
                 waker: None,
+                callback: None,
+                settled: false,
             }),
             cv: Condvar::new(),
         })
@@ -54,10 +72,24 @@ impl<T> TxSlot<T> {
 
     pub(crate) fn deliver(&self, result: Result<T>) {
         let mut g = self.m.lock();
-        if g.result.is_some() {
+        if g.settled {
             return;
         }
-        g.result = Some(result);
+        g.settled = true;
+        let callback = match g.callback.take() {
+            Some(cb) => Some(cb),
+            None => {
+                g.result = Some(result);
+                return self.wake_waiters(g);
+            }
+        };
+        self.wake_waiters(g);
+        if let Some(cb) = callback {
+            cb(result);
+        }
+    }
+
+    fn wake_waiters(&self, mut g: parking_lot::MutexGuard<'_, TxState<T>>) {
         let waker = g.waker.take();
         self.cv.notify_all();
         drop(g);
@@ -100,7 +132,25 @@ impl<T> TxCompletion<T> {
 
     /// Whether the transaction has settled (the result is available).
     pub fn is_done(&self) -> bool {
-        self.slot.m.lock().result.is_some()
+        self.slot.m.lock().settled
+    }
+
+    /// Registers a settle hook and discards the handle: `f` runs exactly
+    /// once with the transaction's outcome — on the worker thread that ran
+    /// (or cancelled) it, or immediately on this thread if it already
+    /// settled. The non-blocking consumption path for reactor-style
+    /// callers; the hook must not block for long.
+    pub fn on_settle(mut self, f: impl FnOnce(Result<T>) + Send + 'static) {
+        let mut g = self.slot.m.lock();
+        if g.settled {
+            if let Some(r) = g.result.take() {
+                self.taken = true;
+                drop(g);
+                f(r);
+            }
+        } else {
+            g.callback = Some(Box::new(f));
+        }
     }
 }
 
@@ -261,6 +311,34 @@ mod tests {
         slot.deliver(Ok(9)); // second deliver is a no-op
         assert!(c.is_done());
         assert_eq!(c.wait().unwrap(), 7);
+    }
+
+    #[test]
+    fn tx_on_settle_consumes_the_result_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits = Arc::new(AtomicU32::new(0));
+        // Hook first, deliver second: the delivering thread runs it.
+        let slot = TxSlot::<String>::new();
+        let c = TxCompletion::new(Arc::clone(&slot));
+        let h = Arc::clone(&hits);
+        c.on_settle(move |r| {
+            assert_eq!(r.unwrap(), "early");
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        slot.deliver(Ok("early".to_string()));
+        slot.deliver(Ok("again".to_string())); // must not re-fire
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Deliver first, hook second: runs inline at registration.
+        let slot2 = TxSlot::<String>::new();
+        let c2 = TxCompletion::new(Arc::clone(&slot2));
+        slot2.deliver(Ok("late".to_string()));
+        assert!(c2.is_done());
+        let h = Arc::clone(&hits);
+        c2.on_settle(move |r| {
+            assert_eq!(r.unwrap(), "late");
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -45,11 +45,24 @@ enum Phase {
     Done,
 }
 
-#[derive(Debug)]
 struct OpInner {
     phase: Phase,
     result: Option<Result<bool>>,
     waker: Option<Waker>,
+    /// Settle hook ([`Completion::on_settle`]): invoked exactly once, after
+    /// the slot lock is released, when the op settles — delivery, rollback,
+    /// or cancellation alike.
+    callback: Option<Box<dyn FnOnce(Result<bool>) + Send>>,
+}
+
+impl std::fmt::Debug for OpInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpInner")
+            .field("phase", &self.phase)
+            .field("result", &self.result)
+            .field("callback", &self.callback.is_some())
+            .finish()
+    }
 }
 
 /// The state shared between a [`Completion`] handle and the committer.
@@ -66,6 +79,7 @@ impl Default for OpSlot {
                 phase: Phase::Queued,
                 result: None,
                 waker: None,
+                callback: None,
             }),
             cv: Condvar::new(),
         }
@@ -97,12 +111,16 @@ impl OpSlot {
             return;
         }
         g.phase = Phase::Done;
-        g.result = Some(result);
+        g.result = Some(result.clone());
         let waker = g.waker.take();
+        let callback = g.callback.take();
         self.cv.notify_all();
         drop(g);
         if let Some(w) = waker {
             w.wake();
+        }
+        if let Some(cb) = callback {
+            cb(result);
         }
     }
 }
@@ -174,12 +192,36 @@ impl Completion {
         g.phase = Phase::Done;
         g.result = Some(Err(RewindError::Canceled));
         let waker = g.waker.take();
+        let callback = g.callback.take();
         self.slot.cv.notify_all();
         drop(g);
         if let Some(w) = waker {
             w.wake();
         }
+        if let Some(cb) = callback {
+            cb(Err(RewindError::Canceled));
+        }
         true
+    }
+
+    /// Registers a settle hook and discards the handle: `f` runs exactly
+    /// once with the operation's outcome — on the committer thread when the
+    /// group settles, or immediately on this thread if the op already did.
+    /// This is how a reactor-style caller (one thread, many operations)
+    /// consumes completions without ever blocking on [`Completion::wait`];
+    /// the hook must not block for long, it runs on the commit path.
+    pub fn on_settle(self, f: impl FnOnce(Result<bool>) + Send + 'static) {
+        let mut g = self.slot.m.lock();
+        if g.phase == Phase::Done {
+            let result = g
+                .result
+                .clone()
+                .expect("settled op slot always holds a result");
+            drop(g);
+            f(result);
+        } else {
+            g.callback = Some(Box::new(f));
+        }
     }
 }
 
@@ -395,6 +437,47 @@ mod tests {
         assert!(!c2.cancel(), "claimed ops are past the point of no cancel");
         p2.slot.deliver(Ok(false));
         assert!(!c2.wait().unwrap());
+    }
+
+    #[test]
+    fn on_settle_fires_on_deliver_cancel_and_late_registration() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Registered before delivery: the committer-side deliver runs it.
+        let hits = Arc::new(AtomicU32::new(0));
+        let (c, p) = Completion::channel(WriteOp::Delete(1));
+        let h = Arc::clone(&hits);
+        c.on_settle(move |r| {
+            assert!(r.unwrap());
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(p.slot.claim());
+        p.slot.deliver(Ok(true));
+        p.slot.deliver(Ok(false)); // second deliver must not re-fire
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        // Registered after settlement: runs immediately on this thread.
+        let (c2, p2) = Completion::channel(WriteOp::Delete(2));
+        p2.slot.claim();
+        p2.slot.deliver(Ok(false));
+        let h = Arc::clone(&hits);
+        c2.on_settle(move |r| {
+            assert!(!r.unwrap());
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+
+        // Cancellation settles the hook with the typed error.
+        let (c3, _p3) = Completion::channel(WriteOp::Delete(3));
+        let c3_cancel = Completion {
+            slot: Arc::clone(&c3.slot),
+        };
+        let h = Arc::clone(&hits);
+        c3.on_settle(move |r| {
+            assert!(matches!(r, Err(RewindError::Canceled)));
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(c3_cancel.cancel());
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
     }
 
     #[test]
