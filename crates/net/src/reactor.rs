@@ -27,6 +27,14 @@
 //! `net_connections`, `net_busy`) are identical to the thread-per-connection
 //! server in [`crate::server`].
 //!
+//! Slow readers get explicit backpressure: reads bypass admission control,
+//! so once a connection's pending-response backlog crosses
+//! [`WBUF_HIGH_WATER`] the loop disarms `EPOLLIN` and stops decoding its
+//! buffered requests (TCP flow control then pushes back on the client);
+//! decoding resumes from the buffered bytes when the backlog drains below
+//! [`WBUF_LOW_WATER`]. The threaded backend gets the equivalent for free
+//! from its blocking writes.
+//!
 //! [`on_settle`]: rewind_shard::Completion::on_settle
 
 use crate::protocol::{
@@ -54,6 +62,15 @@ const READ_CHUNK: usize = 16 * 1024;
 /// Flushed-prefix size beyond which a partially written response buffer is
 /// compacted instead of growing unboundedly behind a slow reader.
 const WBUF_COMPACT: usize = 64 * 1024;
+/// Pending-response backlog above which a connection is stalled: `EPOLLIN`
+/// is disarmed and already-buffered request bytes stay undecoded. Reads
+/// (GET/SCAN) are answered inline and bypass admission control, so without
+/// this a client that pipelines requests but never drains responses grows
+/// `wbuf` without bound — the threaded backend got the same backpressure
+/// for free from its blocking writes.
+const WBUF_HIGH_WATER: usize = 256 * 1024;
+/// Backlog level at which a stalled connection resumes reading/decoding.
+const WBUF_LOW_WATER: usize = 64 * 1024;
 
 // ---------------------------------------------------------------------------
 // Safe wrappers over the vendored raw syscall declarations.
@@ -374,6 +391,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<ReactorShared>, loops: Vec<Arc
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // EMFILE/ENFILE under fd exhaustion is persistent — retrying
+                // immediately spins this thread at 100% CPU until fds free
+                // up. Back off briefly; shutdown still gets through because
+                // it sets `stop` before the wakeup connect.
+                std::thread::sleep(std::time::Duration::from_millis(25));
                 continue;
             }
         };
@@ -408,8 +430,19 @@ struct Conn {
     /// Submitted-but-unsettled writes (shared with settle callbacks).
     inflight: Arc<AtomicUsize>,
     served: u64,
-    /// Whether `EPOLLOUT` is currently armed.
-    want_write: bool,
+    /// The epoll interest mask currently armed for this socket.
+    armed: u32,
+    /// True while the pending-response backlog is over [`WBUF_HIGH_WATER`]:
+    /// `EPOLLIN` stays disarmed and `rbuf` bytes stay undecoded until the
+    /// peer drains the backlog below [`WBUF_LOW_WATER`].
+    stalled: bool,
+}
+
+impl Conn {
+    /// Unflushed response bytes queued behind the peer's reads.
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
 }
 
 struct EventLoop {
@@ -464,7 +497,8 @@ impl EventLoop {
                 Err(_) => continue,
             };
             for ev in &events[..n] {
-                // Copy out of the packed record before using the fields.
+                // Copy out of the (on x86, packed) record before using the
+                // fields.
                 let (mask, data) = {
                     let ev = *ev;
                     (ev.events, ev.data)
@@ -532,7 +566,8 @@ impl EventLoop {
             wpos: 0,
             inflight: Arc::new(AtomicUsize::new(0)),
             served: 0,
-            want_write: false,
+            armed: sys::EPOLLIN | sys::EPOLLRDHUP,
+            stalled: false,
         });
     }
 
@@ -591,9 +626,23 @@ impl EventLoop {
                 }
             }
         }
+        let framing_ok = self.drain_rbuf(conn, slot);
+        framing_ok && !eof
+    }
+
+    /// Decodes and dispatches every complete frame buffered in `rbuf`,
+    /// stalling the connection (and leaving the remaining frames buffered)
+    /// when the response backlog crosses the high-water mark. Returns false
+    /// on a framing error.
+    fn drain_rbuf(&mut self, conn: &mut Conn, slot: usize) -> bool {
         let mut pos = 0usize;
         let mut framing_ok = true;
         loop {
+            if conn.backlog() >= WBUF_HIGH_WATER {
+                conn.stalled = true;
+                self.shared.store.obs().metrics().net_stalls.incr();
+                break;
+            }
             match decode_request(&conn.rbuf[pos..]) {
                 Ok(Some((consumed, id, parsed))) => {
                     pos += consumed;
@@ -618,7 +667,7 @@ impl EventLoop {
             }
         }
         conn.rbuf.drain(..pos);
-        framing_ok && !eof
+        framing_ok
     }
 
     /// Admits and executes one decoded request. Reads answer inline; writes
@@ -731,13 +780,21 @@ impl EventLoop {
         None
     }
 
-    /// One coalesced write of everything pending, then arms or disarms
-    /// `EPOLLOUT` to match what's left. Returns false when the connection
-    /// should close.
+    /// One coalesced write of everything pending, then re-arms the interest
+    /// mask to match what's left. Returns false when the connection should
+    /// close.
     fn flush(&mut self, slot: usize) -> bool {
-        let Some(conn) = self.conns[slot].as_mut() else {
+        // Same take/put dance as `readable`: the un-stall path re-enters the
+        // decoder, which needs `&mut self` for dispatch.
+        let Some(mut conn) = self.conns[slot].take() else {
             return true;
         };
+        let alive = self.flush_conn(&mut conn, slot);
+        self.conns[slot] = Some(conn);
+        alive
+    }
+
+    fn flush_conn(&mut self, conn: &mut Conn, slot: usize) -> bool {
         while conn.wpos < conn.wbuf.len() {
             match (&conn.sock).write(&conn.wbuf[conn.wpos..]) {
                 Ok(0) => return false,
@@ -754,9 +811,26 @@ impl EventLoop {
             conn.wbuf.drain(..conn.wpos);
             conn.wpos = 0;
         }
-        let want = !conn.wbuf.is_empty();
-        if want != conn.want_write {
-            let mask = sys::EPOLLIN | sys::EPOLLRDHUP | if want { sys::EPOLLOUT } else { 0 };
+        if conn.stalled && conn.backlog() <= WBUF_LOW_WATER {
+            // The peer drained the backlog. Resume decoding the request
+            // bytes that were left buffered at stall time — the socket may
+            // never turn readable again if the peer finished sending, so
+            // this is the only path that unsticks them. Decoding may
+            // legitimately re-stall the connection.
+            conn.stalled = false;
+            if !self.drain_rbuf(conn, slot) {
+                return false;
+            }
+        }
+        let mut mask = if conn.stalled {
+            0
+        } else {
+            sys::EPOLLIN | sys::EPOLLRDHUP
+        };
+        if conn.wpos < conn.wbuf.len() {
+            mask |= sys::EPOLLOUT;
+        }
+        if mask != conn.armed {
             if self
                 .ep
                 .modify(conn.sock.as_raw_fd(), mask, slot as u64)
@@ -764,7 +838,7 @@ impl EventLoop {
             {
                 return false;
             }
-            conn.want_write = want;
+            conn.armed = mask;
         }
         true
     }

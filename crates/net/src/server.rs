@@ -353,6 +353,11 @@ fn accept_loop(
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // EMFILE/ENFILE under fd exhaustion is persistent — retrying
+                // immediately spins this thread at 100% CPU until fds free
+                // up. Back off briefly; shutdown still gets through because
+                // it sets `stop` before the wakeup connect.
+                std::thread::sleep(std::time::Duration::from_millis(25));
                 continue;
             }
         };

@@ -158,6 +158,9 @@ pub struct Metrics {
     /// Network requests rejected with BUSY (admission-control window
     /// overflow or store backpressure).
     pub net_busy: Counter,
+    /// Connections stalled by the reactor's write-backpressure high-water
+    /// mark (slow reader: reads disarmed until the backlog drains).
+    pub net_stalls: Counter,
     /// Network connections currently open (last observed).
     pub net_connections: Gauge,
 }
@@ -177,6 +180,7 @@ impl Metrics {
             ops_in_flight: self.ops_in_flight.get(),
             net_op_ns: self.net_op_ns.snapshot(),
             net_busy: self.net_busy.get(),
+            net_stalls: self.net_stalls.get(),
             net_connections: self.net_connections.get(),
         }
     }
@@ -209,6 +213,8 @@ pub struct MetricsSnapshot {
     pub net_op_ns: HistSnapshot,
     /// Network BUSY rejections.
     pub net_busy: u64,
+    /// Slow-reader backpressure stalls.
+    pub net_stalls: u64,
     /// Last observed open-connection count (`merge` takes the max).
     pub net_connections: u64,
 }
@@ -228,6 +234,7 @@ impl MetricsSnapshot {
             ops_in_flight: self.ops_in_flight.max(other.ops_in_flight),
             net_op_ns: self.net_op_ns.merge(&other.net_op_ns),
             net_busy: self.net_busy + other.net_busy,
+            net_stalls: self.net_stalls + other.net_stalls,
             net_connections: self.net_connections.max(other.net_connections),
         }
     }

@@ -8,7 +8,9 @@
 //! and the store down mid-load and reopening from the pool files alone.
 
 use rewind::net::protocol::{self, Request, Response};
-use rewind::net::{run_sim, BusyReason, NetServer, PipelinedClient, ServerConfig, SimConfig};
+use rewind::net::{
+    run_sim, BusyReason, NetClient, NetServer, PipelinedClient, ServerConfig, SimConfig,
+};
 use rewind::prelude::*;
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -279,4 +281,77 @@ fn scan_caps_and_unknown_opcodes_over_the_wire() {
     let (id, resp) = protocol::read_response(&mut reader).unwrap().unwrap();
     assert_eq!(id, 6);
     assert_eq!(resp, Response::Value(Some([7; 4])));
+}
+
+/// A client that pipelines hundreds of SCANs without reading a single
+/// response cannot grow server memory without bound. The reactor stalls the
+/// connection at the write-buffer high-water mark (disarming `EPOLLIN` and
+/// leaving the rest of the requests buffered) and resumes decoding once the
+/// peer drains the backlog — so every response still arrives intact and in
+/// order, and the connection keeps working afterwards. The threaded backend
+/// gets the same behaviour from its blocking writes; both modes must pass.
+#[test]
+fn slow_reader_gets_backpressure_not_unbounded_buffering() {
+    for mode in [ServerMode::ThreadPerConn, ServerMode::Auto] {
+        let store =
+            Arc::new(ShardedStore::create(ShardConfig::new(2).shard_capacity(8 << 20)).unwrap());
+        let server =
+            NetServer::start(Arc::clone(&store), ServerConfig::default().mode(mode)).unwrap();
+        let addr = server.local_addr();
+
+        // Seed 512 keys so every scan response is ~20 KiB: 500 scans is
+        // ~10 MiB of responses — far past the reactor's 256 KiB high-water
+        // mark even after the kernel's socket buffers absorb what they can —
+        // against ~17 KiB of requests that fit in the server's rcvbuf while
+        // its reads are disarmed.
+        let mut seeder = NetClient::connect(addr).unwrap();
+        for k in 0..512u64 {
+            seeder.put(k, [k; 4]).unwrap();
+        }
+        drop(seeder);
+
+        const SCANS: u64 = 500;
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut bytes = Vec::new();
+        for id in 0..SCANS {
+            bytes.extend_from_slice(&protocol::encode_request(
+                id,
+                &Request::Scan {
+                    low: 0,
+                    high: u64::MAX,
+                    limit: 4096,
+                },
+            ));
+        }
+        raw.write_all(&bytes).unwrap();
+        // Give the server time to decode up to the stall point while we
+        // deliberately read nothing.
+        std::thread::sleep(Duration::from_millis(150));
+
+        let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+        for id in 0..SCANS {
+            let (rid, resp) = protocol::read_response(&mut reader)
+                .unwrap()
+                .expect("response stream ended before every scan was answered");
+            assert_eq!(rid, id, "responses out of order after stall/resume");
+            match resp {
+                Response::Entries(entries) => assert_eq!(entries.len(), 512),
+                other => panic!("scan {id} answered with {other:?}"),
+            }
+        }
+        if server.is_reactor() {
+            assert!(
+                store.obs().metrics().net_stalls.get() > 0,
+                "10 MiB of unread responses must have tripped the high-water stall"
+            );
+        }
+
+        // The connection must have fully recovered: reads re-armed, new
+        // requests still served on the same socket.
+        raw.write_all(&protocol::encode_request(SCANS, &Request::Get { key: 1 }))
+            .unwrap();
+        let (rid, resp) = protocol::read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(rid, SCANS);
+        assert_eq!(resp, Response::Value(Some([1; 4])));
+    }
 }

@@ -22,10 +22,15 @@ mod linux {
 
     /// One epoll registration / readiness record.
     ///
-    /// Matches the kernel ABI: on x86-64 the struct is packed (4-byte
-    /// aligned `u64 data` after the `u32 events`). Never take references to
-    /// the fields of a packed struct — copy them out.
-    #[repr(C, packed)]
+    /// Matches the kernel ABI, which is arch-dependent: only on x86/x86-64
+    /// is `struct epoll_event` packed (12 bytes, the `u64 data` 4-byte
+    /// aligned after the `u32 events`); every other Linux arch uses the
+    /// natural 16-byte layout. Getting this wrong is not cosmetic — a
+    /// 12-byte record on aarch64 would make `epoll_wait` write N×16 bytes
+    /// into an N×12-byte buffer. Never take references to the fields (they
+    /// may be packed on the current target) — copy them out.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         /// Bitmask of `EPOLLIN` / `EPOLLOUT` / `EPOLLERR` / ….
@@ -33,6 +38,16 @@ mod linux {
         /// Caller-owned cookie returned verbatim with each readiness record.
         pub data: u64,
     }
+
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>()
+            == if cfg!(any(target_arch = "x86", target_arch = "x86_64")) {
+                12
+            } else {
+                16
+            },
+        "EpollEvent layout does not match the kernel ABI for this arch"
+    );
 
     /// Readable readiness.
     pub const EPOLLIN: u32 = 0x001;
